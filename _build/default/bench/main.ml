@@ -1,0 +1,691 @@
+(* The benchmark harness: regenerates every table and figure of the Zeus
+   report's worked examples (the "evaluation" of a 1983 language report),
+   then times the performance-shaped claims with Bechamel.
+
+   Experiment index (see DESIGN.md / EXPERIMENTS.md):
+     E1  adders             Fig 3.2.2 + section 10 "Adders"
+     E2  blackjack          section 10 FSM state trace
+     E3  htree              section 10, linear layout area
+     E4  patternmatch       section 10 + the computation-sequence table
+     E5  evalseq            section 8 "A possible evaluation sequence"
+     E6  routing            section 4.2 HISDL routing network
+     E7  typerules          section 4.7 type rule tables (1), (2), (3)
+     E8  simcmp             firing vs fixpoint vs relaxation scheduling
+     E9  runtime-checks     the NP-completeness-motivated runtime check
+
+   `dune exec bench/main.exe` prints all report tables and then runs the
+   timing benchmarks (pass --no-timing to skip them). *)
+
+open Zeus
+
+let section id title =
+  Fmt.pr "@.=== %s: %s ===@." id title
+
+let compile src =
+  match Zeus.compile src with
+  | Ok d -> d
+  | Error diags ->
+      Fmt.epr "bench compile error: %a@." Fmt.(list Diag.pp) diags;
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* E1: adders                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let e1_adders () =
+  section "E1" "full adder truth table and rippleCarry(n) sweep";
+  let d = compile Corpus.adder4 in
+  let sim = Sim.create d in
+  Fmt.pr "fulladder via rippleCarry(4), bit 1 (Fig 3.2.2):@.";
+  Fmt.pr "  a b cin | cout s@.";
+  List.iter
+    (fun (a, b, c) ->
+      Sim.poke_int_lsb sim "adder.a" a;
+      Sim.poke_int_lsb sim "adder.b" b;
+      Sim.poke_bool sim "adder.cin" (c = 1);
+      Sim.step sim;
+      let s = Sim.peek sim "adder.s[1]" in
+      let h = Sim.peek sim "adder.h[2]" in
+      Fmt.pr "  %d %d  %d  |  %a    %a@." a b c
+        Fmt.(list ~sep:nop Logic.pp) h
+        Fmt.(list ~sep:nop Logic.pp) s)
+    [ (0,0,0); (0,0,1); (0,1,0); (0,1,1); (1,0,0); (1,0,1); (1,1,0); (1,1,1) ];
+  Fmt.pr "rippleCarry(n) correctness sweep (1000 random adds each):@.";
+  Fmt.pr "  %6s %8s %8s %8s %8s@." "n" "nets" "gates" "checks" "mismatch";
+  let rng = Random.State.make [| 42 |] in
+  List.iter
+    (fun n ->
+      let d = compile (Corpus.adder_n n) in
+      let sim = Sim.create d in
+      let mism = ref 0 in
+      let mask = (1 lsl min n 30) - 1 in
+      for _ = 1 to 1000 do
+        let a = Random.State.bits rng land mask
+        and b = Random.State.bits rng land mask in
+        Sim.poke_int_lsb sim "adder.a" a;
+        Sim.poke_int_lsb sim "adder.b" b;
+        Sim.poke_bool sim "adder.cin" false;
+        Sim.step sim;
+        let want = (a + b) land ((1 lsl n) - 1) in
+        if n <= 30 && Sim.peek_int_lsb sim "adder.s" <> Some want then incr mism
+      done;
+      let nl = d.Elaborate.netlist in
+      Fmt.pr "  %6d %8d %8d %8d %8d@." n (Netlist.net_count nl)
+        (List.length (Netlist.gates nl))
+        1000 !mism)
+    [ 4; 8; 16; 24; 30 ]
+
+(* ------------------------------------------------------------------ *)
+(* E2: blackjack                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let e2_blackjack () =
+  section "E2" "Blackjack FSM state trace (section 10)";
+  let d = compile Corpus.blackjack in
+  let sim = Sim.create d in
+  Sim.poke_bool sim "bj.ycard" false;
+  Sim.poke_int sim "bj.value" 0;
+  Sim.reset sim;
+  let state_name = function
+    | Some 0 -> "start" | Some 1 -> "read" | Some 2 -> "sum"
+    | Some 3 -> "firstace" | Some 4 -> "test" | Some 5 -> "end"
+    | _ -> "?" in
+  let cards = ref [ 10; 9 ] in
+  Fmt.pr "hand 10,9 (expect: stand at 19):@.";
+  Fmt.pr "  %5s %-9s %5s %4s %5s %5s@." "cycle" "state" "score" "hit" "stand" "broke";
+  let dealt = ref false in
+  for cyc = 1 to 14 do
+    let st = Sim.peek_int sim "bj.state.out" in
+    if st <> Some 1 then dealt := false;
+    (match (st, !cards) with
+    | Some 1, c :: rest when not !dealt ->
+        Sim.poke_int sim "bj.value" c;
+        Sim.poke_bool sim "bj.ycard" true;
+        cards := rest;
+        dealt := true
+    | _ -> Sim.poke_bool sim "bj.ycard" false);
+    Sim.step sim;
+    Fmt.pr "  %5d %-9s %5s %4s %5s %5s@." cyc
+      (state_name (Sim.peek_int sim "bj.state.out"))
+      (match Sim.peek_int sim "bj.score.out" with
+      | Some s -> string_of_int s
+      | None -> "-")
+      (Logic.to_string (Sim.peek_bit sim "bj.hit"))
+      (Logic.to_string (Sim.peek_bit sim "bj.stand"))
+      (Logic.to_string (Sim.peek_bit sim "bj.broke"))
+  done;
+  Fmt.pr "runtime errors: %d@." (List.length (Sim.runtime_errors sim))
+
+(* ------------------------------------------------------------------ *)
+(* E3: H-tree area                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let e3_htree () =
+  section "E3" "H-tree layout area is linear in the number of leaves";
+  Fmt.pr "  %8s %8s %8s %8s %10s@." "n" "width" "height" "area" "area/n";
+  List.iter
+    (fun n ->
+      let d = compile (Corpus.htree n) in
+      match Floorplan.of_design d "a" with
+      | Some plan ->
+          let a = Floorplan.area plan in
+          Fmt.pr "  %8d %8d %8d %8d %10.2f@." n plan.Floorplan.width
+            plan.Floorplan.height a
+            (float_of_int a /. float_of_int n)
+      | None -> Fmt.pr "  %8d (no plan)@." n)
+    [ 1; 4; 16; 64; 256; 1024; 4096 ]
+
+(* ------------------------------------------------------------------ *)
+(* E4: pattern matching                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let e4_patternmatch () =
+  section "E4" "systolic pattern matcher computation sequence (section 10)";
+  let d = compile (Corpus.patternmatch 3) in
+  let sim = Sim.create d in
+  List.iter (fun p -> Sim.poke_bool sim p false)
+    [ "match.pattern"; "match.string"; "match.endofpattern"; "match.wild";
+      "match.resultin" ];
+  Sim.reset sim;
+  let pattern = [ 1; 0 ] and text = [ 1; 0; 1; 0; 1; 0; 1; 0 ] in
+  let plen = List.length pattern in
+  Fmt.pr "pattern 10 (recirculating), text 10101010, one item every second \
+          cycle:@.";
+  Fmt.pr "  %5s %3s %3s %3s %6s@." "cycle" "pat" "eop" "str" "result";
+  for cyc = 0 to 35 do
+    let idle = cyc mod 2 = 1 in
+    let p, e, s =
+      if idle then (false, false, false)
+      else begin
+        let i = cyc / 2 in
+        let pi = i mod (plen + 1) in
+        ( pi < plen && List.nth pattern pi = 1,
+          pi = plen,
+          match List.nth_opt text i with Some 1 -> true | _ -> false )
+      end
+    in
+    Sim.poke_bool sim "match.pattern" p;
+    Sim.poke_bool sim "match.endofpattern" e;
+    Sim.poke_bool sim "match.string" s;
+    Sim.step sim;
+    let r = Sim.peek_bit sim "match.result" in
+    Fmt.pr "  %5d %3d %3d %3d %6s%s@." cyc (Bool.to_int p) (Bool.to_int e)
+      (Bool.to_int s) (Logic.to_string r)
+      (if Logic.equal r Logic.One then "  <- match" else "")
+  done;
+  Fmt.pr "runtime errors: %d@." (List.length (Sim.runtime_errors sim))
+
+(* ------------------------------------------------------------------ *)
+(* E5: evaluation sequence (section 8)                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e5_evalseq () =
+  section "E5" "a possible evaluation sequence (section 8 example)";
+  let d = compile Corpus.section8_example in
+  let sim = Sim.create d in
+  Sim.set_trace sim true;
+  List.iter
+    (fun (p, v) -> Sim.poke_bool sim p v)
+    [ ("top.a", true); ("top.b", true); ("top.cc", false); ("top.x", true);
+      ("top.y", false); ("top.rin", true) ];
+  Sim.step sim;
+  Fmt.pr "firing order (signal(value), cf. the report's \
+          \"2(0),rout(0),rin(1),...\"):@.  ";
+  List.iter
+    (fun (n, v) -> Fmt.pr "%s(%a) " n Logic.pp v)
+    (List.filter
+       (fun (n, _) -> not (String.contains n '#'))
+       (Sim.trace_last_cycle sim));
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* E6: routing network                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let e6_routing () =
+  section "E6" "recursive HISDL routing network (section 4.2)";
+  Fmt.pr "  %6s %9s %9s %8s %8s@." "n" "routers" "expected" "nets" "drivers";
+  List.iter
+    (fun n ->
+      let d = compile (Corpus.routing_network n) in
+      let nl = d.Elaborate.netlist in
+      let routers =
+        List.length
+          (List.filter
+             (fun (i : Netlist.instance) -> i.Netlist.itype = "router")
+             (Netlist.instances nl))
+      in
+      let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+      Fmt.pr "  %6d %9d %9d %8d %8d@." n routers (n / 2 * log2 n)
+        (Netlist.net_count nl)
+        (List.length (Netlist.drivers nl)))
+    [ 2; 4; 8; 16; 32; 64 ];
+  (* permutation property: all-swap headers reverse the butterfly *)
+  let d = compile (Corpus.routing_network 8) in
+  let sim = Sim.create d in
+  for i = 0 to 7 do
+    Sim.poke_int sim (Printf.sprintf "net.input[%d]" i) (512 + i)
+  done;
+  Sim.step sim;
+  Fmt.pr "all-swap routing of 512+i headers: ";
+  for i = 0 to 7 do
+    Fmt.pr "%s "
+      (match Sim.peek_int sim (Printf.sprintf "net.output[%d]" i) with
+      | Some v -> string_of_int (v - 512)
+      | None -> "?")
+  done;
+  Fmt.pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* E7: the static type rule tables                                      *)
+(* ------------------------------------------------------------------ *)
+
+let e7_typerules () =
+  section "E7" "type rules (1) and (2) of section 4.7, as decided by the checker";
+  let verdict src =
+    let _, diags = Zeus.elaborate_with_diags src in
+    if List.exists (fun (d : Diag.t) -> d.Diag.severity = Diag.Error) diags
+    then "illegal"
+    else "legal"
+  in
+  let cond target source =
+    Printf.sprintf
+      "TYPE t = COMPONENT (IN b: boolean; IN eb: boolean; em: multiplex; \
+       OUT y: boolean) IS SIGNAL x: %s; BEGIN IF b THEN x := %s END; y := \
+       x END; SIGNAL s: t;"
+      target
+      (if source = "boolean" then "eb" else "em")
+  in
+  Fmt.pr "type rules (1): IF b THEN x := e END (x a local signal)@.";
+  Fmt.pr "  %-10s| %-10s %-10s@." "x \\ e" "boolean" "multiplex";
+  List.iter
+    (fun t ->
+      Fmt.pr "  %-10s| %-10s %-10s@." t
+        (verdict (cond t "boolean"))
+        (verdict (cond t "multiplex")))
+    [ "boolean"; "multiplex" ];
+  Fmt.pr "exception 1 (boolean formal OUT / instance IN): %s@."
+    (verdict
+       "TYPE t = COMPONENT (IN b,c: boolean; OUT y: boolean) IS BEGIN IF b \
+        THEN y := c END END; SIGNAL s: t;");
+  Fmt.pr "@.type rules (2): x == y@.";
+  let alias l r =
+    match (l, r) with
+    | "boolean", "boolean" ->
+        "TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS SIGNAL u,v: \
+         boolean; BEGIN u := a; u == v; y := v END; SIGNAL s: t;"
+    | "boolean", "multiplex" | "multiplex", "boolean" ->
+        "TYPE t = COMPONENT (em: multiplex; IN a: boolean; OUT y: boolean) \
+         IS SIGNAL u: boolean; BEGIN u == em; y := u END; SIGNAL s: t;"
+    | _ ->
+        "TYPE t = COMPONENT (em,fm: multiplex; IN a: boolean) IS BEGIN em \
+         == fm; IF a THEN em := 1 END END; SIGNAL s: t;"
+  in
+  Fmt.pr "  %-10s| %-10s %-10s@." "x \\ y" "boolean" "multiplex";
+  List.iter
+    (fun l ->
+      Fmt.pr "  %-10s| %-10s %-10s@." l
+        (verdict (alias l "boolean"))
+        (verdict (alias l "multiplex")))
+    [ "boolean"; "multiplex" ];
+  Fmt.pr "exception 1 (OUT formal aliased to multiplex): %s@."
+    (verdict
+       "TYPE t = COMPONENT (em: multiplex; IN a: boolean; OUT y: boolean) \
+        IS BEGIN y == em; IF a THEN em := 1 END END; SIGNAL s: t;")
+
+(* ------------------------------------------------------------------ *)
+(* E8: simulator scheduling comparison                                  *)
+(* ------------------------------------------------------------------ *)
+
+let visits_of engine d pokes =
+  let sim = Sim.create ~engine d in
+  List.iter (fun (p, v) -> Sim.poke_int_lsb sim p v) pokes;
+  Sim.step sim;
+  Sim.node_visits sim
+
+let e8_simcmp () =
+  section "E8"
+    "node visits per cycle: firing (section 8) vs strict-firing ablation \
+     vs sweep-to-fixpoint vs relaxation";
+  Fmt.pr "  %-18s %8s %6s %9s %8s %10s %12s@." "design" "nodes" "depth"
+    "firing" "strict" "fixpoint" "relaxation";
+  List.iter
+    (fun (name, src, pokes) ->
+      let d = compile src in
+      let nodes =
+        List.length (Netlist.gates d.Elaborate.netlist)
+        + List.length (Netlist.drivers d.Elaborate.netlist)
+      in
+      let depth = (Stats.of_netlist d.Elaborate.netlist).Stats.depth in
+      let f = visits_of Sim.Firing d pokes
+      and fs = visits_of Sim.Firing_strict d pokes
+      and fx = visits_of Sim.Fixpoint d pokes
+      and rx = visits_of Sim.Relaxation d pokes in
+      Fmt.pr "  %-18s %8d %6d %9d %8d %10d %12d@." name nodes depth f fs fx rx)
+    [
+      ("rippleCarry(8)", Corpus.adder_n 8, [ ("adder.a", 255); ("adder.b", 1) ]);
+      ("rippleCarry(32)", Corpus.adder_n 32,
+       [ ("adder.a", 0xFFFFFFF); ("adder.b", 1) ]);
+      ("rippleCarry(64)", Corpus.adder_n 64,
+       [ ("adder.a", 0xFFFFFFF); ("adder.b", 1) ]);
+      ("patternmatch(9)", Corpus.patternmatch 9, []);
+      ("blackjack", Corpus.blackjack, []);
+      ("routing(16)", Corpus.routing_network 16, []);
+      ("am2901", Corpus.am2901, []);
+      ("stack(16x8)", Corpus.stack ~depth:16 ~width:8, []);
+      ("dictionary(16x8)", Corpus.dictionary ~slots:16 ~keybits:8, []);
+    ];
+  Fmt.pr "(the firing evaluator visits each node O(1) times; the sweeping \
+          baselines pay one full sweep per logic level)@."
+
+(* ------------------------------------------------------------------ *)
+(* E9: runtime checks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e9_runtime_checks () =
+  section "E9"
+    "runtime multiple-assignment checks (statically undecidable, section \
+     4.7)";
+  (* a mux driven under two input-dependent guards: only the runtime can
+     tell whether both fire *)
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN b,c,x,y: boolean; m: multiplex) IS BEGIN IF b \
+       THEN m := x END; IF c THEN m := y END END; SIGNAL s: t;"
+  in
+  let sim = Sim.create d in
+  Fmt.pr "  %3s %3s | %5s %9s@." "b" "c" "m" "conflict";
+  List.iter
+    (fun (b, c) ->
+      let before = List.length (Sim.runtime_errors sim) in
+      Sim.poke_bool sim "s.b" (b = 1);
+      Sim.poke_bool sim "s.c" (c = 1);
+      Sim.poke_bool sim "s.x" true;
+      Sim.poke_bool sim "s.y" false;
+      Sim.step sim;
+      let after = List.length (Sim.runtime_errors sim) in
+      Fmt.pr "  %3d %3d | %5s %9s@." b c
+        (Logic.to_string (Sim.peek_bit sim "s.m"))
+        (if after > before then "DETECTED" else "-"))
+    [ (0, 0); (0, 1); (1, 0); (1, 1) ];
+  (* detection rate over random guard workloads *)
+  let rng = Random.State.make [| 7 |] in
+  let injected = ref 0 and detected = ref 0 in
+  for _ = 1 to 1000 do
+    let b = Random.State.bool rng and c = Random.State.bool rng in
+    let before = List.length (Sim.runtime_errors sim) in
+    Sim.poke_bool sim "s.b" b;
+    Sim.poke_bool sim "s.c" c;
+    Sim.step sim;
+    let after = List.length (Sim.runtime_errors sim) in
+    if b && c then incr injected;
+    if after > before then incr detected
+  done;
+  Fmt.pr "random workload: %d double-drives injected, %d detected@."
+    !injected !detected
+
+(* ------------------------------------------------------------------ *)
+(* E10: ablation — lazy vs eager instantiation (section 4.2)            *)
+(* ------------------------------------------------------------------ *)
+
+let e10_lazy_ablation () =
+  section "E10"
+    "ablation: lazy instantiation (\"hardware only generated if used\") vs \
+     eager";
+  let elaborate ~eager src =
+    let bag = Diag.Bag.create () in
+    match Parser.program ~bag src with
+    | None, _ -> Error "parse"
+    | Some prog, _ ->
+        let d = Elaborate.program ~bag ~eager prog in
+        if Diag.Bag.has_errors bag then
+          Error
+            (match Diag.Bag.errors bag with
+            | e :: _ -> e.Diag.message
+            | [] -> "?")
+        else Ok (List.length (Netlist.instances d.Elaborate.netlist))
+  in
+  Fmt.pr "  %-16s %14s %s@." "design" "lazy" "eager";
+  List.iter
+    (fun (name, src) ->
+      let show = function
+        | Ok n -> Fmt.str "%d instances" n
+        | Error e ->
+            let e =
+              if String.length e > 48 then String.sub e 0 48 ^ "..." else e
+            in
+            "DIVERGES: " ^ e
+      in
+      Fmt.pr "  %-16s %14s %s@." name
+        (show (elaborate ~eager:false src))
+        (show (elaborate ~eager:true src)))
+    [
+      ("routing(8)", Corpus.routing_network 8);
+      ("htree(16)", Corpus.htree 16);
+      ("tree(8)", Corpus.tree_recursive 8);
+      ("adder(8)", Corpus.adder_n 8);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E11: explicit layout vs automatic placement (the silicon-compiler    *)
+(* application of section 9)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let e11_autoplace () =
+  section "E11"
+    "designer layout (section 6) vs automatic dataflow placement: \
+     estimated wirelength";
+  Fmt.pr "  %-18s %10s %12s %10s %12s@." "design" "cells" "explicit-wl"
+    "auto-wl" "auto-shape";
+  List.iter
+    (fun (name, src, top) ->
+      let d = compile src in
+      let explicit = Floorplan.of_design d top in
+      let auto = Autoplace.place d top in
+      match (explicit, auto) with
+      | Some e, Some a ->
+          Fmt.pr "  %-18s %10d %12d %10d %9dx%d@." name
+            (List.length a.Floorplan.cells)
+            (Autoplace.wirelength d e)
+            (Autoplace.wirelength d a)
+            a.Floorplan.width a.Floorplan.height
+      | _ -> Fmt.pr "  %-18s (no plan)@." name)
+    [
+      ("rippleCarry(8)", Corpus.adder_n 8, "adder");
+      ("rippleCarry(32)", Corpus.adder_n 32, "adder");
+      ("patternmatch(9)", Corpus.patternmatch 9, "match");
+      ("stack(8x4)", Corpus.stack ~depth:8 ~width:4, "st");
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* E12: the optimizer (constant propagation + dead logic)               *)
+(* ------------------------------------------------------------------ *)
+
+let e12_optimize () =
+  section "E12"
+    "netlist optimization: nodes removed while observables stay exact";
+  Fmt.pr "  %-18s %8s %8s %9s %9s %7s@." "design" "gates" "gates'" "drivers"
+    "drivers'" "consts";
+  List.iter
+    (fun (name, src) ->
+      let d = compile src in
+      let _, r = Optimize.run d in
+      Fmt.pr "  %-18s %8d %8d %9d %9d %7d@." name r.Optimize.gates_before
+        r.Optimize.gates_after r.Optimize.drivers_before
+        r.Optimize.drivers_after r.Optimize.constants_found)
+    [
+      ("adder(32)", Corpus.adder_n 32);
+      ("blackjack", Corpus.blackjack);
+      ("patternmatch(9)", Corpus.patternmatch 9);
+      ("am2901", Corpus.am2901);
+      ("routing(16)", Corpus.routing_network 16);
+      ("dictionary(16x8)", Corpus.dictionary ~slots:16 ~keybits:8);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* A1: the abstract's remaining example classes                         *)
+(* ------------------------------------------------------------------ *)
+
+let a1_machines () =
+  section "A1"
+    "AM2901 / systolic stack / dictionary machine vs golden models";
+  (* AM2901: random instruction streams against the reference model *)
+  let d = compile Corpus.am2901 in
+  let sim = Sim.create d in
+  let model = Refmodel.Am2901.create () in
+  let agree = ref 0 and total = 500 in
+  (* initialise the register file through the datapath *)
+  for reg = 0 to 15 do
+    Sim.poke_int sim "alu.i" 0o703;
+    Sim.poke_int sim "alu.a" 0;
+    Sim.poke_int sim "alu.b" reg;
+    Sim.poke_int sim "alu.d" 0;
+    Sim.poke_bool sim "alu.cin" false;
+    Sim.step sim;
+    ignore (Refmodel.Am2901.step model ~i:0o703 ~a:0 ~b:reg ~d:0 ~cin:false)
+  done;
+  Sim.poke_int sim "alu.i" 0o700;
+  Sim.step sim;
+  ignore (Refmodel.Am2901.step model ~i:0o700 ~a:0 ~b:0 ~d:0 ~cin:false);
+  let rng = Random.State.make [| 2901 |] in
+  for _ = 1 to total do
+    let i = Random.State.int rng 512
+    and a = Random.State.int rng 16
+    and b = Random.State.int rng 16
+    and dd = Random.State.int rng 16
+    and cin = Random.State.bool rng in
+    Sim.poke_int sim "alu.i" i;
+    Sim.poke_int sim "alu.a" a;
+    Sim.poke_int sim "alu.b" b;
+    Sim.poke_int sim "alu.d" dd;
+    Sim.poke_bool sim "alu.cin" cin;
+    Sim.step sim;
+    let r = Refmodel.Am2901.step model ~i ~a ~b ~d:dd ~cin in
+    if Sim.peek_int sim "alu.y" = Some r.Refmodel.Am2901.y then incr agree
+  done;
+  Fmt.pr "  am2901: %d/%d random instructions agree with the golden model \
+          (runtime errors: %d)@."
+    !agree total
+    (List.length (Sim.runtime_errors sim));
+  Fmt.pr "  netlist: %s@." (Netlist.stats d.Elaborate.netlist);
+  (* systolic stack: constant-cycle push/pop *)
+  Fmt.pr "  stack depth sweep (one cycle per operation at any depth):@.";
+  Fmt.pr "    %8s %8s %8s@." "depth" "nets" "regs";
+  List.iter
+    (fun depth ->
+      let d = compile (Corpus.stack ~depth ~width:8) in
+      Fmt.pr "    %8d %8d %8d@." depth
+        (Netlist.net_count d.Elaborate.netlist)
+        (List.length (Netlist.regs d.Elaborate.netlist)))
+    [ 4; 8; 16; 32; 64 ];
+  (* dictionary *)
+  Fmt.pr "  dictionary slots sweep:@.";
+  Fmt.pr "    %8s %8s %8s@." "slots" "nets" "gates";
+  List.iter
+    (fun slots ->
+      let d = compile (Corpus.dictionary ~slots ~keybits:8) in
+      Fmt.pr "    %8d %8d %8d@." slots
+        (Netlist.net_count d.Elaborate.netlist)
+        (List.length (Netlist.gates d.Elaborate.netlist)))
+    [ 4; 8; 16; 32 ];
+  (* systolic priority queue: constant-cycle insert/extract-min *)
+  let d = compile (Corpus.priority_queue ~slots:8 ~width:4) in
+  let sim = Sim.create d in
+  Sim.poke_bool sim "pq.ins" false;
+  Sim.poke_bool sim "pq.ext" false;
+  Sim.poke_int sim "pq.din" 0;
+  let mins = ref [] in
+  List.iter
+    (fun op ->
+      (match op with
+      | `I v ->
+          Sim.poke_bool sim "pq.ins" true;
+          Sim.poke_bool sim "pq.ext" false;
+          Sim.poke_int sim "pq.din" v
+      | `E ->
+          Sim.poke_bool sim "pq.ins" false;
+          Sim.poke_bool sim "pq.ext" true);
+      Sim.step sim;
+      Sim.poke_bool sim "pq.ins" false;
+      Sim.poke_bool sim "pq.ext" false;
+      Sim.step sim;
+      mins := Sim.peek_int sim "pq.minout" :: !mins)
+    [ `I 9; `I 3; `I 11; `E; `E; `E ];
+  Fmt.pr "  pqueue(8x4): insert 9,3,11 then extract x3 -> min trace %a \
+          (runtime errors: %d)@."
+    Fmt.(list ~sep:sp (option ~none:(any "?") int))
+    (List.rev !mins)
+    (List.length (Sim.runtime_errors sim));
+  (* odd-even transposition sorter (Thompson-style, section 9's
+     invitation): sort a vector and count the cycles *)
+  let n = 8 in
+  let d = compile (Corpus.sorter ~n ~w:4) in
+  let sim = Sim.create d in
+  Sim.poke_bool sim "srt.load" false;
+  let values = [ 7; 3; 15; 0; 9; 9; 1; 4 ] in
+  List.iteri
+    (fun i v -> Sim.poke_int sim (Printf.sprintf "srt.din[%d]" (i + 1)) v)
+    values;
+  Sim.reset sim;
+  Sim.poke_bool sim "srt.load" true;
+  Sim.step sim;
+  Sim.poke_bool sim "srt.load" false;
+  Sim.step_n sim (n + 1);
+  Fmt.pr "  sorter(8x4): %a -> %a in %d cycles (runtime errors: %d)@."
+    Fmt.(list ~sep:sp int)
+    values
+    Fmt.(list ~sep:sp (option ~none:(any "?") int))
+    (List.init n (fun i ->
+         Sim.peek_int sim (Printf.sprintf "srt.dout[%d]" (i + 1))))
+    (n + 1)
+    (List.length (Sim.runtime_errors sim))
+
+(* ------------------------------------------------------------------ *)
+(* Timing benchmarks (Bechamel)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let compile_test name src =
+    Test.make ~name (Staged.stage (fun () -> ignore (Zeus.compile src)))
+  in
+  let sim_cycle_test ?(engine = Sim.Firing) name src =
+    let d = compile src in
+    let sim = Sim.create ~engine d in
+    Test.make ~name (Staged.stage (fun () -> Sim.step sim))
+  in
+  let layout_test name src top =
+    let d = compile src in
+    Test.make ~name (Staged.stage (fun () -> ignore (Floorplan.of_design d top)))
+  in
+  Test.make_grouped ~name:"zeus"
+    [
+      (* E1: compile + simulate scaling on the adder family *)
+      compile_test "e1/compile/adder8" (Corpus.adder_n 8);
+      compile_test "e1/compile/adder64" (Corpus.adder_n 64);
+      sim_cycle_test "e1/cycle/adder8" (Corpus.adder_n 8);
+      sim_cycle_test "e1/cycle/adder64" (Corpus.adder_n 64);
+      (* E2 *)
+      compile_test "e2/compile/blackjack" Corpus.blackjack;
+      sim_cycle_test "e2/cycle/blackjack" Corpus.blackjack;
+      (* E3 *)
+      layout_test "e3/floorplan/htree256" (Corpus.htree 256) "a";
+      (* E4 *)
+      sim_cycle_test "e4/cycle/patternmatch9" (Corpus.patternmatch 9);
+      (* E6 *)
+      compile_test "e6/compile/routing32" (Corpus.routing_network 32);
+      (* E8: one cycle under each scheduling engine *)
+      sim_cycle_test ~engine:Sim.Firing "e8/firing/adder64" (Corpus.adder_n 64);
+      sim_cycle_test ~engine:Sim.Fixpoint "e8/fixpoint/adder64"
+        (Corpus.adder_n 64);
+      sim_cycle_test ~engine:Sim.Relaxation "e8/relaxation/adder64"
+        (Corpus.adder_n 64);
+      (* A1: the abstract's machines *)
+      sim_cycle_test "a1/cycle/am2901" Corpus.am2901;
+      sim_cycle_test "a1/cycle/stack32" (Corpus.stack ~depth:32 ~width:8);
+      sim_cycle_test "a1/cycle/dictionary16"
+        (Corpus.dictionary ~slots:16 ~keybits:8);
+    ]
+
+let run_timing () =
+  let open Bechamel in
+  let open Toolkit in
+  section "TIMING" "Bechamel estimates (ns per run, monotonic clock)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~stabilize:false ~quota:(Time.second 0.25) ()
+  in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> Fmt.str "%12.0f ns/run" e
+        | _ -> "(no estimate)"
+      in
+      Fmt.pr "  %-32s %s@." name est)
+    (List.sort compare rows)
+
+let () =
+  let timing = not (Array.exists (( = ) "--no-timing") Sys.argv) in
+  Fmt.pr "Zeus reproduction benchmark suite (every table/figure of the \
+          report's examples)@.";
+  e1_adders ();
+  e2_blackjack ();
+  e3_htree ();
+  e4_patternmatch ();
+  e5_evalseq ();
+  e6_routing ();
+  e7_typerules ();
+  e8_simcmp ();
+  e9_runtime_checks ();
+  e10_lazy_ablation ();
+  e11_autoplace ();
+  e12_optimize ();
+  a1_machines ();
+  if timing then run_timing ()

@@ -1,0 +1,437 @@
+(* zeusc: command-line driver for the Zeus implementation.
+
+     zeusc check FILE.zeus        parse + elaborate + static checks
+     zeusc pp FILE.zeus           parse and pretty-print back to Zeus
+     zeusc stats FILE.zeus        netlist statistics after elaboration
+     zeusc sim FILE.zeus -n 10    simulate N cycles (optionally with pokes)
+     zeusc layout FILE.zeus -t T  ASCII floorplan of top-level signal T
+     zeusc dot FILE.zeus          semantics graph in Graphviz format
+     zeusc corpus NAME            print a built-in example program
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  let src =
+    match path with
+    | "-" -> In_channel.input_all stdin
+    | p -> read_file p
+  in
+  src
+
+let report_diags diags =
+  List.iter (fun d -> Fmt.epr "%a@." Zeus.Diag.pp d) diags
+
+let file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FILE" ~doc:"Zeus source file ('-' for stdin).")
+
+(* ------------------------------------------------------------------ *)
+
+let check_cmd =
+  let run file =
+    match Zeus.compile (load file) with
+    | Ok design ->
+        Fmt.pr "OK: %s@." (Zeus.Netlist.stats design.Zeus.Elaborate.netlist);
+        let warnings =
+          List.filter
+            (fun (d : Zeus.Diag.t) -> d.Zeus.Diag.severity = Zeus.Diag.Warning)
+            (Zeus.Diag.Bag.all design.Zeus.Elaborate.diags)
+        in
+        report_diags warnings;
+        0
+    | Error diags ->
+        report_diags diags;
+        1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Parse, elaborate and statically check a program.")
+    Term.(const run $ file_arg)
+
+let pp_cmd =
+  let run file =
+    match Zeus.Parser.program (load file) with
+    | Some prog, _ ->
+        print_endline (Zeus.Pretty.program_to_string prog);
+        0
+    | None, bag ->
+        report_diags (Zeus.Diag.Bag.all bag);
+        1
+  in
+  Cmd.v
+    (Cmd.info "pp" ~doc:"Parse and pretty-print back to Zeus concrete syntax.")
+    Term.(const run $ file_arg)
+
+let stats_cmd =
+  let run file =
+    match Zeus.compile (load file) with
+    | Ok design ->
+        let nl = design.Zeus.Elaborate.netlist in
+        Fmt.pr "%a" Zeus.Stats.pp (Zeus.Stats.of_netlist nl);
+        List.iter
+          (fun (i : Zeus.Netlist.instance) ->
+            if not i.Zeus.Netlist.is_function_call then
+              Fmt.pr "  instance %-30s : %s@." i.Zeus.Netlist.ipath
+                i.Zeus.Netlist.itype)
+          (Zeus.Netlist.instances nl);
+        0
+    | Error diags ->
+        report_diags diags;
+        1
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Netlist statistics after elaboration.")
+    Term.(const run $ file_arg)
+
+let poke_conv : (string * int) Arg.conv =
+  let parse s =
+    match String.index_opt s '=' with
+    | Some i ->
+        let path = String.sub s 0 i in
+        let v = String.sub s (i + 1) (String.length s - i - 1) in
+        (try Ok (path, int_of_string v)
+         with _ -> Error (`Msg "poke value must be an integer"))
+    | None -> Error (`Msg "poke must look like path=value")
+  in
+  Arg.conv (parse, fun ppf (p, v) -> Fmt.pf ppf "%s=%d" p v)
+
+let sim_cmd =
+  let cycles =
+    Arg.(value & opt int 4 & info [ "n"; "cycles" ] ~doc:"Cycles to simulate.")
+  in
+  let pokes =
+    Arg.(
+      value
+      & opt_all poke_conv []
+      & info [ "p"; "poke" ] ~doc:"Input poke, e.g. -p adder.a=5 (MSB-first).")
+  in
+  let peeks =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "w"; "watch" ] ~doc:"Signal path to print each cycle.")
+  in
+  let do_reset =
+    Arg.(value & flag & info [ "reset" ] ~doc:"Pulse RSET for one cycle first.")
+  in
+  let trace =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the firing order of the last cycle.")
+  in
+  let wave =
+    Arg.(
+      value & flag
+      & info [ "wave" ] ~doc:"Render the watched signals as an ASCII waveform.")
+  in
+  let explain =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "explain" ]
+          ~doc:"After the run, explain how this signal got its value.")
+  in
+  let activity =
+    Arg.(
+      value & flag
+      & info [ "activity" ]
+          ~doc:"Report the nets with the most switching activity.")
+  in
+  let vcd_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE"
+          ~doc:"Dump the watched signals as a VCD waveform to FILE.")
+  in
+  let run file cycles pokes peeks do_reset trace wave explain activity vcd_out =
+    match Zeus.compile (load file) with
+    | Error diags ->
+        report_diags diags;
+        1
+    | Ok design ->
+        let sim = Zeus.Sim.create design in
+        List.iter (fun (p, v) ->
+            if v <= 1 then Zeus.Sim.poke sim p [ (if v = 1 then Zeus.Logic.One else Zeus.Logic.Zero) ]
+            else Zeus.Sim.poke_int sim p v)
+          pokes;
+        if do_reset then Zeus.Sim.reset sim;
+        Zeus.Sim.set_trace sim trace;
+        let waves =
+          if wave && peeks <> [] then Some (Zeus.Wave.create sim peeks)
+          else None
+        in
+        let vcd =
+          match vcd_out with
+          | Some _ when peeks <> [] -> Some (Zeus.Vcd.create sim peeks)
+          | _ -> None
+        in
+        for c = 1 to cycles do
+          Zeus.Sim.step sim;
+          Option.iter Zeus.Wave.sample waves;
+          Option.iter Zeus.Vcd.sample vcd;
+          if peeks <> [] && waves = None then begin
+            Fmt.pr "cycle %d:" c;
+            List.iter
+              (fun p ->
+                Fmt.pr " %s=%a" p
+                  Fmt.(list ~sep:nop Zeus.Logic.pp)
+                  (Zeus.Sim.peek sim p))
+              peeks;
+            Fmt.pr "@."
+          end
+        done;
+        Option.iter (fun w -> print_string (Zeus.Wave.render w)) waves;
+        (match (vcd, vcd_out) with
+        | Some v, Some path ->
+            Zeus.Vcd.to_file v path;
+            Fmt.pr "VCD written to %s@." path
+        | _ -> ());
+        if activity then
+          List.iter
+            (fun (net, n) -> Fmt.pr "activity %6d %s@." n net)
+            (Zeus.Sim.activity ~top:15 sim);
+        List.iter
+          (fun path ->
+            Fmt.pr "%a@."
+              Zeus.Explain.pp
+              (Zeus.Explain.explain sim path ~depth:2))
+          explain;
+        if trace then
+          List.iter
+            (fun (n, v) -> Fmt.pr "  fire %s = %a@." n Zeus.Logic.pp v)
+            (Zeus.Sim.trace_last_cycle sim);
+        List.iter
+          (fun (e : Zeus.Sim.runtime_error) ->
+            Fmt.pr "runtime error (cycle %d) %s: %s@." e.Zeus.Sim.err_cycle
+              e.Zeus.Sim.err_net e.Zeus.Sim.err_message)
+          (Zeus.Sim.runtime_errors sim);
+        0
+  in
+  Cmd.v
+    (Cmd.info "sim" ~doc:"Simulate a design for N cycles.")
+    Term.(
+      const run $ file_arg $ cycles $ pokes $ peeks $ do_reset $ trace $ wave
+      $ explain $ activity $ vcd_out)
+
+let layout_cmd =
+  let top =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "t"; "top" ] ~doc:"Top-level signal (default: first).")
+  in
+  let run file top =
+    match Zeus.compile (load file) with
+    | Error diags ->
+        report_diags diags;
+        1
+    | Ok design -> (
+        let name =
+          match top with
+          | Some t -> Some t
+          | None -> (
+              match design.Zeus.Elaborate.tops with
+              | (n, _) :: _ -> Some n
+              | [] -> None)
+        in
+        match name with
+        | None ->
+            Fmt.epr "no top-level signal@.";
+            1
+        | Some name -> (
+            match Zeus.Floorplan.of_design design name with
+            | Some plan ->
+                print_string (Zeus.Render.to_string plan);
+                0
+            | None ->
+                Fmt.epr "no such top-level signal: %s@." name;
+                1))
+  in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"ASCII floorplan of a top-level signal.")
+    Term.(const run $ file_arg $ top)
+
+let tree_cmd =
+  let run file =
+    match Zeus.compile (load file) with
+    | Error diags ->
+        report_diags diags;
+        1
+    | Ok design ->
+        let nl = design.Zeus.Elaborate.netlist in
+        let depth_of path =
+          String.fold_left (fun n c -> if c = '.' then n + 1 else n) 0 path
+        in
+        List.iter
+          (fun (i : Zeus.Netlist.instance) ->
+            if not i.Zeus.Netlist.is_function_call then begin
+              let indent = String.make (2 * depth_of i.Zeus.Netlist.ipath) ' ' in
+              let ports =
+                String.concat " "
+                  (List.map
+                     (fun (n, m, nets) ->
+                       Fmt.str "%s%s:%d"
+                         (match m with
+                         | Zeus.Etype.In -> ">"
+                         | Zeus.Etype.Out -> "<"
+                         | Zeus.Etype.Inout -> "=")
+                         n (List.length nets))
+                     i.Zeus.Netlist.iports)
+              in
+              Fmt.pr "%s%s : %s  %s@." indent i.Zeus.Netlist.ipath
+                i.Zeus.Netlist.itype ports
+            end)
+          (Zeus.Netlist.instances nl);
+        0
+  in
+  Cmd.v
+    (Cmd.info "tree"
+       ~doc:"Instance hierarchy with port widths (> IN, < OUT, = INOUT).")
+    Term.(const run $ file_arg)
+
+let optimize_cmd =
+  let run file =
+    match Zeus.compile (load file) with
+    | Error diags ->
+        report_diags diags;
+        1
+    | Ok design ->
+        let _, report = Zeus.Optimize.run design in
+        Fmt.pr "%a@." Zeus.Optimize.pp_report report;
+        0
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:"Constant propagation + dead-logic elimination report.")
+    Term.(const run $ file_arg)
+
+let place_cmd =
+  let top =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "t"; "top" ] ~doc:"Top-level signal (default: first).")
+  in
+  let run file top =
+    match Zeus.compile (load file) with
+    | Error diags ->
+        report_diags diags;
+        1
+    | Ok design -> (
+        let name =
+          match top with
+          | Some t -> Some t
+          | None -> (
+              match design.Zeus.Elaborate.tops with
+              | (n, _) :: _ -> Some n
+              | [] -> None)
+        in
+        match name with
+        | None ->
+            Fmt.epr "no top-level signal@.";
+            1
+        | Some name -> (
+            match Zeus.Autoplace.place design name with
+            | Some plan ->
+                print_string (Zeus.Render.to_string plan);
+                Fmt.pr "estimated wirelength: %d@."
+                  (Zeus.Autoplace.wirelength design plan);
+                (match Zeus.Floorplan.of_design design name with
+                | Some explicit ->
+                    Fmt.pr "designer layout wirelength: %d@."
+                      (Zeus.Autoplace.wirelength design explicit)
+                | None -> ());
+                0
+            | None ->
+                Fmt.epr "nothing to place under %s@." name;
+                1))
+  in
+  Cmd.v
+    (Cmd.info "place"
+       ~doc:"Automatic dataflow placement (vs the designer's layout).")
+    Term.(const run $ file_arg $ top)
+
+let dot_cmd =
+  let run file =
+    match Zeus.compile (load file) with
+    | Error diags ->
+        report_diags diags;
+        1
+    | Ok design ->
+        let g = Zeus.Graph.build design in
+        Fmt.pr "digraph zeus {@.";
+        Array.iteri
+          (fun i node ->
+            let label, out =
+              match node with
+              | Zeus.Graph.Ngate { op; output; _ } ->
+                  (Zeus.Netlist.gate_op_to_string op, output)
+              | Zeus.Graph.Ndriver { guard; target; _ } ->
+                  ((match guard with Some _ -> "IF" | None -> ":="), target)
+            in
+            Fmt.pr "  n%d [label=\"%s\"];@." i label;
+            Fmt.pr "  n%d -> s%d;@." i out;
+            List.iter
+              (function
+                | Zeus.Netlist.Snet s -> Fmt.pr "  s%d -> n%d;@." s i
+                | Zeus.Netlist.Sconst _ -> ())
+              (Zeus.Graph.node_inputs node))
+          g.Zeus.Graph.nodes;
+        Array.iteri
+          (fun i name ->
+            if Zeus.Netlist.canonical g.Zeus.Graph.nl i = i then
+              Fmt.pr "  s%d [shape=box,label=%S];@." i name)
+          g.Zeus.Graph.names;
+        Fmt.pr "}@.";
+        0
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Semantics graph in Graphviz format.")
+    Term.(const run $ file_arg)
+
+let corpus_cmd =
+  let name_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Example name (omit to list).")
+  in
+  let all = Zeus.Corpus.all_named @ Zeus.Corpus_fsm.all_named in
+  let run name =
+    match name with
+    | None ->
+        List.iter (fun (n, _) -> print_endline n) all;
+        0
+    | Some n -> (
+        match List.assoc_opt n all with
+        | Some src ->
+            print_string src;
+            0
+        | None ->
+            Fmt.epr "unknown example %S; try 'zeusc corpus'@." n;
+            1)
+  in
+  Cmd.v
+    (Cmd.info "corpus" ~doc:"Print a built-in example program.")
+    Term.(const run $ name_arg)
+
+let () =
+  let info =
+    Cmd.info "zeusc" ~version:"1.0.0"
+      ~doc:"Compiler, simulator and floorplanner for the Zeus HDL (DAC 1983)."
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            check_cmd; pp_cmd; stats_cmd; tree_cmd; sim_cmd; layout_cmd;
+            place_cmd; optimize_cmd; dot_cmd; corpus_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/am2901_fibonacci.ml: Corpus Fmt List Sim Zeus

@@ -1,0 +1,1 @@
+examples/blackjack_game.ml: Corpus Fmt List Logic Option Printf Sim Zeus

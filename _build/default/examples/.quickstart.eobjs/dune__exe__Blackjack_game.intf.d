@@ -1,0 +1,1 @@
+examples/blackjack_game.mli:

@@ -1,0 +1,1 @@
+examples/counter_scope.ml: Corpus_fsm Fmt List Sim Testbench Wave Zeus

@@ -1,0 +1,1 @@
+examples/floorplan_gallery.ml: Corpus Floorplan Fmt List Render Zeus

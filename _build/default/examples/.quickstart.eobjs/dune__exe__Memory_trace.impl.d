@@ -1,0 +1,1 @@
+examples/memory_trace.ml: Corpus Elaborate Filename Fmt List Netlist Sim String Vcd Zeus

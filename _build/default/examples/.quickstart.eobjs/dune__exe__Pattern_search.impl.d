@@ -1,0 +1,1 @@
+examples/pattern_search.ml: Corpus Floorplan Fmt List Logic Render Sim Zeus

@@ -1,0 +1,60 @@
+(* The layout sub-language of report section 6 in action: ASCII
+   floorplans and the H-tree's linear-area property (experiment E3).
+
+   Run with:  dune exec examples/floorplan_gallery.exe *)
+
+open Zeus
+
+let show src top =
+  let design = compile_exn src in
+  match Floorplan.of_design design top with
+  | Some plan -> Fmt.pr "@.%s" (Render.to_string plan)
+  | None -> Fmt.pr "no layout for %s@." top
+
+let () =
+  Fmt.pr "Zeus layout language gallery@.";
+  (* the ripple-carry adder's ORDER lefttoright row *)
+  show (Corpus.adder_n 8) "adder";
+  (* comparators over accumulators, one column per processing element *)
+  show (Corpus.patternmatch 7) "match";
+  (* the H-tree: nested ORDERs with flip90 quadrants *)
+  show (Corpus.htree 64) "a";
+  (* a chessboard of virtual signals replaced with black/white cells *)
+  let chessboard =
+    {zeus|
+TYPE black = COMPONENT (IN t: boolean; OUT b: boolean) IS BEGIN b := NOT t END;
+white = COMPONENT (IN t: boolean; OUT b: boolean) IS BEGIN b := t END;
+board = COMPONENT (IN x: boolean; OUT y: boolean) IS
+SIGNAL m: ARRAY[1..6,1..6] OF virtual;
+{ ORDER toptobottom
+    FOR i = 1 TO 6 DO
+      ORDER lefttoright
+        FOR j = 1 TO 6 DO
+          WHEN odd(i+j) THEN m[i,j] = black OTHERWISE m[i,j] = white END
+        END
+      END
+    END
+  END }
+BEGIN
+  m[1,1].t := x;
+  FOR j := 1 TO 5 DO m[1,j+1].t := m[1,j].b END;
+  FOR i := 1 TO 5 DO FOR j := 1 TO 6 DO m[i+1,j].t := m[i,j].b END END;
+  FOR j := 1 TO 5 DO * := m[6,j].b END;  <* close the unused bottom outputs *>
+  y := m[6,6].b
+END;
+SIGNAL s: board;
+|zeus}
+  in
+  show chessboard "s";
+  (* E3: area grows linearly with the number of leaves *)
+  Fmt.pr "@.H-tree area (linear in the number of leaves n):@.";
+  Fmt.pr "  %8s %8s %8s %8s@." "n" "width" "height" "area";
+  List.iter
+    (fun n ->
+      let design = compile_exn (Corpus.htree n) in
+      match Floorplan.of_design design "a" with
+      | Some plan ->
+          Fmt.pr "  %8d %8d %8d %8d@." n plan.Floorplan.width
+            plan.Floorplan.height (Floorplan.area plan)
+      | None -> ())
+    [ 1; 4; 16; 64; 256; 1024 ]

@@ -1,0 +1,75 @@
+(* The systolic pattern matcher of report section 10 (after Foster/Kung),
+   searching a bit string for a pattern with optional wildcards.
+
+   Pattern bits flow left-to-right, string bits right-to-left, one cell
+   per clock; items enter every second cycle with 0s in the idle slots.
+   The end-of-pattern marker resets the accumulated comparison and emits
+   the match bit, which travels back to the left edge.
+
+   Run with:  dune exec examples/pattern_search.exe *)
+
+open Zeus
+
+let search ~cells ~pattern ~wild ~text =
+  let design = compile_exn (Corpus.patternmatch cells) in
+  let sim = Sim.create design in
+  List.iter
+    (fun p -> Sim.poke_bool sim p false)
+    [ "match.pattern"; "match.string"; "match.endofpattern"; "match.wild";
+      "match.resultin" ];
+  Sim.reset sim;
+  let plen = List.length pattern in
+  let results = ref [] in
+  let cycles = 2 * (List.length text + (3 * plen)) in
+  for cyc = 0 to cycles - 1 do
+    let idle = cyc mod 2 = 1 in
+    if idle then begin
+      Sim.poke_bool sim "match.pattern" false;
+      Sim.poke_bool sim "match.endofpattern" false;
+      Sim.poke_bool sim "match.wild" false;
+      Sim.poke_bool sim "match.string" false
+    end
+    else begin
+      let i = cyc / 2 in
+      (* the pattern recirculates: items then the end marker, repeated *)
+      let pi = i mod (plen + 1) in
+      Sim.poke_bool sim "match.pattern" (pi < plen && List.nth pattern pi = 1);
+      Sim.poke_bool sim "match.endofpattern" (pi = plen);
+      Sim.poke_bool sim "match.wild" (pi < plen && List.nth wild pi = 1);
+      Sim.poke_bool sim "match.string"
+        (match List.nth_opt text i with Some 1 -> true | _ -> false)
+    end;
+    Sim.step sim;
+    if Logic.equal (Sim.peek_bit sim "match.result") Logic.One then
+      results := cyc :: !results
+  done;
+  (List.rev !results, Sim.runtime_errors sim)
+
+let show name ~pattern ~wild ~text =
+  let results, errors = search ~cells:3 ~pattern ~wild ~text in
+  Fmt.pr "@.%s@.  pattern: %a   wildcards: %a@.  text:    %a@." name
+    Fmt.(list ~sep:nop int)
+    pattern
+    Fmt.(list ~sep:nop int)
+    wild
+    Fmt.(list ~sep:nop int)
+    text;
+  Fmt.pr "  match bits emitted at cycles: %a@."
+    Fmt.(list ~sep:sp int)
+    results;
+  if errors <> [] then
+    Fmt.pr "  %d runtime errors!@." (List.length errors)
+
+let () =
+  Fmt.pr "Systolic pattern matching (Zeus report, section 10)@.";
+  show "alternating text, pattern 10" ~pattern:[ 1; 0 ] ~wild:[ 0; 0 ]
+    ~text:[ 1; 0; 1; 0; 1; 0; 1; 0; 1; 0; 1; 0 ];
+  show "no match in zeros" ~pattern:[ 1; 1 ] ~wild:[ 0; 0 ]
+    ~text:[ 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0; 0 ];
+  show "wildcards match anything" ~pattern:[ 0; 0 ] ~wild:[ 1; 1 ]
+    ~text:[ 1; 1; 0; 1; 0; 0; 1; 1; 0; 1; 1; 0 ];
+  (* the processor array in silico: comparators above accumulators *)
+  let design = compile_exn (Corpus.patternmatch 5) in
+  match Floorplan.of_design design "match" with
+  | Some plan -> Fmt.pr "@.%s" (Render.to_string plan)
+  | None -> ()

@@ -1,0 +1,1 @@
+lib/base/diag.ml: Fmt List Loc

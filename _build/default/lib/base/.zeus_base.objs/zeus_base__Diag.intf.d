@@ -1,0 +1,1 @@
+lib/base/diag.mli: Fmt Format Loc

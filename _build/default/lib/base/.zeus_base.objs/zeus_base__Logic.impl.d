@@ -1,0 +1,1 @@
+lib/base/logic.ml: Fmt List Option Stdlib String

@@ -1,0 +1,1 @@
+lib/base/logic.mli: Fmt

@@ -1,0 +1,86 @@
+(* Diagnostics: located errors and warnings, collected during every phase
+   (lexing, parsing, elaboration, static checking, simulation). *)
+
+type severity =
+  | Error
+  | Warning
+
+type kind =
+  | Lex_error
+  | Parse_error
+  | Name_error (* undeclared / duplicate identifiers, uses-list violations *)
+  | Type_error (* static type rules of section 4.7 *)
+  | Width_error (* basic-substructure count mismatches *)
+  | Assign_error (* single-assignment / aliasing rules *)
+  | Cycle_error (* combinational feedback not through REG *)
+  | Port_error (* unused-port rule of section 4.1 *)
+  | Layout_error
+  | Runtime_error (* simulator checks: multiple drives, undefined reads *)
+  | Order_error (* SEQUENTIAL/PARALLEL consistency, section 4.5 *)
+  | Limit_error (* elaboration limits: runaway recursion etc. *)
+
+type t = {
+  severity : severity;
+  kind : kind;
+  loc : Loc.t;
+  message : string;
+}
+
+let kind_to_string = function
+  | Lex_error -> "lex"
+  | Parse_error -> "parse"
+  | Name_error -> "name"
+  | Type_error -> "type"
+  | Width_error -> "width"
+  | Assign_error -> "assign"
+  | Cycle_error -> "cycle"
+  | Port_error -> "port"
+  | Layout_error -> "layout"
+  | Runtime_error -> "runtime"
+  | Order_error -> "order"
+  | Limit_error -> "limit"
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+
+let pp ppf d =
+  Fmt.pf ppf "%a: %s(%s): %s" Loc.pp d.loc
+    (severity_to_string d.severity)
+    (kind_to_string d.kind) d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+(* A mutable bag of diagnostics threaded through a compilation phase. *)
+module Bag = struct
+  type diag = t
+
+  type t = {
+    mutable diags : diag list; (* newest first *)
+    mutable error_count : int;
+  }
+
+  let create () = { diags = []; error_count = 0 }
+
+  let add bag d =
+    bag.diags <- d :: bag.diags;
+    if d.severity = Error then bag.error_count <- bag.error_count + 1
+
+  let error bag kind loc fmt =
+    Fmt.kstr
+      (fun message -> add bag { severity = Error; kind; loc; message })
+      fmt
+
+  let warning bag kind loc fmt =
+    Fmt.kstr
+      (fun message -> add bag { severity = Warning; kind; loc; message })
+      fmt
+
+  let has_errors bag = bag.error_count > 0
+
+  let all bag = List.rev bag.diags
+
+  let errors bag = List.filter (fun d -> d.severity = Error) (all bag)
+
+  let pp ppf bag = Fmt.(list ~sep:(any "@\n") pp) ppf (all bag)
+end

@@ -1,0 +1,58 @@
+(** Diagnostics: located errors and warnings, collected by every phase of
+    the pipeline (lexing, parsing, elaboration, static checking). *)
+
+type severity =
+  | Error
+  | Warning
+
+(** What rule or phase produced the diagnostic. *)
+type kind =
+  | Lex_error
+  | Parse_error
+  | Name_error  (** undeclared/duplicate identifiers, USES violations *)
+  | Type_error  (** static type rules of report section 4.7 *)
+  | Width_error  (** basic-substructure count mismatches *)
+  | Assign_error  (** single-assignment / aliasing rules *)
+  | Cycle_error  (** combinational feedback not through REG *)
+  | Port_error  (** the unused-port rule of section 4.1 *)
+  | Layout_error
+  | Runtime_error  (** simulator checks: multiple drives *)
+  | Order_error  (** SEQUENTIAL/PARALLEL consistency, section 4.5 *)
+  | Limit_error  (** elaboration limits: runaway recursion *)
+
+type t = {
+  severity : severity;
+  kind : kind;
+  loc : Loc.t;
+  message : string;
+}
+
+val kind_to_string : kind -> string
+val severity_to_string : severity -> string
+val pp : t Fmt.t
+val to_string : t -> string
+
+(** A mutable bag of diagnostics threaded through a compilation. *)
+module Bag : sig
+  type diag := t
+  type t
+
+  val create : unit -> t
+  val add : t -> diag -> unit
+
+  (** [error bag kind loc fmt ...] formats and records an error. *)
+  val error : t -> kind -> Loc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+  val warning :
+    t -> kind -> Loc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+
+  val has_errors : t -> bool
+
+  (** All diagnostics in the order they were recorded. *)
+  val all : t -> diag list
+
+  (** Only the errors, in order. *)
+  val errors : t -> diag list
+
+  val pp : t Fmt.t
+end

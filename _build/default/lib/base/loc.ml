@@ -1,0 +1,41 @@
+(* Source positions and spans for error reporting. *)
+
+type pos = {
+  line : int; (* 1-based *)
+  col : int; (* 1-based *)
+  offset : int; (* 0-based byte offset *)
+}
+
+type t = {
+  start : pos;
+  stop : pos;
+}
+
+let start_pos = { line = 1; col = 1; offset = 0 }
+
+let dummy_pos = { line = 0; col = 0; offset = -1 }
+
+let dummy = { start = dummy_pos; stop = dummy_pos }
+
+let make start stop = { start; stop }
+
+let merge a b =
+  let start = if a.start.offset <= b.start.offset then a.start else b.start in
+  let stop = if a.stop.offset >= b.stop.offset then a.stop else b.stop in
+  { start; stop }
+
+let is_dummy t = t.start.offset < 0
+
+let advance (p : pos) (c : char) =
+  if c = '\n' then { line = p.line + 1; col = 1; offset = p.offset + 1 }
+  else { line = p.line; col = p.col + 1; offset = p.offset + 1 }
+
+let pp_pos ppf p = Fmt.pf ppf "%d:%d" p.line p.col
+
+let pp ppf t =
+  if is_dummy t then Fmt.string ppf "<unknown>"
+  else if t.start.line = t.stop.line then
+    Fmt.pf ppf "%d:%d-%d" t.start.line t.start.col t.stop.col
+  else Fmt.pf ppf "%a-%a" pp_pos t.start pp_pos t.stop
+
+let to_string t = Fmt.str "%a" pp t

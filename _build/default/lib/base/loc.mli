@@ -1,0 +1,32 @@
+(** Source positions and spans for error reporting. *)
+
+type pos = {
+  line : int; (** 1-based line number *)
+  col : int; (** 1-based column *)
+  offset : int; (** 0-based byte offset *)
+}
+
+type t = {
+  start : pos;
+  stop : pos;
+}
+
+(** The position before the first character of a file. *)
+val start_pos : pos
+
+(** Placeholder for synthesized constructs with no source location. *)
+val dummy : t
+
+val is_dummy : t -> bool
+
+val make : pos -> pos -> t
+
+(** Smallest span covering both arguments. *)
+val merge : t -> t -> t
+
+(** Advance a position over one character (tracks newlines). *)
+val advance : pos -> char -> pos
+
+val pp_pos : pos Fmt.t
+val pp : t Fmt.t
+val to_string : t -> string

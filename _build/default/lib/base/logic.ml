@@ -1,0 +1,157 @@
+(* Four-valued logic of the Zeus report (sections 3.3, 4.7 and 8).
+
+   A signal carries one of four values: [Zero], [One], [Undef] (undefined)
+   and [Noinfl] (no influence / disconnected / high impedance).  Only
+   signals of type multiplex may carry [Noinfl]; a boolean signal reading a
+   multiplex net sees [Noinfl] as [Undef] (the implicit "amplifier" of
+   section 4.1). *)
+
+type t =
+  | Zero
+  | One
+  | Undef
+  | Noinfl
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let to_char = function
+  | Zero -> '0'
+  | One -> '1'
+  | Undef -> 'U'
+  | Noinfl -> 'Z'
+
+let of_char = function
+  | '0' -> Some Zero
+  | '1' -> Some One
+  | 'U' | 'u' -> Some Undef
+  | 'Z' | 'z' -> Some Noinfl
+  | _ -> None
+
+let to_string v = String.make 1 (to_char v)
+
+let pp ppf v = Fmt.char ppf (to_char v)
+
+let of_bool b = if b then One else Zero
+
+(* [to_bool] returns [None] for Undef/Noinfl — use it when a definite
+   boolean is required (e.g. IF conditions). *)
+let to_bool = function
+  | Zero -> Some false
+  | One -> Some true
+  | Undef | Noinfl -> None
+
+let is_defined = function
+  | Zero | One -> true
+  | Undef | Noinfl -> false
+
+(* Conversion multiplex -> boolean: a boolean wire never carries Noinfl
+   (section 4.1: "x := NOINFL is replaced by x := UNDEF"). *)
+let booleanize = function
+  | Noinfl -> Undef
+  | (Zero | One | Undef) as v -> v
+
+(* Gate truth tables (section 8).  Inputs are booleanized first: a gate fed
+   from a multiplex net goes through the implicit amplifier. *)
+
+let not_ v =
+  match booleanize v with
+  | Zero -> One
+  | One -> Zero
+  | Undef | Noinfl -> Undef
+
+let and2 a b =
+  match (booleanize a, booleanize b) with
+  | Zero, _ | _, Zero -> Zero
+  | One, One -> One
+  | _ -> Undef
+
+let or2 a b =
+  match (booleanize a, booleanize b) with
+  | One, _ | _, One -> One
+  | Zero, Zero -> Zero
+  | _ -> Undef
+
+let xor2 a b =
+  match (booleanize a, booleanize b) with
+  | Zero, Zero | One, One -> Zero
+  | Zero, One | One, Zero -> One
+  | _ -> Undef
+
+(* EQUAL is XNOR on definite inputs, UNDEF otherwise (section 8). *)
+let equal2 a b =
+  match (booleanize a, booleanize b) with
+  | Zero, Zero | One, One -> One
+  | Zero, One | One, Zero -> Zero
+  | _ -> Undef
+
+let and_list = function
+  | [] -> invalid_arg "Logic.and_list: empty"
+  | v :: vs -> List.fold_left and2 (booleanize v) vs
+
+let or_list = function
+  | [] -> invalid_arg "Logic.or_list: empty"
+  | v :: vs -> List.fold_left or2 (booleanize v) vs
+
+let xor_list = function
+  | [] -> invalid_arg "Logic.xor_list: empty"
+  | v :: vs -> List.fold_left xor2 (booleanize v) vs
+
+let nand_list vs = not_ (and_list vs)
+
+let nor_list vs = not_ (or_list vs)
+
+(* Partial (early-firing) gate evaluation for the firing simulator of
+   section 8: a gate node fires "as soon as" its output is determined.
+   [None] in the input list means "not yet assigned".  The result is
+   [Some v] once the output is forced to [v] no matter how the missing
+   inputs resolve. *)
+
+let and_partial inputs =
+  let vs = List.map (Option.map booleanize) inputs in
+  if List.exists (fun v -> v = Some Zero) vs then Some Zero
+  else if List.for_all (fun v -> v = Some One) vs then Some One
+  else if List.exists Option.is_none vs then None
+  else Some Undef
+
+let or_partial inputs =
+  let vs = List.map (Option.map booleanize) inputs in
+  if List.exists (fun v -> v = Some One) vs then Some One
+  else if List.for_all (fun v -> v = Some Zero) vs then Some Zero
+  else if List.exists Option.is_none vs then None
+  else Some Undef
+
+let map_all f inputs =
+  if List.exists Option.is_none inputs then None
+  else Some (f (List.map Option.get inputs))
+
+let nand_partial inputs =
+  Option.map not_ (and_partial inputs)
+
+let nor_partial inputs =
+  Option.map not_ (or_partial inputs)
+
+let xor_partial inputs = map_all xor_list inputs
+
+let not_partial = function
+  | [ Some v ] -> Some (not_ v)
+  | [ None ] -> None
+  | _ -> invalid_arg "Logic.not_partial: arity"
+
+(* Multi-driver resolution on a multiplex net (section 8, "conditional
+   simultaneous assignments"): NOINFL is overruled by any other value; a
+   second non-NOINFL drive is a conflict — the net reads UNDEF and the
+   simulator reports an error ("burning transistors"). *)
+
+type resolution = {
+  value : t;
+  conflict : bool;
+}
+
+let resolve drivers =
+  let driving = List.filter (fun v -> not (equal v Noinfl)) drivers in
+  match driving with
+  | [] -> { value = Noinfl; conflict = false }
+  | [ v ] -> { value = v; conflict = false }
+  | _ :: _ :: _ -> { value = Undef; conflict = true }

@@ -1,0 +1,79 @@
+(** Four-valued logic of the Zeus report (sections 3.3, 4.7 and 8).
+
+    Signals carry one of [Zero], [One], [Undef] (undefined) or [Noinfl]
+    (no influence / high impedance).  Only multiplex signals may carry
+    [Noinfl]; booleans see it as [Undef] through the implicit amplifier. *)
+
+type t =
+  | Zero
+  | One
+  | Undef
+  | Noinfl
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val to_char : t -> char
+val of_char : char -> t option
+val to_string : t -> string
+val pp : t Fmt.t
+
+val of_bool : bool -> t
+
+(** [to_bool v] is [Some b] iff [v] is a definite logic level. *)
+val to_bool : t -> bool option
+
+(** True for [Zero] and [One] only. *)
+val is_defined : t -> bool
+
+(** Multiplex-to-boolean conversion: [Noinfl] becomes [Undef]. *)
+val booleanize : t -> t
+
+(** {1 Gate truth tables (section 8)}
+
+    All gates booleanize their inputs first. *)
+
+val not_ : t -> t
+val and2 : t -> t -> t
+val or2 : t -> t -> t
+val xor2 : t -> t -> t
+
+(** XNOR on definite inputs, [Undef] otherwise. *)
+val equal2 : t -> t -> t
+
+val and_list : t list -> t
+val or_list : t list -> t
+val xor_list : t list -> t
+val nand_list : t list -> t
+val nor_list : t list -> t
+
+(** {1 Early-firing gate evaluation}
+
+    [None] inputs are "not yet assigned".  The result is [Some v] as soon
+    as the gate output is forced regardless of missing inputs — e.g.
+    [and_partial] fires [Zero] on the first [Zero] input (section 8 firing
+    rules). *)
+
+val and_partial : t option list -> t option
+val or_partial : t option list -> t option
+val nand_partial : t option list -> t option
+val nor_partial : t option list -> t option
+val xor_partial : t option list -> t option
+val not_partial : t option list -> t option
+
+(** Apply a strict n-ary function once every input has fired. *)
+val map_all : (t list -> t) -> t option list -> t option
+
+(** {1 Multi-driver resolution}
+
+    Resolution of simultaneous conditional assignments on a multiplex net:
+    [Noinfl] is overruled by any other value; more than one driving value
+    is a conflict — the net reads [Undef] and [conflict] is set (the
+    runtime "burning transistors" check of section 4.7). *)
+
+type resolution = {
+  value : t;
+  conflict : bool;
+}
+
+val resolve : t list -> resolution

@@ -1,0 +1,1 @@
+lib/lang/lexer.ml: Array Buffer Diag List Loc Option String Token Zeus_base

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Ast Diag Fmt Lexer List Loc Token Zeus_base

@@ -1,0 +1,1 @@
+lib/lang/parser.mli: Ast Diag Zeus_base

@@ -1,0 +1,1 @@
+lib/lang/token.ml: Fmt List Zeus_base

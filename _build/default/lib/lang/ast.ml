@@ -1,0 +1,262 @@
+(* Abstract syntax of Zeus, mirroring the EBNF of report section 7
+   (main syntax + layout language syntax).
+
+   Places where the printed grammar contradicts the examples are resolved
+   as documented in DESIGN.md:
+   - function-component actual type parameters are written in brackets
+     (plus[n](a,b), section 3.2), so a call is
+       ident { selector } [ "(" expr-list ")" ]
+     and name resolution decides between signal reference and call;
+   - the layout "basic" statement allows a bare signal (placement
+     reference, possibly with an orientation change) in addition to the
+     replacement form  signal "=" type. *)
+
+open Zeus_base
+
+type ident = {
+  id : string;
+  id_loc : Loc.t;
+}
+
+let ident ?(loc = Loc.dummy) id = { id; id_loc = loc }
+
+(* ------------------------------------------------------------------ *)
+(* Constant expressions (Modula-2 style, section 3.1)                  *)
+(* ------------------------------------------------------------------ *)
+
+type cbinop =
+  | Cadd
+  | Csub
+  | Cor
+  | Cmul
+  | Cdiv
+  | Cmod
+  | Cand
+
+type cunop =
+  | Cneg
+  | Cpos
+  | Cnot
+
+type crel =
+  | Ceq
+  | Cneq
+  | Clt
+  | Cle
+  | Cgt
+  | Cge
+
+type const_expr =
+  | Cnum of int * Loc.t
+  | Cref of ident * const_expr list
+      (* constant ident, FOR variable, type formal, or predefined function
+         (min/max/odd) applied to arguments *)
+  | Cbin of cbinop * const_expr * const_expr
+  | Cun of cunop * const_expr
+  | Crel of crel * const_expr * const_expr
+
+let rec const_expr_loc = function
+  | Cnum (_, loc) -> loc
+  | Cref (id, _) -> id.id_loc
+  | Cbin (_, a, b) -> Loc.merge (const_expr_loc a) (const_expr_loc b)
+  | Cun (_, a) -> const_expr_loc a
+  | Crel (_, a, b) -> Loc.merge (const_expr_loc a) (const_expr_loc b)
+
+(* ------------------------------------------------------------------ *)
+(* Signal constants: nested tuples over 0/1/ident/BIN (section 3.1)    *)
+(* ------------------------------------------------------------------ *)
+
+type sig_const =
+  | Sc_value of int * Loc.t (* 0 or 1 *)
+  | Sc_ref of ident (* UNDEF, NOINFL or a declared signal constant *)
+  | Sc_bin of const_expr * const_expr * Loc.t (* BIN(a,b) *)
+  | Sc_tuple of sig_const list * Loc.t
+
+let sig_const_loc = function
+  | Sc_value (_, loc) -> loc
+  | Sc_ref id -> id.id_loc
+  | Sc_bin (_, _, loc) -> loc
+  | Sc_tuple (_, loc) -> loc
+
+(* ------------------------------------------------------------------ *)
+(* Types (section 3.2)                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type mode =
+  | Min
+  | Mout
+  | Minout
+
+type ty =
+  | Tname of ident * const_expr list (* ident [ "(" actuals ")" ] *)
+  | Tarray of const_expr * const_expr * ty * Loc.t
+  | Tcomponent of component_ty * Loc.t
+
+and component_ty = {
+  cparams : fparam list;
+  chead_layout : layout_stmt list; (* layout block after the parameter list *)
+  cresult : ty option; (* Some _ for function component types *)
+  cbody : body option; (* None: record type (component without body) *)
+}
+
+and fparam = {
+  fmode : mode;
+  fnames : ident list;
+  fty : ty;
+}
+
+and body = {
+  buses : ident list option; (* None: no USES clause, environment visible *)
+  bdecls : decl list;
+  bbody_layout : layout_stmt list;
+  bstmts : stmt list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Declarations (section 3)                                            *)
+(* ------------------------------------------------------------------ *)
+
+and constant =
+  | Knum of const_expr
+  | Ksig of sig_const
+
+and decl =
+  | Dconst of (ident * constant) list
+  | Dtype of type_def list
+  | Dsignal of (ident list * ty) list
+
+and type_def = {
+  tname : ident;
+  tformals : ident list; (* type parameters, e.g. bo(n) *)
+  tty : ty;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Signals and expressions (section 4)                                 *)
+(* ------------------------------------------------------------------ *)
+
+and selector =
+  | Sel_index of const_expr
+  | Sel_range of const_expr * const_expr
+  | Sel_num of signal_ref (* dynamic index: [NUM(sig)] *)
+  | Sel_field of ident
+  | Sel_field_range of ident * ident (* ".a..b" per grammar line 39 *)
+
+and signal_ref =
+  | Star of Loc.t
+  | Sig of ident * selector list
+
+and expr =
+  | Eref of signal_ref
+      (* also the head of a function call before name resolution when it
+         has no argument tuple *)
+  | Ecall of ident * const_expr list * expr list * Loc.t
+      (* ident [params] ( args ) — resolved to function component call or
+         re-interpreted as a connection at statement level *)
+  | Ebin of const_expr * const_expr * Loc.t
+  | Econst of sig_const
+  | Estar of const_expr option * Loc.t (* "*" [":" width] *)
+  | Etuple of expr list * Loc.t
+
+and for_dir =
+  | To
+  | Downto
+
+and stmt =
+  | Sassign of signal_ref * expr * Loc.t (* ":=" *)
+  | Salias of signal_ref * expr * Loc.t (* "==" *)
+  | Sconnect of signal_ref * expr list * Loc.t (* sig ( actuals ) *)
+  | Sfor of for_header * bool (* SEQUENTIALLY *) * stmt list * Loc.t
+  | Swhen of (const_expr * stmt list) list * stmt list * Loc.t
+      (* WHEN ... {OTHERWISEWHEN ...} [OTHERWISE ...]; the final list is
+         the OTHERWISE branch (empty if absent) *)
+  | Sif of (expr * stmt list) list * stmt list * Loc.t
+      (* IF/ELSIF/ELSE; final list is ELSE branch *)
+  | Sresult of expr * Loc.t
+  | Sparallel of stmt list * Loc.t
+  | Ssequential of stmt list * Loc.t
+  | Swith of signal_ref * stmt list * Loc.t
+
+and for_header = {
+  fvar : ident;
+  ffrom : const_expr;
+  fdir : for_dir;
+  fto : const_expr;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Layout language (section 6)                                         *)
+(* ------------------------------------------------------------------ *)
+
+and side =
+  | Side_top
+  | Side_right
+  | Side_bottom
+  | Side_left
+
+and layout_stmt =
+  | Lcell of ident option * signal_ref * Loc.t
+      (* [orientationchange] signal : placement reference *)
+  | Lreplace of ident option * signal_ref * ty * Loc.t
+      (* [orientationchange] signal "=" type : virtual replacement *)
+  | Lorder of ident * layout_stmt list * Loc.t
+      (* ORDER directionOfSeparation ... END *)
+  | Lfor of for_header * layout_stmt list * Loc.t
+  | Lboundary of side * signal_ref list * Loc.t
+  | Lwhen of (const_expr * layout_stmt list) list * layout_stmt list * Loc.t
+  | Lwith of signal_ref * layout_stmt list * Loc.t
+
+let stmt_loc = function
+  | Sassign (_, _, loc)
+  | Salias (_, _, loc)
+  | Sconnect (_, _, loc)
+  | Sfor (_, _, _, loc)
+  | Swhen (_, _, loc)
+  | Sif (_, _, loc)
+  | Sresult (_, loc)
+  | Sparallel (_, loc)
+  | Ssequential (_, loc)
+  | Swith (_, _, loc) -> loc
+
+let expr_loc = function
+  | Eref (Star loc) -> loc
+  | Eref (Sig (id, _)) -> id.id_loc
+  | Ecall (_, _, _, loc) -> loc
+  | Ebin (_, _, loc) -> loc
+  | Econst sc -> sig_const_loc sc
+  | Estar (_, loc) -> loc
+  | Etuple (_, loc) -> loc
+
+let signal_ref_loc = function
+  | Star loc -> loc
+  | Sig (id, _) -> id.id_loc
+
+let layout_stmt_loc = function
+  | Lcell (_, _, loc)
+  | Lreplace (_, _, _, loc)
+  | Lorder (_, _, loc)
+  | Lfor (_, _, loc)
+  | Lboundary (_, _, loc)
+  | Lwhen (_, _, loc)
+  | Lwith (_, _, loc) -> loc
+
+(* A Zeus program ("Hardware") is a sequence of declarations. *)
+type program = decl list
+
+(* Names of the eight legal directions of separation (section 6.2). *)
+let directions_of_separation =
+  [
+    "toptobottom";
+    "bottomtotop";
+    "lefttoright";
+    "righttoleft";
+    "toplefttobottomright";
+    "bottomrighttotopleft";
+    "toprighttobottomleft";
+    "bottomlefttotopright";
+  ]
+
+(* Names of the seven legal orientation changes (section 6.3): all
+   elements of the dihedral group except the identity. *)
+let orientation_changes =
+  [ "rotate90"; "rotate180"; "rotate270"; "flip0"; "flip45"; "flip90"; "flip135" ]

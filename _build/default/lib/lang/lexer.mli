@@ -1,0 +1,18 @@
+(** Hand-written lexer for the Zeus vocabulary (report section 2):
+    identifiers, decimal numbers with an optional [B]/[b] octal suffix,
+    the special symbols, the reserved words, and nestable [<* ... *>]
+    comments.  Lexical errors are recorded in the bag and lexing
+    continues. *)
+
+open Zeus_base
+
+type state
+
+val create : ?bag:Diag.Bag.t -> string -> state
+
+(** Next token; returns [Token.Eof] forever at end of input. *)
+val next : state -> Token.located
+
+(** Lex the whole input into an array ending in [Token.Eof] — the parser
+    backtracks by index into this array. *)
+val tokenize : ?bag:Diag.Bag.t -> string -> Token.located array

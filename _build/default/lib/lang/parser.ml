@@ -1,0 +1,902 @@
+(* Recursive-descent parser for Zeus (report section 7 EBNF, main and
+   layout syntax).
+
+   The parser works over the full token array produced by [Lexer.tokenize]
+   and backtracks by index where the printed grammar is ambiguous (numeric
+   constant vs. signal constant).  Parse failures raise [Fail] internally;
+   the public entry points convert them to diagnostics. *)
+
+open Zeus_base
+
+exception Fail of Loc.t * string
+
+type state = {
+  toks : Token.located array;
+  mutable idx : int;
+  bag : Diag.Bag.t;
+}
+
+let fail st fmt =
+  let loc = st.toks.(st.idx).Token.loc in
+  Fmt.kstr (fun msg -> raise (Fail (loc, msg))) fmt
+
+let peek st = st.toks.(st.idx).Token.tok
+
+let peek2 st =
+  if st.idx + 1 < Array.length st.toks then st.toks.(st.idx + 1).Token.tok
+  else Token.Eof
+
+let here st = st.toks.(st.idx).Token.loc
+
+let prev_loc st =
+  if st.idx > 0 then st.toks.(st.idx - 1).Token.loc else Loc.dummy
+
+let advance st = if st.idx + 1 < Array.length st.toks then st.idx <- st.idx + 1
+
+let eat st tok =
+  if peek st = tok then advance st
+  else
+    fail st "expected '%s' but found '%s'" (Token.to_string tok)
+      (Token.to_string (peek st))
+
+let eat_keyword st k = eat st (Token.Keyword k)
+
+let accept st tok =
+  if peek st = tok then (
+    advance st;
+    true)
+  else false
+
+let accept_keyword st k = accept st (Token.Keyword k)
+
+let parse_ident st =
+  match peek st with
+  | Token.Ident s ->
+      let loc = here st in
+      advance st;
+      { Ast.id = s; id_loc = loc }
+  | t -> fail st "expected identifier, found '%s'" (Token.to_string t)
+
+let parse_idlist st =
+  let rec loop acc =
+    let id = parse_ident st in
+    if accept st Token.Comma then loop (id :: acc) else List.rev (id :: acc)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Constant expressions                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_const_expr st =
+  let lhs = parse_simple_const st in
+  let rel =
+    match peek st with
+    | Token.Eq -> Some Ast.Ceq
+    | Token.Neq -> Some Ast.Cneq
+    | Token.Lt -> Some Ast.Clt
+    | Token.Le -> Some Ast.Cle
+    | Token.Gt -> Some Ast.Cgt
+    | Token.Ge -> Some Ast.Cge
+    | _ -> None
+  in
+  match rel with
+  | None -> lhs
+  | Some r ->
+      advance st;
+      let rhs = parse_simple_const st in
+      Ast.Crel (r, lhs, rhs)
+
+and parse_simple_const st =
+  let sign =
+    if accept st Token.Plus then Some Ast.Cpos
+    else if accept st Token.Minus then Some Ast.Cneg
+    else None
+  in
+  let first = parse_const_term st in
+  let first =
+    match sign with
+    | None -> first
+    | Some op -> Ast.Cun (op, first)
+  in
+  let rec loop lhs =
+    let op =
+      match peek st with
+      | Token.Plus -> Some Ast.Cadd
+      | Token.Minus -> Some Ast.Csub
+      | Token.Keyword Token.KOR -> Some Ast.Cor
+      | _ -> None
+    in
+    match op with
+    | None -> lhs
+    | Some op ->
+        advance st;
+        let rhs = parse_const_term st in
+        loop (Ast.Cbin (op, lhs, rhs))
+  in
+  loop first
+
+and parse_const_term st =
+  let rec loop lhs =
+    let op =
+      match peek st with
+      | Token.Star -> Some Ast.Cmul
+      | Token.Keyword Token.KDIV -> Some Ast.Cdiv
+      | Token.Keyword Token.KMOD -> Some Ast.Cmod
+      | Token.Keyword Token.KAND -> Some Ast.Cand
+      | _ -> None
+    in
+    match op with
+    | None -> lhs
+    | Some op ->
+        advance st;
+        let rhs = parse_const_factor st in
+        loop (Ast.Cbin (op, lhs, rhs))
+  in
+  loop (parse_const_factor st)
+
+and parse_const_factor st =
+  match peek st with
+  | Token.Number n ->
+      let loc = here st in
+      advance st;
+      Ast.Cnum (n, loc)
+  | Token.Lparen ->
+      advance st;
+      let e = parse_const_expr st in
+      eat st Token.Rparen;
+      e
+  | Token.Keyword Token.KNOT ->
+      advance st;
+      Ast.Cun (Ast.Cnot, parse_const_factor st)
+  | Token.Ident _ ->
+      let id = parse_ident st in
+      let args =
+        if peek st = Token.Lparen then (
+          advance st;
+          let rec loop acc =
+            let e = parse_const_expr st in
+            (* the grammar separates const arguments with ';' but the
+               examples also suggest ','; accept both *)
+            if accept st Token.Semi || accept st Token.Comma then
+              loop (e :: acc)
+            else List.rev (e :: acc)
+          in
+          let args = loop [] in
+          eat st Token.Rparen;
+          args)
+        else []
+      in
+      Ast.Cref (id, args)
+  | t -> fail st "expected constant expression, found '%s'" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Signal constants                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_sig_const st =
+  match peek st with
+  | Token.Number ((0 | 1) as n) ->
+      let loc = here st in
+      advance st;
+      Ast.Sc_value (n, loc)
+  | Token.Keyword Token.KBIN ->
+      let loc = here st in
+      advance st;
+      eat st Token.Lparen;
+      let a = parse_const_expr st in
+      eat st Token.Comma;
+      let b = parse_const_expr st in
+      eat st Token.Rparen;
+      Ast.Sc_bin (a, b, Loc.merge loc (prev_loc st))
+  | Token.Ident _ -> Ast.Sc_ref (parse_ident st)
+  | Token.Lparen ->
+      let loc = here st in
+      advance st;
+      let rec loop acc =
+        let e = parse_sig_const st in
+        if accept st Token.Comma then loop (e :: acc) else List.rev (e :: acc)
+      in
+      let elems = loop [] in
+      eat st Token.Rparen;
+      Ast.Sc_tuple (elems, Loc.merge loc (prev_loc st))
+  | t -> fail st "expected signal constant, found '%s'" (Token.to_string t)
+
+(* constant = ConstExpression | sigConstExpression : try the numeric
+   reading first and backtrack to the signal-constant reading. *)
+let parse_constant st =
+  let saved = st.idx in
+  match
+    let e = parse_const_expr st in
+    (* the constant must extend to the declaration terminator *)
+    if peek st = Token.Semi then Some (Ast.Knum e) else None
+  with
+  | Some k -> k
+  | None | (exception Fail _) ->
+      st.idx <- saved;
+      Ast.Ksig (parse_sig_const st)
+
+(* ------------------------------------------------------------------ *)
+(* Signals                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rec parse_signal_ref st =
+  match peek st with
+  | Token.Star ->
+      let loc = here st in
+      advance st;
+      Ast.Star loc
+  | Token.Ident _ -> parse_named_signal st
+  | Token.Keyword Token.KCLK ->
+      let loc = here st in
+      advance st;
+      Ast.Sig ({ Ast.id = "CLK"; id_loc = loc }, [])
+  | Token.Keyword Token.KRSET ->
+      let loc = here st in
+      advance st;
+      Ast.Sig ({ Ast.id = "RSET"; id_loc = loc }, [])
+  | t -> fail st "expected signal, found '%s'" (Token.to_string t)
+
+and parse_named_signal st =
+  let id = parse_ident st in
+  let rec selectors acc =
+    match peek st with
+    | Token.Lbracket ->
+        advance st;
+        let acc = parse_bracket_selectors st acc in
+        selectors acc
+    | Token.Dot -> (
+        (* ".." must not be confused with a field selector *)
+        match peek2 st with
+        | Token.Ident _ ->
+            advance st;
+            let f = parse_ident st in
+            if peek st = Token.Dotdot && peek2 st <> Token.Lbracket then (
+              advance st;
+              let g = parse_ident st in
+              selectors (Ast.Sel_field_range (f, g) :: acc))
+            else selectors (Ast.Sel_field f :: acc)
+        | _ -> List.rev acc)
+    | _ -> List.rev acc
+  in
+  Ast.Sig (id, selectors [])
+
+(* inside "[...]": one or more comma-separated index/range/NUM selectors
+   (the comma form covers the multi-dimensional arrays of section 6.4) *)
+and parse_bracket_selectors st acc =
+  let rec loop acc =
+    let sel =
+      match peek st with
+      | Token.Keyword Token.KNUM ->
+          advance st;
+          eat st Token.Lparen;
+          let s = parse_signal_ref st in
+          eat st Token.Rparen;
+          Ast.Sel_num s
+      | _ ->
+          let lo = parse_const_expr st in
+          if accept st Token.Dotdot then
+            let hi = parse_const_expr st in
+            Ast.Sel_range (lo, hi)
+          else Ast.Sel_index lo
+    in
+    if accept st Token.Comma then loop (sel :: acc) else sel :: acc
+  in
+  let acc = loop acc in
+  eat st Token.Rbracket;
+  acc
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Can this selector list serve as the bracketed type parameters of a
+   function component call, e.g. plus[n](a,b)? *)
+let selectors_as_params sels =
+  let param = function
+    | Ast.Sel_index e -> Some e
+    | Ast.Sel_range _ | Ast.Sel_num _ | Ast.Sel_field _
+    | Ast.Sel_field_range _ -> None
+  in
+  let rec loop acc = function
+    | [] -> Some (List.rev acc)
+    | s :: rest -> (
+        match param s with
+        | Some e -> loop (e :: acc) rest
+        | None -> None)
+  in
+  loop [] sels
+
+let rec parse_expr st =
+  match peek st with
+  | Token.Keyword Token.KNOT ->
+      (* NOT binds to a single primary: NOT g, NOT ace.out *)
+      let loc = here st in
+      advance st;
+      let arg = parse_expr_primary st in
+      Ast.Ecall
+        ( { Ast.id = "NOT"; id_loc = loc },
+          [],
+          [ arg ],
+          Loc.merge loc (Ast.expr_loc arg) )
+  | _ -> parse_expr_primary st
+
+and parse_expr_primary st =
+  match peek st with
+  | Token.Number ((0 | 1) as n) ->
+      let loc = here st in
+      advance st;
+      Ast.Econst (Ast.Sc_value (n, loc))
+  | Token.Number _ -> fail st "only 0 and 1 are signal values"
+  | Token.Keyword Token.KBIN ->
+      let loc = here st in
+      advance st;
+      eat st Token.Lparen;
+      let a = parse_const_expr st in
+      eat st Token.Comma;
+      let b = parse_const_expr st in
+      eat st Token.Rparen;
+      Ast.Ebin (a, b, Loc.merge loc (prev_loc st))
+  | Token.Keyword Token.KAND -> parse_builtin_call st "AND"
+  | Token.Keyword Token.KOR -> parse_builtin_call st "OR"
+  | Token.Keyword (Token.KCLK | Token.KRSET) -> Ast.Eref (parse_signal_ref st)
+  | Token.Star ->
+      let loc = here st in
+      advance st;
+      let width =
+        if accept st Token.Colon then Some (parse_const_expr st) else None
+      in
+      Ast.Estar (width, Loc.merge loc (prev_loc st))
+  | Token.Lparen ->
+      let loc = here st in
+      advance st;
+      let rec loop acc =
+        let e = parse_expr st in
+        if accept st Token.Comma then loop (e :: acc) else List.rev (e :: acc)
+      in
+      let elems = loop [] in
+      eat st Token.Rparen;
+      let loc = Loc.merge loc (prev_loc st) in
+      (match elems with
+      | [ e ] -> e (* grouping parentheses *)
+      | es -> Ast.Etuple (es, loc))
+  | Token.Ident _ -> (
+      let sref = parse_named_signal st in
+      match (sref, peek st) with
+      | Ast.Sig (id, sels), Token.Lparen -> (
+          match selectors_as_params sels with
+          | Some params ->
+              let args = parse_call_args st in
+              Ast.Ecall
+                (id, params, args, Loc.merge id.Ast.id_loc (prev_loc st))
+          | None ->
+              fail st
+                "'%s' is applied to arguments but its bracket selectors are \
+                 not constant type parameters"
+                id.Ast.id)
+      | _ -> Ast.Eref sref)
+  | t -> fail st "expected expression, found '%s'" (Token.to_string t)
+
+and parse_call_args st =
+  eat st Token.Lparen;
+  if accept st Token.Rparen then []
+  else
+    let rec loop acc =
+      let e = parse_expr st in
+      if accept st Token.Comma then loop (e :: acc) else List.rev (e :: acc)
+    in
+    let args = loop [] in
+    eat st Token.Rparen;
+    args
+
+and parse_builtin_call st name =
+  let loc = here st in
+  advance st;
+  let args = parse_call_args st in
+  Ast.Ecall ({ Ast.id = name; id_loc = loc }, [], args, Loc.merge loc (prev_loc st))
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let statement_terminator st =
+  match peek st with
+  | Token.Keyword
+      ( Token.KEND | Token.KELSE | Token.KELSIF | Token.KOTHERWISE
+      | Token.KOTHERWISEWHEN )
+  | Token.Eof | Token.Rbrace -> true
+  | _ -> false
+
+let rec parse_stmt_seq st =
+  let rec loop acc =
+    if statement_terminator st then List.rev acc
+    else if accept st Token.Semi then loop acc (* empty statement *)
+    else
+      let s = parse_stmt st in
+      let acc = s :: acc in
+      if accept st Token.Semi then loop acc
+      else if statement_terminator st then List.rev acc
+      else fail st "expected ';' between statements"
+  in
+  loop []
+
+and parse_stmt st =
+  match peek st with
+  | Token.Keyword Token.KFOR -> parse_for st
+  | Token.Keyword Token.KWHEN -> parse_when st
+  | Token.Keyword Token.KIF -> parse_if st
+  | Token.Keyword Token.KRESULT ->
+      let loc = here st in
+      advance st;
+      let e = parse_expr st in
+      Ast.Sresult (e, Loc.merge loc (Ast.expr_loc e))
+  | Token.Keyword Token.KPARALLEL ->
+      let loc = here st in
+      advance st;
+      let body = parse_stmt_seq st in
+      eat_keyword st Token.KEND;
+      Ast.Sparallel (body, Loc.merge loc (prev_loc st))
+  | Token.Keyword Token.KSEQUENTIAL ->
+      let loc = here st in
+      advance st;
+      let body = parse_stmt_seq st in
+      eat_keyword st Token.KEND;
+      Ast.Ssequential (body, Loc.merge loc (prev_loc st))
+  | Token.Keyword Token.KWITH ->
+      let loc = here st in
+      advance st;
+      let s = parse_signal_ref st in
+      eat_keyword st Token.KDO;
+      let body = parse_stmt_seq st in
+      eat_keyword st Token.KEND;
+      Ast.Swith (s, body, Loc.merge loc (prev_loc st))
+  | Token.Ident _ | Token.Star | Token.Keyword (Token.KCLK | Token.KRSET) ->
+      parse_signal_stmt st
+  | t -> fail st "expected statement, found '%s'" (Token.to_string t)
+
+(* assignment, aliasing or connection — they all start with a signal *)
+and parse_signal_stmt st =
+  let sref = parse_signal_ref st in
+  let loc0 = Ast.signal_ref_loc sref in
+  match peek st with
+  | Token.Assign ->
+      advance st;
+      let e = parse_expr st in
+      Ast.Sassign (sref, e, Loc.merge loc0 (prev_loc st))
+  | Token.Alias ->
+      advance st;
+      let e = parse_expr st in
+      Ast.Salias (sref, e, Loc.merge loc0 (prev_loc st))
+  | Token.Lparen ->
+      let args = parse_call_args st in
+      Ast.Sconnect (sref, args, Loc.merge loc0 (prev_loc st))
+  | t ->
+      fail st "expected ':=', '==' or '(' after signal, found '%s'"
+        (Token.to_string t)
+
+and parse_for_header st ~layout =
+  let fvar = parse_ident st in
+  (* the main grammar uses ":=", the layout examples of section 6.4 use
+     "="; accept "=" in layout position only *)
+  if peek st = Token.Assign then advance st
+  else if layout && peek st = Token.Eq then advance st
+  else eat st Token.Assign;
+  let ffrom = parse_const_expr st in
+  let fdir =
+    if accept_keyword st Token.KTO then Ast.To
+    else if accept_keyword st Token.KDOWNTO then Ast.Downto
+    else fail st "expected TO or DOWNTO"
+  in
+  let fto = parse_const_expr st in
+  { Ast.fvar; ffrom; fdir; fto }
+
+and parse_for st =
+  let loc = here st in
+  eat_keyword st Token.KFOR;
+  let header = parse_for_header st ~layout:false in
+  eat_keyword st Token.KDO;
+  let sequentially = accept_keyword st Token.KSEQUENTIALLY in
+  let body = parse_stmt_seq st in
+  eat_keyword st Token.KEND;
+  Ast.Sfor (header, sequentially, body, Loc.merge loc (prev_loc st))
+
+and parse_when st =
+  let loc = here st in
+  eat_keyword st Token.KWHEN;
+  let rec arms acc =
+    let cond = parse_const_expr st in
+    eat_keyword st Token.KTHEN;
+    let body = parse_stmt_seq st in
+    let acc = (cond, body) :: acc in
+    if accept_keyword st Token.KOTHERWISEWHEN then arms acc
+    else (List.rev acc, if accept_keyword st Token.KOTHERWISE then parse_stmt_seq st else [])
+  in
+  let arms, otherwise = arms [] in
+  eat_keyword st Token.KEND;
+  Ast.Swhen (arms, otherwise, Loc.merge loc (prev_loc st))
+
+and parse_if st =
+  let loc = here st in
+  eat_keyword st Token.KIF;
+  let rec arms acc =
+    let cond = parse_expr st in
+    eat_keyword st Token.KTHEN;
+    let body = parse_stmt_seq st in
+    let acc = (cond, body) :: acc in
+    if accept_keyword st Token.KELSIF then arms acc
+    else (List.rev acc, if accept_keyword st Token.KELSE then parse_stmt_seq st else [])
+  in
+  let arms, else_ = arms [] in
+  eat_keyword st Token.KEND;
+  Ast.Sif (arms, else_, Loc.merge loc (prev_loc st))
+
+(* ------------------------------------------------------------------ *)
+(* Layout language                                                      *)
+(* ------------------------------------------------------------------ *)
+
+and layout_terminator st =
+  match peek st with
+  | Token.Rbrace | Token.Eof
+  | Token.Keyword (Token.KEND | Token.KOTHERWISE | Token.KOTHERWISEWHEN) ->
+      true
+  | _ -> false
+
+and parse_layout_list st =
+  let rec loop acc =
+    if layout_terminator st then List.rev acc
+    else if accept st Token.Semi then loop acc
+    else
+      let s = parse_layout_stmt st in
+      let acc = s :: acc in
+      if accept st Token.Semi then loop acc
+      else if layout_terminator st then List.rev acc
+      else fail st "expected ';' between layout statements"
+  in
+  loop []
+
+and parse_layout_stmt st =
+  match peek st with
+  | Token.Keyword Token.KORDER ->
+      let loc = here st in
+      advance st;
+      let dir = parse_ident st in
+      if not (List.mem dir.Ast.id Ast.directions_of_separation) then
+        fail st "'%s' is not a direction of separation" dir.Ast.id;
+      let body = parse_layout_list st in
+      eat_keyword st Token.KEND;
+      Ast.Lorder (dir, body, Loc.merge loc (prev_loc st))
+  | Token.Keyword Token.KFOR ->
+      let loc = here st in
+      advance st;
+      let header = parse_for_header st ~layout:true in
+      eat_keyword st Token.KDO;
+      let body = parse_layout_list st in
+      eat_keyword st Token.KEND;
+      Ast.Lfor (header, body, Loc.merge loc (prev_loc st))
+  | Token.Keyword Token.KWHEN ->
+      let loc = here st in
+      advance st;
+      let rec arms acc =
+        let cond = parse_const_expr st in
+        eat_keyword st Token.KTHEN;
+        let body = parse_layout_list st in
+        let acc = (cond, body) :: acc in
+        if accept_keyword st Token.KOTHERWISEWHEN then arms acc
+        else
+          ( List.rev acc,
+            if accept_keyword st Token.KOTHERWISE then parse_layout_list st
+            else [] )
+      in
+      let arms, otherwise = arms [] in
+      eat_keyword st Token.KEND;
+      Ast.Lwhen (arms, otherwise, Loc.merge loc (prev_loc st))
+  | Token.Keyword Token.KWITH ->
+      let loc = here st in
+      advance st;
+      let s = parse_signal_ref st in
+      eat_keyword st Token.KDO;
+      let body = parse_layout_list st in
+      eat_keyword st Token.KEND;
+      Ast.Lwith (s, body, Loc.merge loc (prev_loc st))
+  | Token.Keyword ((Token.KTOP | Token.KRIGHT | Token.KBOTTOM | Token.KLEFT) as k)
+    ->
+      let loc = here st in
+      advance st;
+      let side =
+        match k with
+        | Token.KTOP -> Ast.Side_top
+        | Token.KRIGHT -> Ast.Side_right
+        | Token.KBOTTOM -> Ast.Side_bottom
+        | Token.KLEFT -> Ast.Side_left
+        | _ -> assert false
+      in
+      (* pins on this side: signal refs separated by ';' as long as the
+         next token can start a signal *)
+      let rec pins acc =
+        let s = parse_signal_ref st in
+        let acc = s :: acc in
+        match (peek st, peek2 st) with
+        | Token.Semi, (Token.Ident _ | Token.Star) ->
+            advance st;
+            pins acc
+        | _ -> List.rev acc
+      in
+      let refs = pins [] in
+      Ast.Lboundary (side, refs, Loc.merge loc (prev_loc st))
+  | Token.Ident _ ->
+      let loc = here st in
+      (* optional orientation change followed by a signal *)
+      let orient =
+        match (peek st, peek2 st) with
+        | Token.Ident name, (Token.Ident _ | Token.Keyword (Token.KCLK | Token.KRSET))
+          when List.mem name Ast.orientation_changes ->
+            advance st;
+            Some { Ast.id = name; id_loc = loc }
+        | _ -> None
+      in
+      let sref = parse_signal_ref st in
+      if accept st Token.Eq then
+        let ty = parse_type st in
+        Ast.Lreplace (orient, sref, ty, Loc.merge loc (prev_loc st))
+      else Ast.Lcell (orient, sref, Loc.merge loc (prev_loc st))
+  | t -> fail st "expected layout statement, found '%s'" (Token.to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                                *)
+(* ------------------------------------------------------------------ *)
+
+and parse_type st =
+  match peek st with
+  | Token.Keyword Token.KARRAY ->
+      let loc = here st in
+      advance st;
+      eat st Token.Lbracket;
+      (* ARRAY [a..b {, c..d}] OF t : the comma form is the
+         multi-dimensional sugar of section 6.4 *)
+      let rec ranges acc =
+        let lo = parse_const_expr st in
+        eat st Token.Dotdot;
+        let hi = parse_const_expr st in
+        let acc = (lo, hi) :: acc in
+        if accept st Token.Comma then ranges acc else List.rev acc
+      in
+      let ranges = ranges [] in
+      eat st Token.Rbracket;
+      eat_keyword st Token.KOF;
+      let elem = parse_type st in
+      let loc = Loc.merge loc (prev_loc st) in
+      List.fold_right
+        (fun (lo, hi) inner -> Ast.Tarray (lo, hi, inner, loc))
+        ranges elem
+  | Token.Keyword Token.KCOMPONENT -> parse_component_type st
+  | Token.Ident _ ->
+      let id = parse_ident st in
+      let args =
+        if peek st = Token.Lparen then (
+          advance st;
+          let rec loop acc =
+            let e = parse_const_expr st in
+            if accept st Token.Comma then loop (e :: acc)
+            else List.rev (e :: acc)
+          in
+          let args = loop [] in
+          eat st Token.Rparen;
+          args)
+        else []
+      in
+      Ast.Tname (id, args)
+  | t -> fail st "expected type, found '%s'" (Token.to_string t)
+
+and parse_component_type st =
+  let loc = here st in
+  eat_keyword st Token.KCOMPONENT;
+  eat st Token.Lparen;
+  let cparams =
+    if peek st = Token.Rparen then []
+    else
+      let rec loop acc =
+        let p = parse_fparams st in
+        if accept st Token.Semi then loop (p :: acc) else List.rev (p :: acc)
+      in
+      loop []
+  in
+  eat st Token.Rparen;
+  let chead_layout =
+    if accept st Token.Lbrace then (
+      let l = parse_layout_list st in
+      eat st Token.Rbrace;
+      l)
+    else []
+  in
+  let cresult =
+    if accept st Token.Colon then Some (parse_type st) else None
+  in
+  let cbody =
+    if accept_keyword st Token.KIS then Some (parse_component_body st)
+    else None
+  in
+  (match (cresult, cbody) with
+  | Some _, None -> fail st "function component type requires a body"
+  | _ -> ());
+  Ast.Tcomponent
+    ( { Ast.cparams; chead_layout; cresult; cbody },
+      Loc.merge loc (prev_loc st) )
+
+and parse_fparams st =
+  let fmode =
+    if accept_keyword st Token.KIN then Ast.Min
+    else if accept_keyword st Token.KOUT then Ast.Mout
+    else Ast.Minout
+  in
+  let fnames = parse_idlist st in
+  eat st Token.Colon;
+  let fty = parse_type st in
+  { Ast.fmode; fnames; fty }
+
+and parse_component_body st =
+  let buses =
+    if accept_keyword st Token.KUSES then (
+      let ids =
+        if peek st = Token.Semi then [] else parse_idlist st
+      in
+      eat st Token.Semi;
+      Some ids)
+    else None
+  in
+  let rec decls acc =
+    match peek st with
+    | Token.Keyword (Token.KCONST | Token.KTYPE | Token.KSIGNAL) ->
+        decls (parse_decl st :: acc)
+    | _ -> List.rev acc
+  in
+  let bdecls = decls [] in
+  let bbody_layout =
+    if accept st Token.Lbrace then (
+      let l = parse_layout_list st in
+      eat st Token.Rbrace;
+      l)
+    else []
+  in
+  eat_keyword st Token.KBEGIN;
+  let bstmts = parse_stmt_seq st in
+  eat_keyword st Token.KEND;
+  { Ast.buses; bdecls; bbody_layout; bstmts }
+
+(* ------------------------------------------------------------------ *)
+(* Declarations                                                         *)
+(* ------------------------------------------------------------------ *)
+
+and parse_decl st =
+  match peek st with
+  | Token.Keyword Token.KCONST ->
+      advance st;
+      let rec loop acc =
+        match peek st with
+        | Token.Ident _ ->
+            let id = parse_ident st in
+            eat st Token.Eq;
+            let c = parse_constant st in
+            eat st Token.Semi;
+            loop ((id, c) :: acc)
+        | _ -> List.rev acc
+      in
+      Ast.Dconst (loop [])
+  | Token.Keyword Token.KTYPE ->
+      advance st;
+      let rec loop acc =
+        match (peek st, peek2 st) with
+        | Token.Ident _, (Token.Eq | Token.Lparen) ->
+            let tname = parse_ident st in
+            let tformals =
+              if accept st Token.Lparen then (
+                let ids = parse_idlist st in
+                eat st Token.Rparen;
+                ids)
+              else []
+            in
+            eat st Token.Eq;
+            let tty = parse_type st in
+            eat st Token.Semi;
+            loop ({ Ast.tname; tformals; tty } :: acc)
+        | _ -> List.rev acc
+      in
+      Ast.Dtype (loop [])
+  | Token.Keyword Token.KSIGNAL ->
+      advance st;
+      let rec loop acc =
+        match (peek st, peek2 st) with
+        | Token.Ident _, (Token.Comma | Token.Colon) ->
+            let ids = parse_idlist st in
+            eat st Token.Colon;
+            let ty = parse_type st in
+            (* signalDeclaration allows trailing "(actuals)"; Tname
+               already consumed them, but handle the detached form too *)
+            let ty =
+              if peek st = Token.Lparen then
+                match ty with
+                | Ast.Tname (id, []) ->
+                    advance st;
+                    let rec args acc =
+                      let e = parse_const_expr st in
+                      if accept st Token.Comma then args (e :: acc)
+                      else List.rev (e :: acc)
+                    in
+                    let actuals = args [] in
+                    eat st Token.Rparen;
+                    Ast.Tname (id, actuals)
+                | _ -> fail st "type parameters after a non-named type"
+              else ty
+            in
+            eat st Token.Semi;
+            loop ((ids, ty) :: acc)
+        | _ -> List.rev acc
+      in
+      Ast.Dsignal (loop [])
+  | t -> fail st "expected CONST, TYPE or SIGNAL, found '%s'" (Token.to_string t)
+
+(* Error recovery: on a failed declaration, record the diagnostic and
+   skip to the next CONST/TYPE/SIGNAL keyword (balancing nothing — those
+   keywords never occur inside statement parts except in component-local
+   declarations, which is a harmless resync point). *)
+let skip_to_next_decl st =
+  let rec go () =
+    match peek st with
+    | Token.Eof -> ()
+    | Token.Keyword (Token.KCONST | Token.KTYPE | Token.KSIGNAL) -> ()
+    | _ ->
+        advance st;
+        go ()
+  in
+  advance st;
+  go ()
+
+let parse_program st =
+  let rec loop acc =
+    match peek st with
+    | Token.Eof -> List.rev acc
+    | _ -> (
+        match parse_decl st with
+        | d -> loop (d :: acc)
+        | exception Fail (loc, msg) ->
+            Diag.Bag.error st.bag Diag.Parse_error loc "%s" msg;
+            skip_to_next_decl st;
+            loop acc)
+  in
+  loop []
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let run bag src parse =
+  let toks = Lexer.tokenize ~bag src in
+  let st = { toks; idx = 0; bag } in
+  match parse st with
+  | v -> if Diag.Bag.has_errors bag then None else Some v
+  | exception Fail (loc, msg) ->
+      Diag.Bag.error bag Diag.Parse_error loc "%s" msg;
+      None
+
+let program ?(bag = Diag.Bag.create ()) src = (run bag src parse_program, bag)
+
+let expression ?(bag = Diag.Bag.create ()) src =
+  (run bag src (fun st ->
+       let e = parse_expr st in
+       eat st Token.Eof;
+       e),
+   bag)
+
+let constant_expression ?(bag = Diag.Bag.create ()) src =
+  (run bag src (fun st ->
+       let e = parse_const_expr st in
+       eat st Token.Eof;
+       e),
+   bag)
+
+(* Hierarchical path like "adder.s[2]" — used by the testbench API. *)
+let signal_reference ?(bag = Diag.Bag.create ()) src =
+  (run bag src (fun st ->
+       let s = parse_signal_ref st in
+       eat st Token.Eof;
+       s),
+   bag)

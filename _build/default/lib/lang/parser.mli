@@ -1,0 +1,23 @@
+(** Recursive-descent parser for Zeus, following the EBNF of report
+    section 7 (main syntax and layout-language syntax).
+
+    All entry points return [None] and a populated diagnostics bag when
+    the input does not parse. *)
+
+open Zeus_base
+
+(** Parse a whole program ({i Hardware = \{declaration\}}). *)
+val program :
+  ?bag:Diag.Bag.t -> string -> Ast.program option * Diag.Bag.t
+
+(** Parse a single expression (mainly for tests). *)
+val expression : ?bag:Diag.Bag.t -> string -> Ast.expr option * Diag.Bag.t
+
+(** Parse a constant expression (section 3.1 syntax). *)
+val constant_expression :
+  ?bag:Diag.Bag.t -> string -> Ast.const_expr option * Diag.Bag.t
+
+(** Parse a hierarchical path like ["adder.s[2]"] — the testbench API
+    uses this to address signals. *)
+val signal_reference :
+  ?bag:Diag.Bag.t -> string -> Ast.signal_ref option * Diag.Bag.t

@@ -1,0 +1,236 @@
+(* Pretty-printer: AST back to Zeus concrete syntax.  Used by the `pp`
+   subcommand of zeusc and by the parser round-trip tests. *)
+
+open Ast
+
+let cbinop_to_string = function
+  | Cadd -> "+"
+  | Csub -> "-"
+  | Cor -> "OR"
+  | Cmul -> "*"
+  | Cdiv -> "DIV"
+  | Cmod -> "MOD"
+  | Cand -> "AND"
+
+let crel_to_string = function
+  | Ceq -> "="
+  | Cneq -> "<>"
+  | Clt -> "<"
+  | Cle -> "<="
+  | Cgt -> ">"
+  | Cge -> ">="
+
+let rec pp_const_expr ppf = function
+  | Cnum (n, _) -> Fmt.int ppf n
+  | Cref (id, []) -> Fmt.string ppf id.id
+  | Cref (id, args) ->
+      Fmt.pf ppf "%s(%a)" id.id
+        Fmt.(list ~sep:(any ", ") pp_const_expr)
+        args
+  | Cbin (op, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_const_expr a (cbinop_to_string op)
+        pp_const_expr b
+  | Cun (Cneg, a) -> Fmt.pf ppf "(-%a)" pp_const_expr a
+  | Cun (Cpos, a) -> Fmt.pf ppf "(+%a)" pp_const_expr a
+  | Cun (Cnot, a) -> Fmt.pf ppf "(NOT %a)" pp_const_expr a
+  | Crel (r, a, b) ->
+      Fmt.pf ppf "(%a %s %a)" pp_const_expr a (crel_to_string r)
+        pp_const_expr b
+
+let rec pp_sig_const ppf = function
+  | Sc_value (n, _) -> Fmt.int ppf n
+  | Sc_ref id -> Fmt.string ppf id.id
+  | Sc_bin (a, b, _) ->
+      Fmt.pf ppf "BIN(%a,%a)" pp_const_expr a pp_const_expr b
+  | Sc_tuple (elems, _) ->
+      Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ",") pp_sig_const) elems
+
+let rec pp_selector ppf = function
+  | Sel_index e -> Fmt.pf ppf "[%a]" pp_const_expr e
+  | Sel_range (a, b) -> Fmt.pf ppf "[%a..%a]" pp_const_expr a pp_const_expr b
+  | Sel_num s -> Fmt.pf ppf "[NUM(%s)]" (signal_ref_to_string s)
+  | Sel_field f -> Fmt.pf ppf ".%s" f.id
+  | Sel_field_range (f, g) -> Fmt.pf ppf ".%s..%s" f.id g.id
+
+and signal_ref_to_string s = Fmt.str "%a" pp_signal_ref s
+
+and pp_signal_ref ppf = function
+  | Star _ -> Fmt.string ppf "*"
+  | Sig (id, sels) ->
+      Fmt.string ppf id.id;
+      List.iter (pp_selector ppf) sels
+
+let rec pp_expr ppf = function
+  | Eref s -> pp_signal_ref ppf s
+  | Ecall (id, [], [ arg ], _) when id.id = "NOT" ->
+      Fmt.pf ppf "NOT %a" pp_expr arg
+  | Ecall (id, params, args, _) ->
+      Fmt.string ppf id.id;
+      if params <> [] then
+        Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ",") pp_const_expr) params;
+      Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ",") pp_expr) args
+  | Ebin (a, b, _) -> Fmt.pf ppf "BIN(%a,%a)" pp_const_expr a pp_const_expr b
+  | Econst sc -> pp_sig_const ppf sc
+  | Estar (None, _) -> Fmt.string ppf "*"
+  | Estar (Some w, _) -> Fmt.pf ppf "*:%a" pp_const_expr w
+  | Etuple (es, _) -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ",") pp_expr) es
+
+let pp_mode ppf = function
+  | Min -> Fmt.string ppf "IN "
+  | Mout -> Fmt.string ppf "OUT "
+  | Minout -> ()
+
+let pp_idlist ppf ids =
+  Fmt.(list ~sep:(any ",") (using (fun i -> i.id) string)) ppf ids
+
+let side_to_string = function
+  | Side_top -> "TOP"
+  | Side_right -> "RIGHT"
+  | Side_bottom -> "BOTTOM"
+  | Side_left -> "LEFT"
+
+let pp_for_header ppf h =
+  Fmt.pf ppf "FOR %s := %a %s %a" h.fvar.id pp_const_expr h.ffrom
+    (match h.fdir with To -> "TO" | Downto -> "DOWNTO")
+    pp_const_expr h.fto
+
+let rec pp_ty ppf = function
+  | Tname (id, []) -> Fmt.string ppf id.id
+  | Tname (id, args) ->
+      Fmt.pf ppf "%s(%a)" id.id Fmt.(list ~sep:(any ",") pp_const_expr) args
+  | Tarray (lo, hi, elem, _) ->
+      Fmt.pf ppf "ARRAY [%a..%a] OF %a" pp_const_expr lo pp_const_expr hi
+        pp_ty elem
+  | Tcomponent (c, _) -> pp_component ppf c
+
+and pp_component ppf c =
+  Fmt.pf ppf "@[<v 2>COMPONENT (%a)"
+    Fmt.(list ~sep:(any "; ") pp_fparam)
+    c.cparams;
+  if c.chead_layout <> [] then
+    Fmt.pf ppf "@ { %a }" pp_layout_list c.chead_layout;
+  Option.iter (fun ty -> Fmt.pf ppf " : %a" pp_ty ty) c.cresult;
+  (match c.cbody with
+  | None -> ()
+  | Some b ->
+      Fmt.pf ppf " IS@ ";
+      (match b.buses with
+      | None -> ()
+      | Some ids -> Fmt.pf ppf "USES %a;@ " pp_idlist ids);
+      List.iter (fun d -> Fmt.pf ppf "%a@ " pp_decl d) b.bdecls;
+      if b.bbody_layout <> [] then
+        Fmt.pf ppf "{ %a }@ " pp_layout_list b.bbody_layout;
+      Fmt.pf ppf "@[<v 2>BEGIN@ %a@]@ END" pp_stmts b.bstmts);
+  Fmt.pf ppf "@]"
+
+and pp_fparam ppf p =
+  Fmt.pf ppf "%a%a: %a" pp_mode p.fmode pp_idlist p.fnames pp_ty p.fty
+
+and pp_stmts ppf stmts = Fmt.(list ~sep:(any ";@ ") pp_stmt) ppf stmts
+
+and pp_stmt ppf = function
+  | Sassign (s, e, _) -> Fmt.pf ppf "%a := %a" pp_signal_ref s pp_expr e
+  | Salias (s, e, _) -> Fmt.pf ppf "%a == %a" pp_signal_ref s pp_expr e
+  | Sconnect (s, args, _) ->
+      Fmt.pf ppf "%a(%a)" pp_signal_ref s Fmt.(list ~sep:(any ",") pp_expr) args
+  | Sfor (h, seq, body, _) ->
+      Fmt.pf ppf "@[<v 2>%a DO%s@ %a@]@ END" pp_for_header h
+        (if seq then " SEQUENTIALLY" else "")
+        pp_stmts body
+  | Swhen (arms, otherwise, _) ->
+      List.iteri
+        (fun i (c, body) ->
+          Fmt.pf ppf "@[<v 2>%s %a THEN@ %a@]@ "
+            (if i = 0 then "WHEN" else "OTHERWISEWHEN")
+            pp_const_expr c pp_stmts body)
+        arms;
+      if otherwise <> [] then
+        Fmt.pf ppf "@[<v 2>OTHERWISE@ %a@]@ " pp_stmts otherwise;
+      Fmt.string ppf "END"
+  | Sif (arms, else_, _) ->
+      List.iteri
+        (fun i (c, body) ->
+          Fmt.pf ppf "@[<v 2>%s %a THEN@ %a@]@ "
+            (if i = 0 then "IF" else "ELSIF")
+            pp_expr c pp_stmts body)
+        arms;
+      if else_ <> [] then Fmt.pf ppf "@[<v 2>ELSE@ %a@]@ " pp_stmts else_;
+      Fmt.string ppf "END"
+  | Sresult (e, _) -> Fmt.pf ppf "RESULT %a" pp_expr e
+  | Sparallel (body, _) ->
+      Fmt.pf ppf "@[<v 2>PARALLEL@ %a@]@ END" pp_stmts body
+  | Ssequential (body, _) ->
+      Fmt.pf ppf "@[<v 2>SEQUENTIAL@ %a@]@ END" pp_stmts body
+  | Swith (s, body, _) ->
+      Fmt.pf ppf "@[<v 2>WITH %a DO@ %a@]@ END" pp_signal_ref s pp_stmts body
+
+and pp_layout_list ppf l = Fmt.(list ~sep:(any ";@ ") pp_layout_stmt) ppf l
+
+and pp_layout_stmt ppf = function
+  | Lcell (orient, s, _) ->
+      Option.iter (fun o -> Fmt.pf ppf "%s " o.id) orient;
+      pp_signal_ref ppf s
+  | Lreplace (orient, s, ty, _) ->
+      Option.iter (fun o -> Fmt.pf ppf "%s " o.id) orient;
+      Fmt.pf ppf "%a = %a" pp_signal_ref s pp_ty ty
+  | Lorder (dir, body, _) ->
+      Fmt.pf ppf "@[<v 2>ORDER %s@ %a@]@ END" dir.id pp_layout_list body
+  | Lfor (h, body, _) ->
+      Fmt.pf ppf "@[<v 2>%a DO@ %a@]@ END" pp_for_header h pp_layout_list body
+  | Lboundary (side, refs, _) ->
+      Fmt.pf ppf "%s %a" (side_to_string side)
+        Fmt.(list ~sep:(any ";") pp_signal_ref)
+        refs
+  | Lwhen (arms, otherwise, _) ->
+      List.iteri
+        (fun i (c, body) ->
+          Fmt.pf ppf "@[<v 2>%s %a THEN@ %a@]@ "
+            (if i = 0 then "WHEN" else "OTHERWISEWHEN")
+            pp_const_expr c pp_layout_list body)
+        arms;
+      if otherwise <> [] then
+        Fmt.pf ppf "@[<v 2>OTHERWISE@ %a@]@ " pp_layout_list otherwise;
+      Fmt.string ppf "END"
+  | Lwith (s, body, _) ->
+      Fmt.pf ppf "@[<v 2>WITH %a DO@ %a@]@ END" pp_signal_ref s
+        pp_layout_list body
+
+and pp_constant ppf = function
+  | Knum e -> pp_const_expr ppf e
+  | Ksig sc -> pp_sig_const ppf sc
+
+and pp_decl ppf = function
+  | Dconst entries ->
+      Fmt.pf ppf "@[<v 2>CONST@ %a@]"
+        Fmt.(
+          list ~sep:(any "@ ") (fun ppf (id, c) ->
+              pf ppf "%s = %a;" id.Ast.id pp_constant c))
+        entries
+  | Dtype defs ->
+      Fmt.pf ppf "@[<v 2>TYPE@ %a@]"
+        Fmt.(
+          list ~sep:(any "@ ") (fun ppf d ->
+              pf ppf "%s%a = %a;" d.tname.id
+                (fun ppf -> function
+                  | [] -> ()
+                  | ids -> pf ppf "(%a)" pp_idlist ids)
+                d.tformals pp_ty d.tty))
+        defs
+  | Dsignal entries ->
+      Fmt.pf ppf "@[<v 2>SIGNAL@ %a@]"
+        Fmt.(
+          list ~sep:(any "@ ") (fun ppf (ids, ty) ->
+              pf ppf "%a: %a;" pp_idlist ids pp_ty ty))
+        entries
+
+let pp_program ppf prog = Fmt.(list ~sep:(any "@ @ ") pp_decl) ppf prog
+
+let program_to_string prog = Fmt.str "@[<v>%a@]" pp_program prog
+
+let expr_to_string e = Fmt.str "%a" pp_expr e
+
+let const_expr_to_string e = Fmt.str "%a" pp_const_expr e
+
+let ty_to_string t = Fmt.str "@[<v>%a@]" pp_ty t
+
+let stmt_to_string s = Fmt.str "@[<v>%a@]" pp_stmt s

@@ -1,0 +1,21 @@
+(** Pretty-printer from the AST back to Zeus concrete syntax.  The output
+    re-parses to an identical tree (a property pinned by the round-trip
+    tests). *)
+
+open Ast
+
+val pp_const_expr : const_expr Fmt.t
+val pp_sig_const : sig_const Fmt.t
+val pp_signal_ref : signal_ref Fmt.t
+val pp_expr : expr Fmt.t
+val pp_ty : ty Fmt.t
+val pp_stmt : stmt Fmt.t
+val pp_layout_stmt : layout_stmt Fmt.t
+val pp_decl : decl Fmt.t
+val pp_program : program Fmt.t
+
+val program_to_string : program -> string
+val expr_to_string : expr -> string
+val const_expr_to_string : const_expr -> string
+val ty_to_string : ty -> string
+val stmt_to_string : stmt -> string

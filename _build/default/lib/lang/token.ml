@@ -1,0 +1,161 @@
+(* Tokens of the Zeus vocabulary (report section 2). *)
+
+type keyword =
+  | KAND
+  | KARRAY
+  | KBEGIN
+  | KBIN
+  | KBOTTOM
+  | KCLK
+  | KCOMPONENT
+  | KCONST
+  | KDIV
+  | KDO
+  | KDOWNTO
+  | KELSE
+  | KELSIF
+  | KEND
+  | KFOR
+  | KIF
+  | KIN
+  | KIS
+  | KLEFT
+  | KMOD
+  | KNOT
+  | KNUM
+  | KOF
+  | KOR
+  | KORDER
+  | KOTHERWISE
+  | KOTHERWISEWHEN
+  | KOUT
+  | KPARALLEL
+  | KRSET
+  | KRESULT
+  | KRIGHT
+  | KSEQUENTIAL
+  | KSEQUENTIALLY
+  | KSIGNAL
+  | KTHEN
+  | KTO
+  | KTOP
+  | KTYPE
+  | KUSES
+  | KWHEN
+  | KWITH
+
+type t =
+  | Ident of string
+  | Number of int
+  | Keyword of keyword
+  | Plus
+  | Minus
+  | Lparen
+  | Rparen
+  | Lbracket
+  | Rbracket
+  | Lbrace
+  | Rbrace
+  | Dot
+  | Dotdot
+  | Comma
+  | Semi
+  | Colon
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Eq (* "=" : declarations, replacement, const relation *)
+  | Neq (* "<>" *)
+  | Assign (* ":=" *)
+  | Alias (* "==" *)
+  | Star (* "*" : unspecified pin / multiplication *)
+  | Eof
+
+type located = {
+  tok : t;
+  loc : Zeus_base.Loc.t;
+}
+
+let keyword_table : (string * keyword) list =
+  [
+    ("AND", KAND);
+    ("ARRAY", KARRAY);
+    ("BEGIN", KBEGIN);
+    ("BIN", KBIN);
+    ("BOTTOM", KBOTTOM);
+    ("CLK", KCLK);
+    ("COMPONENT", KCOMPONENT);
+    ("CONST", KCONST);
+    ("DIV", KDIV);
+    ("DO", KDO);
+    ("DOWNTO", KDOWNTO);
+    ("ELSE", KELSE);
+    ("ELSIF", KELSIF);
+    ("END", KEND);
+    ("FOR", KFOR);
+    ("IF", KIF);
+    ("IN", KIN);
+    ("IS", KIS);
+    ("LEFT", KLEFT);
+    ("MOD", KMOD);
+    ("NOT", KNOT);
+    ("NUM", KNUM);
+    ("OF", KOF);
+    ("OR", KOR);
+    ("ORDER", KORDER);
+    ("OTHERWISE", KOTHERWISE);
+    ("OTHERWISEWHEN", KOTHERWISEWHEN);
+    ("OUT", KOUT);
+    ("PARALLEL", KPARALLEL);
+    ("RSET", KRSET);
+    ("RESULT", KRESULT);
+    ("RIGHT", KRIGHT);
+    ("SEQUENTIAL", KSEQUENTIAL);
+    ("SEQUENTIALLY", KSEQUENTIALLY);
+    ("SIGNAL", KSIGNAL);
+    ("THEN", KTHEN);
+    ("TO", KTO);
+    ("TOP", KTOP);
+    ("TYPE", KTYPE);
+    ("USES", KUSES);
+    ("WHEN", KWHEN);
+    ("WITH", KWITH);
+  ]
+
+let keyword_of_string s = List.assoc_opt s keyword_table
+
+let keyword_to_string k =
+  match List.find_opt (fun (_, k') -> k' = k) keyword_table with
+  | Some (s, _) -> s
+  | None -> assert false
+
+let to_string = function
+  | Ident s -> s
+  | Number n -> string_of_int n
+  | Keyword k -> keyword_to_string k
+  | Plus -> "+"
+  | Minus -> "-"
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Lbracket -> "["
+  | Rbracket -> "]"
+  | Lbrace -> "{"
+  | Rbrace -> "}"
+  | Dot -> "."
+  | Dotdot -> ".."
+  | Comma -> ","
+  | Semi -> ";"
+  | Colon -> ":"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Eq -> "="
+  | Neq -> "<>"
+  | Assign -> ":="
+  | Alias -> "=="
+  | Star -> "*"
+  | Eof -> "<eof>"
+
+let pp ppf t = Fmt.string ppf (to_string t)

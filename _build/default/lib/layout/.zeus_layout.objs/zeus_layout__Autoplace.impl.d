@@ -1,0 +1,1 @@
+lib/layout/autoplace.ml: Array Check Elaborate Etype Floorplan Geom Hashtbl List Netlist Option String Zeus_sem

@@ -1,0 +1,1 @@
+lib/layout/autoplace.mli: Elaborate Floorplan Zeus_sem

@@ -1,0 +1,1 @@
+lib/layout/floorplan.ml: Elaborate Geom Hashtbl Layout_ir List Netlist Zeus_sem

@@ -1,0 +1,1 @@
+lib/layout/floorplan.mli: Elaborate Geom Layout_ir Netlist Zeus_sem

@@ -1,0 +1,1 @@
+lib/layout/geom.ml: Fmt Layout_ir Zeus_sem

@@ -1,0 +1,1 @@
+lib/layout/geom.mli: Fmt Layout_ir Zeus_sem

@@ -1,0 +1,1 @@
+lib/layout/render.ml: Array Buffer Floorplan Fmt Geom List Printf String Zeus_sem

@@ -1,0 +1,17 @@
+(** Automatic placement — the "input language to a silicon compiler"
+    application of report section 9, in miniature: instances are
+    levelized by the combinational depth of their input pins and placed
+    column-per-level.  Results share {!Floorplan.plan}, so the renderer
+    and the wirelength estimator apply to both explicit and automatic
+    layouts. *)
+
+open Zeus_sem
+
+(** Dataflow placement of the leaf instances under a top-level signal;
+    [None] if there is no such instance or nothing to place. *)
+val place : Elaborate.design -> string -> Floorplan.plan option
+
+(** Estimated total Manhattan wirelength (in half layout units) over all
+    driver and gate edges whose endpoints are pins of two different
+    placed instances. *)
+val wirelength : Elaborate.design -> Floorplan.plan -> int

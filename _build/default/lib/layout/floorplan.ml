@@ -1,0 +1,213 @@
+(* The floorplanner: interprets the per-instance placement trees
+   (Layout_ir) recorded during elaboration.
+
+   Semantics of section 6: each ORDER (and replication) statement defines
+   a bounding rectangle containing its components; "x1 lefttoright x2"
+   means x1's bounding box lies strictly left of x2's, and similarly for
+   the other seven directions.  We realise the minimal packing: children
+   are stacked edge-to-edge along the direction, centred on the cross
+   axis for straight directions, and offset in both axes for the
+   diagonal ones.
+
+   An instance without layout information is a unit cell (1x1): Zeus is
+   metric-free, so relative areas — e.g. the H-tree's linear area, the
+   experiment of E3 — are what the model preserves. *)
+
+open Zeus_sem
+
+type placement = {
+  iid : int;
+  path : string;
+  type_name : string;
+  rect : Geom.rect;
+  orient : Layout_ir.orientation option;
+  leaf : bool; (* no placed children of its own *)
+}
+
+type plan = {
+  top_iid : int;
+  top_path : string;
+  width : int;
+  height : int;
+  cells : placement list; (* leaf-level placed cells, absolute coords *)
+  boundary_pins : (Layout_ir.side * string) list;
+}
+
+(* size of one instance: its layout's bounding box, or 1x1 *)
+let rec instance_size design iid =
+  match Hashtbl.find_opt design.Elaborate.layouts iid with
+  | None | Some [] -> (1, 1)
+  | Some items ->
+      let w, h, _ = pack_list design Layout_ir.Left_to_right items in
+      (max w 1, max h 1)
+
+(* pack a list of layout items along [dir]; returns (w, h, children)
+   where children are placements relative to the box origin *)
+and pack_list design dir items =
+  let sized =
+    List.filter_map
+      (fun item ->
+        match item with
+        | Layout_ir.Boundary _ -> None
+        | Layout_ir.Cell (orient, iid) ->
+            let sz = Geom.oriented_size orient (instance_size design iid) in
+            Some (sz, `Cell (orient, iid))
+        | Layout_ir.Order (d, sub) ->
+            let w, h, kids = pack_list design d sub in
+            Some ((w, h), `Group kids))
+      items
+  in
+  let horiz dxsel dysel =
+    (* generic stacking: each child advances by dxsel/dysel of its size *)
+    let x = ref 0 and y = ref 0 and maxw = ref 0 and maxh = ref 0 in
+    let placed =
+      List.map
+        (fun ((w, h), payload) ->
+          let px = !x and py = !y in
+          x := !x + dxsel (w, h);
+          y := !y + dysel (w, h);
+          maxw := max !maxw (px + w);
+          maxh := max !maxh (py + h);
+          (px, py, (w, h), payload))
+        sized
+    in
+    (!maxw, !maxh, placed)
+  in
+  let w, h, placed =
+    match dir with
+    | Layout_ir.Left_to_right | Layout_ir.Right_to_left ->
+        horiz (fun (w, _) -> w) (fun _ -> 0)
+    | Layout_ir.Top_to_bottom | Layout_ir.Bottom_to_top ->
+        horiz (fun _ -> 0) (fun (_, h) -> h)
+    | Layout_ir.Topleft_to_bottomright | Layout_ir.Bottomright_to_topleft
+    | Layout_ir.Topright_to_bottomleft | Layout_ir.Bottomleft_to_topright ->
+        horiz (fun (w, _) -> w) (fun (_, h) -> h)
+  in
+  (* the "reversed" directions lay out the same boxes mirrored *)
+  let mirror_x = (dir = Layout_ir.Right_to_left
+                  || dir = Layout_ir.Bottomright_to_topleft
+                  || dir = Layout_ir.Topright_to_bottomleft) in
+  let mirror_y = (dir = Layout_ir.Bottom_to_top
+                  || dir = Layout_ir.Bottomright_to_topleft
+                  || dir = Layout_ir.Bottomleft_to_topright) in
+  let placed =
+    List.map
+      (fun (px, py, (cw, ch), payload) ->
+        let px = if mirror_x then w - px - cw else px in
+        let py = if mirror_y then h - py - ch else py in
+        (px, py, (cw, ch), payload))
+      placed
+  in
+  let children =
+    List.concat_map
+      (fun (px, py, (cw, ch), payload) ->
+        match payload with
+        | `Cell (orient, iid) ->
+            [ (Geom.rect ~x:px ~y:py ~w:cw ~h:ch, orient, Some iid) ]
+        | `Group kids ->
+            List.map
+              (fun (r, o, i) -> (Geom.translate r ~dx:px ~dy:py, o, i))
+              kids)
+      placed
+  in
+  (w, h, children)
+
+(* absolute placements of every cell under [iid], recursively descending
+   into placed children *)
+let rec place design nl iid ~origin ~orient acc =
+  match Hashtbl.find_opt design.Elaborate.layouts iid with
+  | None | Some [] -> acc
+  | Some items ->
+      let _, _, children = pack_list design Layout_ir.Left_to_right items in
+      List.fold_left
+        (fun acc (r, o, child) ->
+          match child with
+          | None -> acc
+          | Some cid ->
+              let inst =
+                List.find
+                  (fun (i : Netlist.instance) -> i.Netlist.iid = cid)
+                  (Netlist.instances nl)
+              in
+              let ox, oy = origin in
+              let rect = Geom.translate r ~dx:ox ~dy:oy in
+              let o = Geom.compose orient o in
+              let leaf =
+                match Hashtbl.find_opt design.Elaborate.layouts cid with
+                | None | Some [] -> true
+                | Some items ->
+                    not
+                      (List.exists
+                         (function
+                           | Layout_ir.Boundary _ -> false
+                           | Layout_ir.Cell _ | Layout_ir.Order _ -> true)
+                         items)
+              in
+              let acc =
+                {
+                  iid = cid;
+                  path = inst.Netlist.ipath;
+                  type_name = inst.Netlist.itype;
+                  rect;
+                  orient = o;
+                  leaf;
+                }
+                :: acc
+              in
+              place design nl cid ~origin:(rect.Geom.x, rect.Geom.y) ~orient:o
+                acc)
+        acc children
+
+let boundary_pins design iid =
+  match Hashtbl.find_opt design.Elaborate.layouts iid with
+  | None -> []
+  | Some items ->
+      List.concat_map
+        (function
+          | Layout_ir.Boundary (side, pins) ->
+              List.map (fun (name, _) -> (side, name)) pins
+          | _ -> [])
+        items
+
+let of_instance design (inst : Netlist.instance) =
+  let nl = design.Elaborate.netlist in
+  let iid = inst.Netlist.iid in
+  let w, h = instance_size design iid in
+  {
+    top_iid = iid;
+    top_path = inst.Netlist.ipath;
+    width = w;
+    height = h;
+    cells = List.rev (place design nl iid ~origin:(0, 0) ~orient:None []);
+    boundary_pins = boundary_pins design iid;
+  }
+
+(* plan for a top-level signal by name *)
+let of_design design name =
+  let nl = design.Elaborate.netlist in
+  match
+    List.find_opt
+      (fun (i : Netlist.instance) -> i.Netlist.ipath = name)
+      (Netlist.instances nl)
+  with
+  | Some inst -> Some (of_instance design inst)
+  | None -> None
+
+let area plan = plan.width * plan.height
+
+(* no two placed leaf cells may overlap — the structural invariant of
+   the order semantics (non-leaf boxes legitimately contain their own
+   children) *)
+let overlaps plan =
+  let leaves = List.filter (fun c -> c.leaf) plan.cells in
+  let rec pairs = function
+    | [] -> []
+    | c :: rest ->
+        List.filter_map
+          (fun c' ->
+            if Geom.overlap c.rect c'.rect then Some (c.path, c'.path)
+            else None)
+          rest
+        @ pairs rest
+  in
+  pairs leaves

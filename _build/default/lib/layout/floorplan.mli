@@ -1,0 +1,44 @@
+(** The floorplanner: interprets the per-instance placement trees
+    recorded during elaboration (report section 6).
+
+    Each ORDER statement stacks its children edge-to-edge along its
+    direction of separation; instances without layout information are
+    unit cells.  Since the language is metric-free, what the model
+    preserves is relative structure and asymptotic area — e.g. the
+    H-tree's linear area, experiment E3. *)
+
+open Zeus_sem
+
+type placement = {
+  iid : int;
+  path : string;
+  type_name : string;
+  rect : Geom.rect; (** absolute, in layout units *)
+  orient : Layout_ir.orientation option; (** accumulated orientation *)
+  leaf : bool; (** no placed children of its own *)
+}
+
+type plan = {
+  top_iid : int;
+  top_path : string;
+  width : int;
+  height : int;
+  cells : placement list; (** all placed instances, recursively *)
+  boundary_pins : (Layout_ir.side * string) list;
+}
+
+(** Floorplan of one instance. *)
+val of_instance : Elaborate.design -> Netlist.instance -> plan
+
+(** Floorplan of a top-level signal by name; [None] if there is no such
+    instance. *)
+val of_design : Elaborate.design -> string -> plan option
+
+(** Bounding-box size of an instance (1x1 for leaf cells). *)
+val instance_size : Elaborate.design -> int -> int * int
+
+val area : plan -> int
+
+(** Pairs of placed {e leaf} cells whose rectangles overlap — must be
+    empty for a well-formed layout. *)
+val overlaps : plan -> (string * string) list

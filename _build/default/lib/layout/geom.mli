@@ -1,0 +1,37 @@
+(** Rectangles and the dihedral-group orientation changes of report
+    section 6.3.  Zeus layout is metric-free — cells are unit rectangles
+    composed by bounding boxes — so integer coordinates suffice. *)
+
+open Zeus_sem
+
+type rect = {
+  x : int;
+  y : int; (** y grows downward, like the report's figures *)
+  w : int;
+  h : int;
+}
+
+val rect : x:int -> y:int -> w:int -> h:int -> rect
+val area : rect -> int
+val right : rect -> int
+val bottom : rect -> int
+val translate : rect -> dx:int -> dy:int -> rect
+
+(** Smallest rectangle containing both. *)
+val union : rect -> rect -> rect
+
+(** Strict interior overlap (sharing an edge is not overlap). *)
+val overlap : rect -> rect -> bool
+
+val pp : rect Fmt.t
+
+(** Bounding-box size after an orientation change: quarter turns and
+    diagonal mirrors transpose width and height. *)
+val oriented_size : Layout_ir.orientation option -> int * int -> int * int
+
+(** Composition in the dihedral group D4; [None] is the identity.
+    [compose a b] applies [b] first, then [a]. *)
+val compose :
+  Layout_ir.orientation option ->
+  Layout_ir.orientation option ->
+  Layout_ir.orientation option

@@ -1,0 +1,41 @@
+(* ASCII rendering of floorplans, for the CLI and the layout examples. *)
+
+let cell_char (p : Floorplan.placement) =
+  match p.Floorplan.type_name with
+  | "" -> '?'
+  | t -> t.[0]
+
+(* Draw leaf cells (cells with no placed children of their own) into a
+   character grid.  One grid character per layout unit. *)
+let to_string (plan : Floorplan.plan) =
+  let w = max plan.Floorplan.width 1 and h = max plan.Floorplan.height 1 in
+  if w > 400 || h > 400 then
+    Fmt.str "<floorplan %dx%d too large to draw>" w h
+  else begin
+    let grid = Array.make_matrix h w '.' in
+    List.iter
+      (fun (p : Floorplan.placement) ->
+        let r = p.Floorplan.rect in
+        if Geom.area r = 1 then begin
+          let x = r.Geom.x and y = r.Geom.y in
+          if x >= 0 && x < w && y >= 0 && y < h then
+            grid.(y).(x) <- cell_char p
+        end)
+      plan.Floorplan.cells;
+    let buf = Buffer.create ((w + 1) * h) in
+    Buffer.add_string buf
+      (Printf.sprintf "%s: %dx%d (area %d, %d cells)\n" plan.Floorplan.top_path
+         w h (Floorplan.area plan)
+         (List.length plan.Floorplan.cells));
+    Array.iter
+      (fun row ->
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    List.iter
+      (fun (side, pin) ->
+        Buffer.add_string buf
+          (Printf.sprintf "pin %s: %s\n" (Zeus_sem.Layout_ir.side_to_string side) pin))
+      plan.Floorplan.boundary_pins;
+    Buffer.contents buf
+  end

@@ -1,0 +1,5 @@
+(** ASCII rendering of floorplans: one character per layout unit, leaf
+    cells drawn with the initial of their type name, plus a header line
+    and the boundary pins. *)
+
+val to_string : Floorplan.plan -> string

@@ -1,0 +1,1 @@
+lib/sem/check.ml: Array Diag Elaborate Etype Hashtbl List Loc Netlist Option String Zeus_base

@@ -1,0 +1,1 @@
+lib/sem/check.mli: Elaborate Netlist

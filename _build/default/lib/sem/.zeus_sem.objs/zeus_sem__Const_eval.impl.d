@@ -1,0 +1,1 @@
+lib/sem/const_eval.ml: Ast Cval Fmt List Loc Logic Zeus_base Zeus_lang

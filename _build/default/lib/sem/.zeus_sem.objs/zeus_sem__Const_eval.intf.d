@@ -1,0 +1,1 @@
+lib/sem/const_eval.mli: Ast Cval Loc Zeus_base Zeus_lang

@@ -1,0 +1,1 @@
+lib/sem/cval.ml: Fmt List Logic Zeus_base

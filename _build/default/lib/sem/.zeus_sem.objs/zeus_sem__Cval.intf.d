@@ -1,0 +1,1 @@
+lib/sem/cval.mli: Fmt Logic Zeus_base

@@ -1,0 +1,1 @@
+lib/sem/elaborate.ml: Array Ast Const_eval Cval Diag Etype Fmt Hashtbl Layout_ir List Loc Logic Map Netlist Option Printf String Zeus_base Zeus_lang

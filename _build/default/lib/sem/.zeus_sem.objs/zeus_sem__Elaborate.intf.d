@@ -1,0 +1,1 @@
+lib/sem/elaborate.mli: Ast Cval Diag Etype Hashtbl Layout_ir Loc Map Netlist Zeus_base Zeus_lang

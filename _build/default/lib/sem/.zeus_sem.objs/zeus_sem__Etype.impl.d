@@ -1,0 +1,1 @@
+lib/sem/etype.ml: Fmt List Printf Zeus_lang

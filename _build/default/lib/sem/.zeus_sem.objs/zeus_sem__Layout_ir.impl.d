@@ -1,0 +1,1 @@
+lib/sem/layout_ir.ml:

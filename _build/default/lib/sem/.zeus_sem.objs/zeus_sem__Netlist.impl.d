@@ -1,0 +1,1 @@
+lib/sem/netlist.ml: Array Etype Fmt Hashtbl List Loc Logic Option Zeus_base

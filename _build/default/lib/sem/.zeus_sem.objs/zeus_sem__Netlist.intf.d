@@ -1,0 +1,1 @@
+lib/sem/netlist.mli: Etype Loc Logic Zeus_base

@@ -1,0 +1,1 @@
+lib/sem/optimize.ml: Array Check Elaborate Etype Fmt List Logic Netlist Option String Zeus_base

@@ -1,0 +1,1 @@
+lib/sem/optimize.mli: Elaborate Fmt

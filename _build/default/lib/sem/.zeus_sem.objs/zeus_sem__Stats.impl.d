@@ -1,0 +1,1 @@
+lib/sem/stats.ml: Array Check Etype Fmt Hashtbl List Netlist Option String

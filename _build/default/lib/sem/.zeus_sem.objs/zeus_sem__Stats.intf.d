@@ -1,0 +1,1 @@
+lib/sem/stats.mli: Fmt Netlist

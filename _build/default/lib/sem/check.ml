@@ -1,0 +1,270 @@
+(* Post-elaboration static checks (sections 4.1, 4.5, 4.7, 8):
+
+   - single-assignment discipline per alias class: at most one
+     unconditional driver, never both conditional and unconditional,
+     no unconditional ':=' to an aliased boolean;
+   - no combinational feedback: every cycle must pass through a REG;
+   - the unused-port rule: once any port of an instance is used, all its
+     other ports must be used, assigned or closed with '*';
+   - SEQUENTIAL/PARALLEL ordering constraints must be compatible with the
+     dataflow partial order;
+   - undriven nets that are read (everything except testbench inputs and
+     register outputs) get a warning: they read UNDEF forever. *)
+
+open Zeus_base
+
+type class_info = {
+  mutable members : int list;
+  mutable uncond : Netlist.driver list;
+  mutable cond : Netlist.driver list;
+}
+
+let class_table nl =
+  let tbl = Hashtbl.create 64 in
+  let info key =
+    match Hashtbl.find_opt tbl key with
+    | Some i -> i
+    | None ->
+        let i = { members = []; uncond = []; cond = [] } in
+        Hashtbl.add tbl key i;
+        i
+  in
+  let n = Netlist.net_count nl in
+  for id = 0 to n - 1 do
+    let i = info (Netlist.canonical nl id) in
+    i.members <- id :: i.members
+  done;
+  List.iter
+    (fun (d : Netlist.driver) ->
+      let i = info (Netlist.canonical nl d.Netlist.target) in
+      match d.Netlist.guard with
+      | None -> i.uncond <- d :: i.uncond
+      | Some _ -> i.cond <- d :: i.cond)
+    (Netlist.drivers nl);
+  tbl
+
+(* Dependency edges between canonical nets: src -> dst means the value of
+   dst needs src.  REG breaks the cycle (no edge rout -> rin). *)
+let dependency_graph nl =
+  let n = Netlist.net_count nl in
+  let adj = Array.make n [] in
+  let add_edge src dst =
+    match src with
+    | Netlist.Sconst _ -> ()
+    | Netlist.Snet s ->
+        let s = Netlist.canonical nl s and d = Netlist.canonical nl dst in
+        if s <> d then adj.(s) <- d :: adj.(s)
+  in
+  List.iter
+    (fun (d : Netlist.driver) ->
+      add_edge d.Netlist.source d.Netlist.target;
+      Option.iter (fun g -> add_edge g d.Netlist.target) d.Netlist.guard)
+    (Netlist.drivers nl);
+  List.iter
+    (fun (g : Netlist.gate) ->
+      List.iter (fun i -> add_edge i g.Netlist.output) g.Netlist.inputs)
+    (Netlist.gates nl);
+  adj
+
+(* --------------------------------------------------------------- *)
+
+let check_assignment_discipline bag nl tbl =
+  Hashtbl.iter
+    (fun _key (i : class_info) ->
+      let name id = (Netlist.net nl id).Netlist.name in
+      (match i.uncond with
+      | d1 :: d2 :: _ ->
+          Diag.Bag.error bag Diag.Assign_error d2.Netlist.dloc
+            "'%s' is unconditionally assigned more than once (also at %a) — \
+             this could connect power to ground"
+            (name d1.Netlist.target) Loc.pp d1.Netlist.dloc
+      | _ -> ());
+      (match (i.uncond, i.cond) with
+      | d :: _, c :: _ ->
+          Diag.Bag.error bag Diag.Assign_error c.Netlist.dloc
+            "'%s' is assigned both conditionally and unconditionally \
+             (unconditional assignment at %a)"
+            (name d.Netlist.target) Loc.pp d.Netlist.dloc
+      | _ -> ());
+      (* boolean aliased with '==' must not also get an unconditional ':=' *)
+      if List.length i.members > 1 then
+        List.iter
+          (fun (d : Netlist.driver) ->
+            let net = Netlist.net nl d.Netlist.target in
+            if net.Netlist.kind = Etype.KBool then
+              Diag.Bag.error bag Diag.Assign_error d.Netlist.dloc
+                "boolean '%s' is aliased with '==' and also unconditionally \
+                 assigned with ':='"
+                net.Netlist.name)
+          i.uncond)
+    tbl
+
+let check_cycles bag nl adj =
+  (* iterative DFS with colouring; report one representative cycle per
+     strongly connected region we stumble into *)
+  let n = Array.length adj in
+  let colour = Array.make n 0 in
+  (* 0 white, 1 grey, 2 black *)
+  let parent = Array.make n (-1) in
+  let reported = ref 0 in
+  let report_cycle v u =
+    (* cycle: u -> ... -> v -> u along parent links of v *)
+    if !reported < 5 then begin
+      incr reported;
+      let rec collect acc x =
+        if x = u || x = -1 then x :: acc else collect (x :: acc) parent.(x)
+      in
+      let path = collect [] v in
+      let names =
+        List.map (fun id -> (Netlist.net nl id).Netlist.name) (u :: List.tl path)
+      in
+      Diag.Bag.error bag Diag.Cycle_error (Netlist.net nl u).Netlist.loc
+        "combinational feedback loop (no REG on the path): %s"
+        (String.concat " -> " (names @ [ List.hd names ]))
+    end
+  in
+  let rec dfs v =
+    colour.(v) <- 1;
+    List.iter
+      (fun w ->
+        if colour.(w) = 0 then begin
+          parent.(w) <- v;
+          dfs w
+        end
+        else if colour.(w) = 1 then report_cycle v w)
+      adj.(v);
+    colour.(v) <- 2
+  in
+  for v = 0 to n - 1 do
+    if colour.(v) = 0 && Netlist.canonical nl v = v then dfs v
+  done
+
+let check_unused_ports bag nl _tbl =
+  (* "used or assigned" means used by the *surrounding* component: only
+     touches from a scope other than the instance itself count (the
+     instance's own body always reads its IN and drives its OUT pins) *)
+  let net_used iid id =
+    let net = Netlist.net nl id in
+    List.exists (fun scope -> scope <> iid) net.Netlist.touched
+  in
+  List.iter
+    (fun (inst : Netlist.instance) ->
+      if not inst.Netlist.is_function_call then begin
+        let iid = inst.Netlist.iid in
+        let port_used (_, _, nets) = List.exists (net_used iid) nets in
+        let ports = inst.Netlist.iports in
+        let used, unused = List.partition port_used ports in
+        (* ports with zero bits (empty arrays) never count as unused *)
+        let unused =
+          List.filter (fun (_, _, nets) -> nets <> []) unused
+        in
+        if used <> [] && unused <> [] then
+          Diag.Bag.error bag Diag.Port_error inst.Netlist.iloc
+            "instance '%s' of '%s': port(s) %s neither used nor assigned — \
+             close them explicitly with '*'"
+            inst.Netlist.ipath inst.Netlist.itype
+            (String.concat ", "
+               (List.map (fun (n, _, _) -> "'" ^ n ^ "'") unused))
+      end)
+    (Netlist.instances nl)
+
+let check_order_constraints bag nl adj =
+  let n = Array.length adj in
+  List.iter
+    (fun (loc, before, after) ->
+      (* the declared order says [before] executes first; it is wrong if
+         something written by [after] is needed (transitively) by
+         [before] *)
+      let target = Array.make n false in
+      List.iter (fun id -> target.(Netlist.canonical nl id) <- true) before;
+      let visited = Array.make n false in
+      let bad = ref None in
+      let rec dfs v =
+        if not visited.(v) && !bad = None then begin
+          visited.(v) <- true;
+          if target.(v) then bad := Some v
+          else List.iter dfs adj.(v)
+        end
+      in
+      List.iter
+        (fun id ->
+          let c = Netlist.canonical nl id in
+          if target.(c) then () else List.iter dfs adj.(c))
+        after;
+      match !bad with
+      | Some v ->
+          Diag.Bag.error bag Diag.Order_error loc
+            "SEQUENTIAL order is incompatible with the dataflow: '%s' is \
+             computed from a later statement's result"
+            (Netlist.net nl v).Netlist.name
+      | None -> ())
+    (Netlist.order_constraints nl)
+
+let check_undriven bag nl tbl ~top_inputs =
+  let reg_outs = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Netlist.reg) ->
+      Hashtbl.replace reg_outs (Netlist.canonical nl r.Netlist.rout) ())
+    (Netlist.regs nl);
+  (* gate outputs are produced by their gate, not by drivers *)
+  List.iter
+    (fun (g : Netlist.gate) ->
+      Hashtbl.replace reg_outs (Netlist.canonical nl g.Netlist.output) ())
+    (Netlist.gates nl);
+  let inputs = Hashtbl.create 16 in
+  List.iter (fun id -> Hashtbl.replace inputs (Netlist.canonical nl id) ()) top_inputs;
+  Hashtbl.iter
+    (fun key (i : class_info) ->
+      if
+        i.uncond = [] && i.cond = []
+        && (not (Hashtbl.mem reg_outs key))
+        && not (Hashtbl.mem inputs key)
+      then
+        let read_members =
+          List.filter
+            (fun id -> (Netlist.net nl id).Netlist.reads > 0)
+            i.members
+        in
+        match read_members with
+        | [] -> ()
+        | id :: _ ->
+            let net = Netlist.net nl id in
+            Diag.Bag.warning bag Diag.Assign_error net.Netlist.loc
+              "'%s' is read but never assigned — it reads UNDEF"
+              net.Netlist.name)
+    tbl
+
+(* Top-level testbench inputs: IN/INOUT pins of root instances, plus CLK
+   and RSET. *)
+let top_input_nets (design : Elaborate.design) =
+  let nl = design.Elaborate.netlist in
+  let roots =
+    List.filter
+      (fun (i : Netlist.instance) ->
+        not (String.contains i.Netlist.ipath '.'))
+      (Netlist.instances nl)
+  in
+  let pins =
+    List.concat_map
+      (fun (i : Netlist.instance) ->
+        List.concat_map
+          (fun (_, m, nets) ->
+            match m with
+            | Etype.In | Etype.Inout -> nets
+            | Etype.Out -> [])
+          i.Netlist.iports)
+      roots
+  in
+  design.Elaborate.clk_net :: design.Elaborate.rset_net :: pins
+
+let run (design : Elaborate.design) =
+  let bag = design.Elaborate.diags in
+  let nl = design.Elaborate.netlist in
+  let tbl = class_table nl in
+  let adj = dependency_graph nl in
+  check_assignment_discipline bag nl tbl;
+  check_cycles bag nl adj;
+  check_unused_ports bag nl tbl;
+  check_order_constraints bag nl adj;
+  check_undriven bag nl tbl ~top_inputs:(top_input_nets design);
+  not (Diag.Bag.has_errors bag)

@@ -1,0 +1,25 @@
+(** Post-elaboration static checks (report sections 4.1, 4.5, 4.7, 8):
+
+    - single-assignment discipline per alias class: at most one
+      unconditional driver, never both conditional and unconditional
+      assignments, no unconditional [:=] to an aliased boolean;
+    - no combinational feedback — every cycle must pass through a REG;
+    - the unused-port rule: once any port of an instance is used by its
+      surrounding component, every other port must be used, assigned or
+      closed with ['*'];
+    - SEQUENTIAL ordering must be compatible with the dataflow partial
+      order;
+    - undriven-but-read nets are warned about (they read UNDEF). *)
+
+(** Nets a testbench may drive: CLK, RSET and the IN/INOUT pins of the
+    top-level instances. *)
+val top_input_nets : Elaborate.design -> int list
+
+(** Dependency edges between canonical nets ([adj.(src)] lists the nets
+    whose value needs [src]); registers break cycles.  Exposed for the
+    simulator baselines and tests. *)
+val dependency_graph : Netlist.t -> int list array
+
+(** Run all checks, recording diagnostics in [design.diags].  Returns
+    [true] when no errors (warnings allowed). *)
+val run : Elaborate.design -> bool

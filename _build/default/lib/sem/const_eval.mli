@@ -1,0 +1,23 @@
+(** Evaluation of Modula-2-style constant expressions and of signal
+    constant expressions (report section 3.1).  Identifier lookup is
+    delegated to the caller, so the elaborator can resolve FOR variables,
+    type formals and declared constants with its own scoping. *)
+
+open Zeus_base
+open Zeus_lang
+
+exception Error of Loc.t * string
+
+type lookup = Ast.ident -> Cval.t option
+
+(** Includes the predefined functions min, max and odd (section 7).
+    @raise Error on undeclared names, division by zero, arity errors. *)
+val eval_int : lookup -> Ast.const_expr -> int
+
+(** WHEN conditions: non-zero is true. *)
+val eval_bool : lookup -> Ast.const_expr -> bool
+
+(** Signal constants: 0/1/UNDEF/NOINFL, named constants, BIN, tuples. *)
+val eval_sig_const : lookup -> Ast.sig_const -> Cval.sctree
+
+val eval_constant : lookup -> Ast.constant -> Cval.t

@@ -1,0 +1,87 @@
+(** Elaboration: Zeus AST to bit-level netlist (report sections 3-6).
+
+    Component types are expanded with their constant parameters
+    evaluated; instantiation is {e lazy} — a signal whose type is a
+    component with a body only becomes hardware the first time a
+    statement touches it ("this hardware is only generated if it is
+    used", section 4.2), which is what terminates recursive types.
+    Connection statements are translated to assignments per section 4.3,
+    IF statements to guard nets per section 8, and the layout sub-language
+    is recorded per instance as {!Layout_ir.t}. *)
+
+open Zeus_base
+open Zeus_lang
+
+(** Raised internally and converted to diagnostics by {!program}. *)
+exception Abort of Loc.t * string
+
+module SMap : Map.S with type key = string
+
+type binding =
+  | Bconst of Cval.t
+  | Btype of tydef
+  | Bsignal of sigval
+
+and tydef = {
+  td_name : string;
+  td_formals : string list;
+  td_ast : Ast.ty;
+  mutable td_env : env;
+}
+
+and env = binding SMap.t
+
+(** An elaborated signal: a tree of nets mirroring the declared type.
+    Instances stay unforced until used. *)
+and sigval =
+  | Vbit of int  (** a single net *)
+  | Varr of int * sigval array  (** low bound and elements *)
+  | Vrec of (string * Etype.mode * sigval) list
+  | Vinst of inst_slot
+  | Vvirt of virt_slot
+
+and inst_slot = {
+  slot_path : string;
+  mutable slot_state : slot_state;
+}
+
+and slot_state =
+  | Sthunk of (unit -> forced)
+  | Sforcing
+  | Sforced of forced
+
+and forced = {
+  f_ports : sigval;
+  f_iid : int;
+  f_result : int list;  (** RESULT nets of a function component *)
+}
+
+and virt_slot = {
+  virt_path : string;
+  mutable virt_repl : sigval option;
+  mutable virt_loc : Loc.t;
+}
+
+(** The elaborated design. *)
+type design = {
+  netlist : Netlist.t;
+  tops : (string * sigval) list;  (** top-level signal declarations *)
+  layouts : (int, Layout_ir.t) Hashtbl.t;  (** instance id -> placement *)
+  locals : (string, sigval) Hashtbl.t;
+      (** hierarchical path -> locally declared signal, for testbenches *)
+  clk_net : int;
+  rset_net : int;
+  diags : Diag.Bag.t;
+}
+
+(** Elaborate a parsed program.  Errors are recorded in the bag (and in
+    [design.diags]).  [eager] instantiates every component signal at its
+    declaration — an ablation switch that makes recursive designs
+    diverge; see experiment E10. *)
+val program : ?bag:Diag.Bag.t -> ?eager:bool -> Ast.program -> design
+
+(** Resolve a hierarchical path such as ["adder.add[2].cout"] to its
+    nets.  Ports resolve through instance interfaces; signals declared
+    inside component bodies resolve through [design.locals].  Only
+    static selectors are allowed. *)
+val resolve_path : design -> string -> (int list, string) result

@@ -1,0 +1,116 @@
+(* Elaborated (fully evaluated) signal types.
+
+   After constant evaluation a Zeus type is a nested structure of arrays
+   and records over the two basic types.  Component types *with a body*
+   never appear here — they elaborate to instances; their interface is the
+   record of their parameters. *)
+
+type kind =
+  | KBool
+  | KMux
+
+type mode =
+  | In
+  | Out
+  | Inout
+
+type t =
+  | Basic of kind
+  | Array of int * int * t (* lo, hi (inclusive), element *)
+  | Record of field list
+
+and field = {
+  fname : string;
+  fmode : mode;
+  fty : t;
+}
+
+let bool_t = Basic KBool
+
+let mux_t = Basic KMux
+
+let kind_to_string = function
+  | KBool -> "boolean"
+  | KMux -> "multiplex"
+
+let mode_to_string = function
+  | In -> "IN"
+  | Out -> "OUT"
+  | Inout -> "INOUT"
+
+let mode_of_ast = function
+  | Zeus_lang.Ast.Min -> In
+  | Zeus_lang.Ast.Mout -> Out
+  | Zeus_lang.Ast.Minout -> Inout
+
+(* Number of basic substructures — the "width" used by every structural
+   rule of section 4.7. *)
+let rec width = function
+  | Basic _ -> 1
+  | Array (lo, hi, elem) ->
+      let n = hi - lo + 1 in
+      if n <= 0 then 0 else n * width elem
+  | Record fields ->
+      List.fold_left (fun acc f -> acc + width f.fty) 0 fields
+
+let rec pp ppf = function
+  | Basic k -> Fmt.string ppf (kind_to_string k)
+  | Array (lo, hi, elem) -> Fmt.pf ppf "ARRAY [%d..%d] OF %a" lo hi pp elem
+  | Record fields ->
+      Fmt.pf ppf "COMPONENT (%a)"
+        Fmt.(
+          list ~sep:(any "; ") (fun ppf f ->
+              pf ppf "%s %s: %a" (mode_to_string f.fmode) f.fname pp f.fty))
+        fields
+
+let to_string t = Fmt.str "%a" pp t
+
+(* Substructure modes are inherited (section 3.2): an IN field of an
+   INOUT record is IN; an explicit field mode inside an IN record must
+   not contradict it. *)
+let combine_mode outer inner =
+  match (outer, inner) with
+  | Inout, m -> Some m
+  | m, Inout -> Some m
+  | In, In -> Some In
+  | Out, Out -> Some Out
+  | In, Out | Out, In -> None
+
+(* Enumerate the basic leaves in natural order: (path, inherited mode,
+   kind).  Paths are suffixes like "[2].in" appended to a prefix. *)
+let flatten ?(prefix = "") ?(mode = Inout) t =
+  (* [acc] is in reverse order; each leaf is prepended as it is visited *)
+  let rec go prefix mode t acc =
+    match t with
+    | Basic k -> (prefix, mode, k) :: acc
+    | Array (lo, hi, elem) ->
+        let acc = ref acc in
+        for i = lo to hi do
+          acc := go (Printf.sprintf "%s[%d]" prefix i) mode elem !acc
+        done;
+        !acc
+    | Record fields ->
+        List.fold_left
+          (fun acc f ->
+            let m =
+              match combine_mode mode f.fmode with
+              | Some m -> m
+              | None -> f.fmode (* contradiction reported during elaboration *)
+            in
+            go (prefix ^ "." ^ f.fname) m f.fty acc)
+          acc fields
+  in
+  List.rev (go prefix mode t [])
+
+let equal_shape a b =
+  let rec eq a b =
+    match (a, b) with
+    | Basic x, Basic y -> x = y
+    | Array (lo1, hi1, e1), Array (lo2, hi2, e2) ->
+        hi1 - lo1 = hi2 - lo2 && eq e1 e2
+    | Record f1, Record f2 ->
+        List.length f1 = List.length f2
+        && List.for_all2 (fun a b -> a.fname = b.fname && eq a.fty b.fty) f1 f2
+    | _ -> false
+  in
+  eq a b

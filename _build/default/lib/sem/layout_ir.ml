@@ -1,0 +1,84 @@
+(* Elaborated layout information (section 6), recorded per instance during
+   elaboration and consumed by the floorplan engine.
+
+   All FOR/WHEN/WITH constructs of the layout language are already
+   resolved; what remains is the placement tree over child instances. *)
+
+type orientation =
+  | Rotate90
+  | Rotate180
+  | Rotate270
+  | Flip0 (* mirror about the horizontal axis *)
+  | Flip45
+  | Flip90 (* mirror about the vertical axis *)
+  | Flip135
+
+let orientation_of_string = function
+  | "rotate90" -> Some Rotate90
+  | "rotate180" -> Some Rotate180
+  | "rotate270" -> Some Rotate270
+  | "flip0" -> Some Flip0
+  | "flip45" -> Some Flip45
+  | "flip90" -> Some Flip90
+  | "flip135" -> Some Flip135
+  | _ -> None
+
+let orientation_to_string = function
+  | Rotate90 -> "rotate90"
+  | Rotate180 -> "rotate180"
+  | Rotate270 -> "rotate270"
+  | Flip0 -> "flip0"
+  | Flip45 -> "flip45"
+  | Flip90 -> "flip90"
+  | Flip135 -> "flip135"
+
+type direction =
+  | Top_to_bottom
+  | Bottom_to_top
+  | Left_to_right
+  | Right_to_left
+  | Topleft_to_bottomright
+  | Bottomright_to_topleft
+  | Topright_to_bottomleft
+  | Bottomleft_to_topright
+
+let direction_of_string = function
+  | "toptobottom" -> Some Top_to_bottom
+  | "bottomtotop" -> Some Bottom_to_top
+  | "lefttoright" -> Some Left_to_right
+  | "righttoleft" -> Some Right_to_left
+  | "toplefttobottomright" -> Some Topleft_to_bottomright
+  | "bottomrighttotopleft" -> Some Bottomright_to_topleft
+  | "toprighttobottomleft" -> Some Topright_to_bottomleft
+  | "bottomlefttotopright" -> Some Bottomleft_to_topright
+  | _ -> None
+
+let direction_to_string = function
+  | Top_to_bottom -> "toptobottom"
+  | Bottom_to_top -> "bottomtotop"
+  | Left_to_right -> "lefttoright"
+  | Right_to_left -> "righttoleft"
+  | Topleft_to_bottomright -> "toplefttobottomright"
+  | Bottomright_to_topleft -> "bottomrighttotopleft"
+  | Topright_to_bottomleft -> "toprighttobottomleft"
+  | Bottomleft_to_topright -> "bottomlefttotopright"
+
+type side =
+  | Top
+  | Right
+  | Bottom
+  | Left
+
+let side_to_string = function
+  | Top -> "TOP"
+  | Right -> "RIGHT"
+  | Bottom -> "BOTTOM"
+  | Left -> "LEFT"
+
+(* The placement tree of one component instance. *)
+type item =
+  | Cell of orientation option * int (* child instance id *)
+  | Order of direction * item list
+  | Boundary of side * (string * int list) list (* pin name, its bit nets *)
+
+type t = item list

@@ -1,0 +1,239 @@
+(* Netlist optimization: constant propagation and dead-logic elimination.
+
+   A modest "silicon compiler" pass (section 9's application 3): the
+   observable behaviour — register contents and the OUT/INOUT pins of
+   root instances — is preserved exactly (a QCheck-tested property);
+   internal nets may simplify away.
+
+   Constant propagation is conservative: a net is known constant only
+   when every producer forces the same value under all inputs, using
+   the same early-firing rules as the simulator (e.g. an AND with one
+   constant-0 input is 0 regardless of the rest). *)
+
+open Zeus_base
+
+type report = {
+  gates_before : int;
+  gates_after : int;
+  drivers_before : int;
+  drivers_after : int;
+  constants_found : int;
+}
+
+let pp_report ppf r =
+  Fmt.pf ppf "gates %d -> %d, drivers %d -> %d (%d constant nets)"
+    r.gates_before r.gates_after r.drivers_before r.drivers_after
+    r.constants_found
+
+(* evaluate a gate over (possibly unknown) constant inputs *)
+let eval_gate_const op (vals : Logic.t option list) =
+  match (op : Netlist.gate_op) with
+  | Netlist.Gand -> Logic.and_partial vals
+  | Netlist.Gor -> Logic.or_partial vals
+  | Netlist.Gnand -> Logic.nand_partial vals
+  | Netlist.Gnor -> Logic.nor_partial vals
+  | Netlist.Gxor -> Logic.xor_partial vals
+  | Netlist.Gnot -> (
+      match vals with
+      | [ v ] -> Option.map Logic.not_ v
+      | _ -> None)
+  | Netlist.Gequal ->
+      Logic.map_all
+        (fun vs ->
+          let n = List.length vs / 2 in
+          let a = List.filteri (fun i _ -> i < n) vs
+          and b = List.filteri (fun i _ -> i >= n) vs in
+          List.fold_left2
+            (fun acc x y -> Logic.and2 acc (Logic.equal2 x y))
+            Logic.One a b)
+        vals
+  | Netlist.Grandom -> None
+
+let run (design : Elaborate.design) =
+  let nl = design.Elaborate.netlist in
+  let n = Netlist.net_count nl in
+  let canon id = Netlist.canonical nl id in
+  (* producer counts per canonical net *)
+  let producers = Array.make n 0 in
+  List.iter
+    (fun (g : Netlist.gate) ->
+      producers.(canon g.Netlist.output) <- producers.(canon g.Netlist.output) + 1)
+    (Netlist.gates nl);
+  List.iter
+    (fun (d : Netlist.driver) ->
+      producers.(canon d.Netlist.target) <- producers.(canon d.Netlist.target) + 1)
+    (Netlist.drivers nl);
+  (* testbench-driven nets and register outputs are never constants *)
+  let pinned = Array.make n false in
+  List.iter (fun id -> pinned.(canon id) <- true) (Check.top_input_nets design);
+  List.iter
+    (fun (r : Netlist.reg) -> pinned.(canon r.Netlist.rout) <- true)
+    (Netlist.regs nl);
+  (* iterate constant propagation to a fixpoint *)
+  let known : Logic.t option array = Array.make n None in
+  let value_of_src = function
+    | Netlist.Sconst v -> Some v
+    | Netlist.Snet s -> known.(canon s)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let learn net v =
+      let net = canon net in
+      if (not pinned.(net)) && producers.(net) = 1 && known.(net) = None then begin
+        known.(net) <- Some v;
+        changed := true
+      end
+    in
+    List.iter
+      (fun (g : Netlist.gate) ->
+        match eval_gate_const g.Netlist.op (List.map value_of_src g.Netlist.inputs) with
+        | Some v -> learn g.Netlist.output v
+        | None -> ())
+      (Netlist.gates nl);
+    List.iter
+      (fun (d : Netlist.driver) ->
+        match d.Netlist.guard with
+        | None -> (
+            match value_of_src d.Netlist.source with
+            | Some v -> learn d.Netlist.target v
+            | None -> ())
+        | Some g -> (
+            match Option.map Logic.booleanize (value_of_src g) with
+            | Some Logic.Zero -> learn d.Netlist.target Logic.Noinfl
+            | Some Logic.One -> (
+                match value_of_src d.Netlist.source with
+                | Some v -> learn d.Netlist.target v
+                | None -> ())
+            | Some (Logic.Undef | Logic.Noinfl) ->
+                learn d.Netlist.target Logic.Undef
+            | None -> ()))
+      (Netlist.drivers nl)
+  done;
+  (* liveness: ancestors of register inputs and root output pins *)
+  let adj = Check.dependency_graph nl in
+  let preds = Array.make n [] in
+  Array.iteri
+    (fun src dsts -> List.iter (fun d -> preds.(d) <- src :: preds.(d)) dsts)
+    adj;
+  let live = Array.make n false in
+  let rec mark v =
+    if not live.(v) then begin
+      live.(v) <- true;
+      List.iter mark preds.(v)
+    end
+  in
+  List.iter (fun (r : Netlist.reg) -> mark (canon r.Netlist.rin)) (Netlist.regs nl);
+  List.iter
+    (fun (i : Netlist.instance) ->
+      if not (String.contains i.Netlist.ipath '.') then
+        List.iter
+          (fun (_, mode, nets) ->
+            match mode with
+            | Etype.Out | Etype.Inout -> List.iter (fun id -> mark (canon id)) nets
+            | Etype.In -> ())
+          i.Netlist.iports)
+    (Netlist.instances nl);
+  (* rebuild: known-constant or dead outputs lose their gates; a known
+     net keeps a single constant driver so downstream readers (and
+     peeks) still see its value *)
+  let rewrite_src s =
+    match value_of_src s with
+    | Some v -> Netlist.Sconst v
+    | None -> s
+  in
+  let const_driver_emitted = Array.make n false in
+  let gates = ref [] and drivers = ref [] and consts = ref 0 in
+  let emit_const target v loc =
+    let target_c = canon target in
+    if not const_driver_emitted.(target_c) then begin
+      const_driver_emitted.(target_c) <- true;
+      incr consts;
+      drivers :=
+        {
+          Netlist.did = -1;
+          target;
+          guard = None;
+          source = Netlist.Sconst v;
+          dloc = loc;
+        }
+        :: !drivers
+    end
+  in
+  List.iter
+    (fun (g : Netlist.gate) ->
+      let out = canon g.Netlist.output in
+      if not live.(out) then ()
+      else
+        match known.(out) with
+        | Some v -> emit_const g.Netlist.output v g.Netlist.gloc
+        | None -> (
+            let inputs = List.map rewrite_src g.Netlist.inputs in
+            (* identity-input pruning: AND(1,x) = x, OR(0,x) = x, and the
+               NAND/NOR duals — e.g. the pattern matcher's literal
+               AND(1,EQUAL(p,s)) *)
+            let identity v =
+              match g.Netlist.op with
+              | Netlist.Gand | Netlist.Gnand -> Logic.equal v Logic.One
+              | Netlist.Gor | Netlist.Gnor -> Logic.equal v Logic.Zero
+              | _ -> false
+            in
+            let pruned =
+              match g.Netlist.op with
+              | Netlist.Gand | Netlist.Gnand | Netlist.Gor | Netlist.Gnor ->
+                  let keep =
+                    List.filter
+                      (function
+                        | Netlist.Sconst v -> not (identity v)
+                        | Netlist.Snet _ -> true)
+                      inputs
+                  in
+                  (* never prune to arity zero *)
+                  if keep = [] then inputs else keep
+              | _ -> inputs
+            in
+            match (g.Netlist.op, pruned) with
+            | (Netlist.Gnand | Netlist.Gnor), [ single ] ->
+                gates :=
+                  { g with Netlist.op = Netlist.Gnot; inputs = [ single ] }
+                  :: !gates
+            | _ ->
+                (* a one-input AND/OR stays a gate: it doubles as the
+                   implicit amplifier (mux sources booleanize), which a
+                   plain forwarding driver would not preserve in front
+                   of a register input *)
+                gates := { g with Netlist.inputs = pruned } :: !gates))
+    (Netlist.gates nl);
+  List.iter
+    (fun (d : Netlist.driver) ->
+      let t = canon d.Netlist.target in
+      if not live.(t) then ()
+      else
+        match known.(t) with
+        | Some v -> emit_const d.Netlist.target v d.Netlist.dloc
+        | None ->
+            let guard =
+              match Option.map rewrite_src d.Netlist.guard with
+              | Some (Netlist.Sconst v) when Logic.booleanize v = Logic.One ->
+                  None
+              | g -> g
+            in
+            drivers :=
+              {
+                d with
+                Netlist.guard;
+                source = rewrite_src d.Netlist.source;
+              }
+              :: !drivers)
+    (Netlist.drivers nl);
+  let optimized = Netlist.with_nodes nl ~gates:(List.rev !gates) ~drivers:(List.rev !drivers) in
+  let report =
+    {
+      gates_before = List.length (Netlist.gates nl);
+      gates_after = List.length (Netlist.gates optimized);
+      drivers_before = List.length (Netlist.drivers nl);
+      drivers_after = List.length (Netlist.drivers optimized);
+      constants_found = !consts;
+    }
+  in
+  ({ design with Elaborate.netlist = optimized }, report)

@@ -1,0 +1,18 @@
+(** Netlist optimization: conservative constant propagation plus
+    dead-logic elimination.  The observable behaviour — register
+    contents and the OUT/INOUT pins of root instances — is preserved
+    exactly (a tested property); internal nets may simplify away. *)
+
+type report = {
+  gates_before : int;
+  gates_after : int;
+  drivers_before : int;
+  drivers_after : int;
+  constants_found : int;
+}
+
+val pp_report : report Fmt.t
+
+(** Returns a design sharing nets/instances with the input but with
+    simplified gates and drivers, plus the reduction report. *)
+val run : Elaborate.design -> Elaborate.design * report

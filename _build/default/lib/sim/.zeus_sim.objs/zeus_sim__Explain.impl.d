@@ -1,0 +1,1 @@
+lib/sim/explain.ml: Elaborate Fmt Hashtbl List Logic Netlist Option Sim Zeus_base Zeus_sem

@@ -1,0 +1,1 @@
+lib/sim/explain.mli: Fmt Logic Sim Zeus_base Zeus_sem

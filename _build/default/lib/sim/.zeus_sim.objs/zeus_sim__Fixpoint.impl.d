@@ -1,0 +1,1 @@
+lib/sim/fixpoint.ml: Sim

@@ -1,0 +1,1 @@
+lib/sim/fixpoint.mli: Sim Zeus_base Zeus_sem

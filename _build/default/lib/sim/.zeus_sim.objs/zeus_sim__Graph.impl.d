@@ -1,0 +1,1 @@
+lib/sim/graph.ml: Array Check Elaborate Etype List Netlist Option Zeus_sem

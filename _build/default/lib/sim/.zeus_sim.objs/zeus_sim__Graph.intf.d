@@ -1,0 +1,1 @@
+lib/sim/graph.mli: Elaborate Etype Netlist Zeus_sem

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Cval Elaborate Etype Fmt Graph Hashtbl List Logic Netlist Option Queue Random String Zeus_base Zeus_sem

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Elaborate Logic Zeus_base Zeus_sem

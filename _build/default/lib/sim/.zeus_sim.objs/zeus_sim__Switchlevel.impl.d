@@ -1,0 +1,1 @@
+lib/sim/switchlevel.ml: Sim

@@ -1,0 +1,1 @@
+lib/sim/switchlevel.mli: Sim Zeus_base Zeus_sem

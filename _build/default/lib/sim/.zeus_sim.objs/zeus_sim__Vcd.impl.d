@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Buffer Char Elaborate List Logic Printf Sim String Zeus_base Zeus_sem

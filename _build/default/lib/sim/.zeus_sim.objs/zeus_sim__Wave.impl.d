@@ -1,0 +1,1 @@
+lib/sim/wave.ml: Buffer List Logic Printf Sim String Zeus_base Zeus_sem

@@ -1,0 +1,1 @@
+lib/sim/wave.mli: Sim

@@ -1,0 +1,34 @@
+(* The naive sweep-to-fixpoint baseline simulator (experiment E8).
+
+   Identical semantics to the firing simulator — only the scheduling
+   differs: all nodes are re-examined in creation order until a full
+   sweep produces no change.  Work grows with circuit depth, which is
+   precisely the cost the firing-rule evaluator of section 8 avoids. *)
+
+type t = Sim.t
+
+let create ?seed design = Sim.create ~engine:Sim.Fixpoint ?seed design
+
+let step = Sim.step
+
+let step_n = Sim.step_n
+
+let reset = Sim.reset
+
+let poke = Sim.poke
+
+let poke_bool = Sim.poke_bool
+
+let poke_int = Sim.poke_int
+
+let peek = Sim.peek
+
+let peek_bit = Sim.peek_bit
+
+let peek_int = Sim.peek_int
+
+let node_visits = Sim.node_visits
+
+let runtime_errors = Sim.runtime_errors
+
+let snapshot = Sim.snapshot

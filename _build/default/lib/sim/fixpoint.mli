@@ -1,0 +1,20 @@
+(** The naive sweep-to-fixpoint baseline simulator (experiment E8): the
+    semantics of {!Sim} under [Sim.Fixpoint] scheduling — all nodes are
+    re-examined in creation order until a sweep changes nothing, so work
+    grows with circuit depth.  All functions are those of {!Sim}. *)
+
+type t = Sim.t
+
+val create : ?seed:int -> Zeus_sem.Elaborate.design -> t
+val step : t -> unit
+val step_n : t -> int -> unit
+val reset : t -> unit
+val poke : t -> string -> Zeus_base.Logic.t list -> unit
+val poke_bool : t -> string -> bool -> unit
+val poke_int : t -> string -> int -> unit
+val peek : t -> string -> Zeus_base.Logic.t list
+val peek_bit : t -> string -> Zeus_base.Logic.t
+val peek_int : t -> string -> int option
+val node_visits : t -> int
+val runtime_errors : t -> Sim.runtime_error list
+val snapshot : t -> Zeus_base.Logic.t option array

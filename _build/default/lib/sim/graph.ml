@@ -1,0 +1,121 @@
+(* The semantics graph of section 8, in executable form.
+
+   All net references are canonicalized through the alias union-find.
+   Producer nodes are gates and drivers; a net fires when its producers
+   allow (see Sim).  Registers connect cycles without introducing
+   combinational edges. *)
+
+open Zeus_sem
+
+type node =
+  | Ngate of {
+      op : Netlist.gate_op;
+      inputs : Netlist.src array;
+      output : int;
+    }
+  | Ndriver of {
+      guard : Netlist.src option;
+      source : Netlist.src;
+      target : int;
+    }
+
+type t = {
+  design : Elaborate.design;
+  nl : Netlist.t;
+  n_nets : int;
+  nodes : node array;
+  (* net -> nodes that consume it (need re-evaluation when it fires) *)
+  consumers : int list array;
+  (* canonical net -> number of producer nodes *)
+  producer_count : int array;
+  (* canonical net -> kind of the class (mux if any member is mux) *)
+  class_kind : Etype.kind array;
+  (* kind as declared per original net id (for booleanizing reads) *)
+  net_kind : Etype.kind array;
+  names : string array;
+  regs : Netlist.reg array;
+  reg_out_class : bool array; (* canonical net is a register output *)
+  input_class : bool array; (* canonical net is a testbench input *)
+}
+
+let canon nl id = Netlist.canonical nl id
+
+let canon_src nl = function
+  | Netlist.Snet id -> Netlist.Snet (canon nl id)
+  | Netlist.Sconst v -> Netlist.Sconst v
+
+let build (design : Elaborate.design) =
+  let nl = design.Elaborate.netlist in
+  let n = Netlist.net_count nl in
+  let nodes = ref [] in
+  let n_nodes = ref 0 in
+  let consumers = Array.make n [] in
+  let producer_count = Array.make n 0 in
+  let add_node node srcs out =
+    let id = !n_nodes in
+    nodes := node :: !nodes;
+    incr n_nodes;
+    List.iter
+      (function
+        | Netlist.Snet s -> consumers.(s) <- id :: consumers.(s)
+        | Netlist.Sconst _ -> ())
+      srcs;
+    producer_count.(out) <- producer_count.(out) + 1
+  in
+  List.iter
+    (fun (g : Netlist.gate) ->
+      let inputs = List.map (canon_src nl) g.Netlist.inputs in
+      let output = canon nl g.Netlist.output in
+      add_node
+        (Ngate { op = g.Netlist.op; inputs = Array.of_list inputs; output })
+        inputs output)
+    (Netlist.gates nl);
+  List.iter
+    (fun (d : Netlist.driver) ->
+      let guard = Option.map (canon_src nl) d.Netlist.guard in
+      let source = canon_src nl d.Netlist.source in
+      let target = canon nl d.Netlist.target in
+      let srcs = source :: Option.to_list guard in
+      add_node (Ndriver { guard; source; target }) srcs target)
+    (Netlist.drivers nl);
+  let class_kind = Array.make n Etype.KBool in
+  let net_kind = Array.make n Etype.KBool in
+  let names = Array.make n "" in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      let c = canon nl net.Netlist.id in
+      net_kind.(net.Netlist.id) <- net.Netlist.kind;
+      names.(net.Netlist.id) <- net.Netlist.name;
+      if net.Netlist.kind = Etype.KMux then class_kind.(c) <- Etype.KMux)
+    (Netlist.nets_array nl);
+  let regs = Array.of_list (Netlist.regs nl) in
+  let reg_out_class = Array.make n false in
+  Array.iter
+    (fun (r : Netlist.reg) -> reg_out_class.(canon nl r.Netlist.rout) <- true)
+    regs;
+  let input_class = Array.make n false in
+  List.iter
+    (fun id -> input_class.(canon nl id) <- true)
+    (Check.top_input_nets design);
+  {
+    design;
+    nl;
+    n_nets = n;
+    nodes = Array.of_list (List.rev !nodes);
+    consumers;
+    producer_count;
+    class_kind;
+    net_kind;
+    names;
+    regs;
+    reg_out_class;
+    input_class;
+  }
+
+let node_inputs = function
+  | Ngate { inputs; _ } -> Array.to_list inputs
+  | Ndriver { guard; source; _ } -> source :: Option.to_list guard
+
+let node_output = function
+  | Ngate { output; _ } -> output
+  | Ndriver { target; _ } -> target

@@ -1,0 +1,37 @@
+(** The semantics graph of report section 8, in executable form: gates
+    and drivers as producer nodes over canonicalized nets, with consumer
+    lists for event-driven evaluation.  Registers contribute no
+    combinational edges (they are the legal cycle breakers). *)
+
+open Zeus_sem
+
+type node =
+  | Ngate of {
+      op : Netlist.gate_op;
+      inputs : Netlist.src array;
+      output : int;
+    }
+  | Ndriver of {
+      guard : Netlist.src option;
+      source : Netlist.src;
+      target : int;
+    }
+
+type t = {
+  design : Elaborate.design;
+  nl : Netlist.t;
+  n_nets : int;
+  nodes : node array;
+  consumers : int list array; (** net -> nodes consuming it *)
+  producer_count : int array; (** per canonical net *)
+  class_kind : Etype.kind array; (** mux if any class member is mux *)
+  net_kind : Etype.kind array; (** declared kind per original net *)
+  names : string array;
+  regs : Netlist.reg array;
+  reg_out_class : bool array;
+  input_class : bool array; (** testbench inputs *)
+}
+
+val build : Elaborate.design -> t
+val node_inputs : node -> Netlist.src list
+val node_output : node -> int

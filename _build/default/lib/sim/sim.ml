@@ -1,0 +1,488 @@
+(* Cycle-based simulation of elaborated Zeus designs.
+
+   Three scheduling engines over the same semantics graph, values and
+   resolution rules (so their results are identical — the paper's claim
+   in section 8 that every legal propagation order gives the same result
+   is a tested invariant here):
+
+   - [Firing]     the event-driven firing-rule evaluator of section 8:
+                  each node fires at most once, as soon as its output is
+                  determined ("as soon as" semantics, e.g. AND fires 0 on
+                  the first 0 input);
+   - [Fixpoint]   a naive baseline: sweep all nodes in creation order
+                  until nothing changes;
+   - [Relaxation] a switch-level-style baseline: sweep in reverse order
+                  (pessimal information flow), standing in for the
+                  iterate-to-stability relaxation of switch-level
+                  simulators (Bryant 1981) that section 1 compares
+                  against.
+
+   Per cycle, every net is re-evaluated.  Net values:
+   - a boolean net fires on its first driving value;
+   - a multiplex net fires once all its producers have produced, with
+     NOINFL overruled by any driving value;
+   - two driving values on one net are a runtime error (the "burning
+     transistors" check of section 4.7) and force UNDEF.
+
+   Registers latch at the end of the cycle: a NOINFL/unassigned input
+   keeps the stored value (section 5.1). *)
+
+open Zeus_base
+open Zeus_sem
+
+type engine =
+  | Firing
+  | Firing_strict
+  | Fixpoint
+  | Relaxation
+
+let engine_name = function
+  | Firing -> "firing"
+  | Firing_strict -> "firing-strict"
+  | Fixpoint -> "fixpoint"
+  | Relaxation -> "relaxation"
+
+type runtime_error = {
+  err_cycle : int;
+  err_net : string;
+  err_message : string;
+}
+
+type t = {
+  g : Graph.t;
+  engine : engine;
+  values : Logic.t option array; (* per canonical net, this cycle *)
+  produced : Logic.t option array; (* per node *)
+  remaining : int array; (* producers still to fire, per canonical net *)
+  drives_seen : int array; (* driving (non-NOINFL) values seen per net *)
+  mux_value : Logic.t array; (* resolved-so-far value per net *)
+  fired : bool array;
+  reg_state : Logic.t array; (* per register *)
+  poked : Logic.t option array; (* testbench values, persistent *)
+  mutable cycle : int;
+  mutable rng : Random.State.t;
+  mutable errors : runtime_error list;
+  mutable node_visits : int; (* work metric for the simulator benches *)
+  mutable trace : (string * Logic.t) list; (* firing order, last cycle *)
+  mutable trace_enabled : bool;
+  prev_values : Logic.t option array; (* last cycle, for toggle counting *)
+  toggles : int array; (* value changes per canonical net *)
+}
+
+let create ?(engine = Firing) ?(seed = 0x5eed) (design : Elaborate.design) =
+  let g = Graph.build design in
+  let n = g.Graph.n_nets in
+  {
+    g;
+    engine;
+    values = Array.make n None;
+    produced = Array.make (Array.length g.Graph.nodes) None;
+    remaining = Array.make n 0;
+    drives_seen = Array.make n 0;
+    mux_value = Array.make n Logic.Noinfl;
+    fired = Array.make n false;
+    reg_state =
+      Array.map (fun (r : Netlist.reg) -> r.Netlist.rinit) g.Graph.regs;
+    poked = Array.make n None;
+    cycle = 0;
+    rng = Random.State.make [| seed |];
+    errors = [];
+    node_visits = 0;
+    trace = [];
+    trace_enabled = false;
+    prev_values = Array.make n None;
+    toggles = Array.make n 0;
+  }
+
+let design t = t.g.Graph.design
+
+let runtime_errors t = List.rev t.errors
+
+let cycle_count t = t.cycle
+
+let node_visits t = t.node_visits
+
+let set_trace t b = t.trace_enabled <- b
+
+let trace_last_cycle t = List.rev t.trace
+
+let error t net_id fmt =
+  Fmt.kstr
+    (fun message ->
+      t.errors <-
+        { err_cycle = t.cycle; err_net = t.g.Graph.names.(net_id);
+          err_message = message }
+        :: t.errors)
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Poking and peeking                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let canon t id = Netlist.canonical t.g.Graph.nl id
+
+let resolve_nets t path =
+  match Elaborate.resolve_path (design t) path with
+  | Ok nets -> nets
+  | Error msg -> invalid_arg ("Sim: " ^ msg)
+
+let poke_nets t nets values =
+  if List.length nets <> List.length values then
+    invalid_arg "Sim.poke: width mismatch";
+  List.iter2 (fun id v -> t.poked.(canon t id) <- Some v) nets values
+
+let poke t path values = poke_nets t (resolve_nets t path) values
+
+let poke_bool t path b = poke t path [ Logic.of_bool b ]
+
+(* poke an integer as BIN(v, width-of-path), index 1 = MSB *)
+let poke_int t path v =
+  let nets = resolve_nets t path in
+  let bits = Cval.sctree_leaves (Cval.bin v (List.length nets)) in
+  poke_nets t nets bits
+
+(* poke an integer with index 1 = LSB (the convention of the report's
+   rippleCarry example, where the carry enters at add[1]) *)
+let poke_int_lsb t path v =
+  let nets = resolve_nets t path in
+  let bits =
+    List.init (List.length nets) (fun i -> Logic.of_bool ((v lsr i) land 1 = 1))
+  in
+  poke_nets t nets bits
+
+let unpoke t path =
+  List.iter (fun id -> t.poked.(canon t id) <- None) (resolve_nets t path)
+
+let value_of_net t id =
+  let v = Option.value ~default:Logic.Undef t.values.(canon t id) in
+  match t.g.Graph.net_kind.(id) with
+  | Etype.KBool -> Logic.booleanize v
+  | Etype.KMux -> v
+
+let peek_nets t nets = List.map (value_of_net t) nets
+
+let peek t path = peek_nets t (resolve_nets t path)
+
+let peek_int t path = Cval.num (peek t path)
+
+let peek_int_lsb t path = Cval.num (List.rev (peek t path))
+
+let peek_bit t path =
+  match peek t path with
+  | [ v ] -> v
+  | l -> invalid_arg (Fmt.str "Sim.peek_bit %S: width %d" path (List.length l))
+
+let reg_states t =
+  Array.to_list
+    (Array.mapi
+       (fun i (r : Netlist.reg) -> (r.Netlist.rpath, t.reg_state.(i)))
+       t.g.Graph.regs)
+
+(* ------------------------------------------------------------------ *)
+(* Node evaluation (shared by all engines)                              *)
+(* ------------------------------------------------------------------ *)
+
+let src_value t = function
+  | Netlist.Sconst v -> Some v
+  | Netlist.Snet id -> t.values.(id)
+
+(* guard reads go through the implicit amplifier *)
+let guard_value t s = Option.map Logic.booleanize (src_value t s)
+
+let eval_gate t op (inputs : Netlist.src array) =
+  let vals = Array.to_list (Array.map (src_value t) inputs) in
+  (* the Firing_strict ablation waits for every input before firing,
+     instead of the "as soon as" rule of section 8; the result is the
+     same, only later (more node visits) *)
+  let strict = t.engine = Firing_strict in
+  match op with
+  | Netlist.Gand ->
+      if strict then Logic.map_all Logic.and_list vals
+      else Logic.and_partial vals
+  | Netlist.Gor ->
+      if strict then Logic.map_all Logic.or_list vals
+      else Logic.or_partial vals
+  | Netlist.Gnand ->
+      if strict then Logic.map_all Logic.nand_list vals
+      else Logic.nand_partial vals
+  | Netlist.Gnor ->
+      if strict then Logic.map_all Logic.nor_list vals
+      else Logic.nor_partial vals
+  | Netlist.Gxor -> Logic.xor_partial vals
+  | Netlist.Gnot -> Logic.not_partial vals
+  | Netlist.Gequal ->
+      Logic.map_all
+        (fun vs ->
+          let n = List.length vs / 2 in
+          let a = List.filteri (fun i _ -> i < n) vs
+          and b = List.filteri (fun i _ -> i >= n) vs in
+          List.fold_left2
+            (fun acc x y -> Logic.and2 acc (Logic.equal2 x y))
+            Logic.One a b)
+        vals
+  | Netlist.Grandom -> Some (Logic.of_bool (Random.State.bool t.rng))
+
+let eval_driver t guard source =
+  match guard with
+  | None -> src_value t source
+  | Some gs -> (
+      match guard_value t gs with
+      | None -> None
+      | Some Logic.Zero ->
+          (* strict ablation: wait for the source anyway ("the IF node is
+             firing as soon as both entering edges have been assigned") *)
+          if t.engine = Firing_strict && src_value t source = None then None
+          else Some Logic.Noinfl
+      | Some Logic.One -> src_value t source
+      | Some (Logic.Undef | Logic.Noinfl) ->
+          if t.engine = Firing_strict && src_value t source = None then None
+          else Some Logic.Undef)
+
+(* ------------------------------------------------------------------ *)
+(* One clock cycle                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let step t =
+  let g = t.g in
+  let n_nodes = Array.length g.Graph.nodes in
+  let n_nets = Array.length t.values in
+  Array.fill t.values 0 n_nets None;
+  Array.fill t.produced 0 n_nodes None;
+  Array.fill t.drives_seen 0 n_nets 0;
+  Array.fill t.mux_value 0 n_nets Logic.Noinfl;
+  Array.fill t.fired 0 n_nets false;
+  Array.blit g.Graph.producer_count 0 t.remaining 0 n_nets;
+  t.trace <- [];
+  let worklist = Queue.create () in
+  let fire net v =
+    if not t.fired.(net) then begin
+      t.fired.(net) <- true;
+      t.values.(net) <- Some v;
+      if t.trace_enabled then t.trace <- (g.Graph.names.(net), v) :: t.trace;
+      if t.engine = Firing || t.engine = Firing_strict then
+        List.iter (fun nid -> Queue.add nid worklist) g.Graph.consumers.(net)
+    end
+  in
+  (* Incremental resolution: [mux_value] keeps the single driving value
+     seen so far; a second driving value is a conflict and forces UNDEF.
+     Firing rule (a) of section 8: a boolean net fires on its first
+     driving value; a multiplex net fires once all producers fired. *)
+  let produce node_id net v =
+    if t.produced.(node_id) = None then begin
+      t.produced.(node_id) <- Some v;
+      t.remaining.(net) <- t.remaining.(net) - 1;
+      if not (Logic.equal v Logic.Noinfl) then begin
+        t.drives_seen.(net) <- t.drives_seen.(net) + 1;
+        if t.drives_seen.(net) = 2 then begin
+          error t net
+            "more than one driving assignment in cycle %d — burning \
+             transistors (value forced to UNDEF)"
+            t.cycle;
+          t.values.(net) <- Some Logic.Undef
+        end;
+        t.mux_value.(net) <-
+          (if t.drives_seen.(net) > 1 then Logic.Undef else v)
+      end;
+      match g.Graph.class_kind.(net) with
+      | Etype.KBool ->
+          if not (Logic.equal v Logic.Noinfl) then
+            fire net (Logic.booleanize t.mux_value.(net))
+          else if t.remaining.(net) = 0 && not t.fired.(net) then
+            fire net Logic.Undef
+      | Etype.KMux ->
+          if t.remaining.(net) = 0 then fire net t.mux_value.(net)
+    end
+  in
+  let try_node node_id =
+    if t.produced.(node_id) = None then begin
+      t.node_visits <- t.node_visits + 1;
+      match g.Graph.nodes.(node_id) with
+      | Graph.Ngate { op; inputs; output } -> (
+          match eval_gate t op inputs with
+          | Some v ->
+              produce node_id output v;
+              true
+          | None -> false)
+      | Graph.Ndriver { guard; source; target } -> (
+          match eval_driver t guard source with
+          | Some v ->
+              produce node_id target v;
+              true
+          | None -> false)
+    end
+    else false
+  in
+  (* seed producer-less nets: testbench inputs, register outputs, CLK,
+     RSET, and undriven nets (which read UNDEF) *)
+  let reg_out_value = Hashtbl.create 16 in
+  Array.iteri
+    (fun i (r : Netlist.reg) ->
+      Hashtbl.replace reg_out_value
+        (Netlist.canonical g.Graph.nl r.Netlist.rout)
+        t.reg_state.(i))
+    g.Graph.regs;
+  let clk = Netlist.canonical g.Graph.nl g.Graph.design.Elaborate.clk_net in
+  let rset = Netlist.canonical g.Graph.nl g.Graph.design.Elaborate.rset_net in
+  for net = 0 to n_nets - 1 do
+    if Netlist.canonical g.Graph.nl net = net && t.remaining.(net) = 0 then begin
+      let v =
+        match t.poked.(net) with
+        | Some v -> v
+        | None ->
+            if net = clk then Logic.One
+            else if net = rset then Logic.Zero
+            else (
+              match Hashtbl.find_opt reg_out_value net with
+              | Some v -> v
+              | None -> Logic.Undef)
+      in
+      fire net v
+    end
+  done;
+  (match t.engine with
+  | Firing | Firing_strict ->
+      (* nodes with only constant inputs fire without stimulus *)
+      for node_id = 0 to n_nodes - 1 do
+        let const_only =
+          List.for_all
+            (function Netlist.Sconst _ -> true | Netlist.Snet _ -> false)
+            (Graph.node_inputs g.Graph.nodes.(node_id))
+        in
+        if const_only then ignore (try_node node_id)
+      done;
+      let rec drain () =
+        match Queue.take_opt worklist with
+        | Some node_id ->
+            ignore (try_node node_id);
+            drain ()
+        | None -> ()
+      in
+      drain ()
+  | Fixpoint | Relaxation ->
+      (* sweep until stable; Relaxation sweeps against the creation
+         order, modelling an iterate-to-stability relaxation *)
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        if t.engine = Fixpoint then begin
+          for node_id = 0 to n_nodes - 1 do
+            if try_node node_id then changed := true
+          done
+        end
+        else
+          for node_id = n_nodes - 1 downto 0 do
+            if try_node node_id then changed := true
+          done
+      done);
+  (* defensive: anything still unfired (only on designs with check
+     errors, e.g. combinational cycles) reads UNDEF *)
+  let rec mop_up budget =
+    if budget > 0 then begin
+      let stuck = ref false in
+      for net = 0 to n_nets - 1 do
+        if
+          Netlist.canonical g.Graph.nl net = net
+          && (not t.fired.(net))
+          && g.Graph.consumers.(net) <> []
+        then begin
+          stuck := true;
+          fire net Logic.Undef
+        end
+      done;
+      if !stuck then begin
+        (match t.engine with
+        | Firing | Firing_strict ->
+            let rec drain () =
+              match Queue.take_opt worklist with
+              | Some node_id ->
+                  ignore (try_node node_id);
+                  drain ()
+              | None -> ()
+            in
+            drain ()
+        | Fixpoint | Relaxation ->
+            let changed = ref true in
+            while !changed do
+              changed := false;
+              for node_id = 0 to n_nodes - 1 do
+                if try_node node_id then changed := true
+              done
+            done);
+        mop_up (budget - 1)
+      end
+    end
+  in
+  mop_up 1000;
+  (* Latch the registers.  "If in is not changed during a clock cycle,
+     it keeps its value" (section 5.1): a register input whose drivers
+     all produced NOINFL was not changed — even though a boolean *read*
+     of that net sees UNDEF.  Hence we look at the driving count, not the
+     fired value. *)
+  Array.iteri
+    (fun i (r : Netlist.reg) ->
+      let c = Netlist.canonical g.Graph.nl r.Netlist.rin in
+      if g.Graph.producer_count.(c) = 0 then (
+        (* producer-less: a testbench input or a floating pin *)
+        match t.values.(c) with
+        | None | Some Logic.Noinfl -> ()
+        | Some v -> t.reg_state.(i) <- Logic.booleanize v)
+      else if t.drives_seen.(c) > 0 then
+        t.reg_state.(i) <- Logic.booleanize t.mux_value.(c))
+    g.Graph.regs;
+  (* switching-activity accounting: count value changes between
+     consecutive cycles (the classic dynamic-power proxy) *)
+  for net = 0 to n_nets - 1 do
+    if Netlist.canonical g.Graph.nl net = net then begin
+      (match (t.prev_values.(net), t.values.(net)) with
+      | Some a, Some b when not (Logic.equal a b) ->
+          t.toggles.(net) <- t.toggles.(net) + 1
+      | _ -> ());
+      t.prev_values.(net) <- t.values.(net)
+    end
+  done;
+  t.cycle <- t.cycle + 1
+
+let step_n t n =
+  for _ = 1 to n do
+    step t
+  done
+
+(* step until [pred] holds, at most [max] cycles; returns the number of
+   cycles stepped, or [None] on timeout *)
+let run_until t ~max pred =
+  let rec go n =
+    if n >= max then None
+    else begin
+      step t;
+      if pred t then Some (n + 1) else go (n + 1)
+    end
+  in
+  go 0
+
+(* pulse RSET for one cycle *)
+let reset t =
+  t.poked.(canon t (design t).Elaborate.rset_net) <- Some Logic.One;
+  step t;
+  t.poked.(canon t (design t).Elaborate.rset_net) <- Some Logic.Zero
+
+(* switching activity: nets with the most value changes so far,
+   descending; gate temporaries (names containing '#') are skipped *)
+let activity ?(top = 10) t =
+  let rows = ref [] in
+  Array.iteri
+    (fun net count ->
+      if count > 0 && not (String.contains t.g.Graph.names.(net) '#') then
+        rows := (t.g.Graph.names.(net), count) :: !rows)
+    t.toggles;
+  let sorted = List.sort (fun (_, a) (_, b) -> compare b a) !rows in
+  List.filteri (fun i _ -> i < top) sorted
+
+let total_toggles t = Array.fold_left ( + ) 0 t.toggles
+
+(* snapshot of all net values by canonical id — used by tests asserting
+   engine equivalence *)
+let snapshot t =
+  Array.mapi
+    (fun i v ->
+      if Netlist.canonical t.g.Graph.nl i = i then v else None)
+    t.values

@@ -1,0 +1,123 @@
+(** Cycle-based simulation of elaborated designs — the firing-rule
+    evaluator of report section 8, plus two baseline schedulers used by
+    the E8 comparison.
+
+    Per clock cycle every net is re-evaluated:
+    - gate nodes fire as soon as their output is forced (AND fires 0 on
+      the first 0 input);
+    - a driver (IF) node fires NOINFL as soon as its guard is 0, the
+      source value when the guard is 1, and UNDEF on an undefined guard;
+    - a boolean net fires on its first driving value, a multiplex net
+      once all its drivers have fired ("strongest survives");
+    - a second driving value on a net in one cycle is a runtime error
+      (the "burning transistors" check of section 4.7) and forces UNDEF.
+
+    Registers latch at the end of the cycle: an input whose drivers all
+    produced NOINFL keeps the stored value (section 5.1). *)
+
+open Zeus_base
+open Zeus_sem
+
+(** The three scheduling engines compute identical values (a tested
+    invariant — section 8's "all orders lead to the same result"); they
+    differ only in how much work they do. *)
+type engine =
+  | Firing  (** event-driven, fires each node at most once *)
+  | Firing_strict
+      (** ablation of section 8's "as soon as" rule: every node waits for
+          all of its inputs — same results, more work *)
+  | Fixpoint  (** sweep all nodes in creation order until stable *)
+  | Relaxation
+      (** sweep against creation order — a stand-in for switch-level
+          iterate-to-stability relaxation (Bryant 1981) *)
+
+val engine_name : engine -> string
+
+type runtime_error = {
+  err_cycle : int;
+  err_net : string;
+  err_message : string;
+}
+
+type t
+
+(** [create design] builds a simulator.  [seed] drives the RANDOM
+    component deterministically. *)
+val create : ?engine:engine -> ?seed:int -> Elaborate.design -> t
+
+val design : t -> Elaborate.design
+
+(** {1 Driving inputs}
+
+    Paths are hierarchical ("adder.a", "bj.score.out") and resolve
+    through {!Elaborate.resolve_path}.  Poked values persist across
+    cycles until changed. *)
+
+val poke : t -> string -> Logic.t list -> unit
+val poke_nets : t -> int list -> Logic.t list -> unit
+val poke_bool : t -> string -> bool -> unit
+
+(** Poke an integer as BIN(v, width): index 1 is the most significant
+    bit. *)
+val poke_int : t -> string -> int -> unit
+
+(** Poke an integer with index 1 as the {e least} significant bit (the
+    convention of the report's rippleCarry example). *)
+val poke_int_lsb : t -> string -> int -> unit
+
+val unpoke : t -> string -> unit
+
+(** {1 Observing} *)
+
+val peek : t -> string -> Logic.t list
+val peek_nets : t -> int list -> Logic.t list
+val peek_bit : t -> string -> Logic.t
+
+(** [None] when any bit is UNDEF/NOINFL. *)
+val peek_int : t -> string -> int option
+
+val peek_int_lsb : t -> string -> int option
+
+(** Stored value of every register, by hierarchical path. *)
+val reg_states : t -> (string * Logic.t) list
+
+(** Values of all canonical nets after the last cycle — used to assert
+    engine equivalence. *)
+val snapshot : t -> Logic.t option array
+
+(** {1 Running} *)
+
+(** Evaluate one clock cycle and latch the registers. *)
+val step : t -> unit
+
+val step_n : t -> int -> unit
+
+(** [run_until t ~max pred] steps until [pred t] holds; [Some cycles]
+    stepped, or [None] after [max] cycles. *)
+val run_until : t -> max:int -> (t -> bool) -> int option
+
+(** Pulse the predefined RSET signal for one cycle. *)
+val reset : t -> unit
+
+val cycle_count : t -> int
+
+(** {1 Instrumentation} *)
+
+(** Runtime check violations collected so far, oldest first. *)
+val runtime_errors : t -> runtime_error list
+
+(** Total node evaluations — the work metric of experiment E8. *)
+val node_visits : t -> int
+
+(** Switching activity: the nets with the most value changes between
+    consecutive cycles so far (a classic dynamic-power proxy), highest
+    first; gate temporaries are skipped. *)
+val activity : ?top:int -> t -> (string * int) list
+
+(** Sum of all value changes over all nets and cycles. *)
+val total_toggles : t -> int
+
+(** Record the firing order of each cycle (experiment E5). *)
+val set_trace : t -> bool -> unit
+
+val trace_last_cycle : t -> (string * Logic.t) list

@@ -1,0 +1,36 @@
+(* The switch-level-style relaxation baseline (experiment E8).
+
+   Stands in for the iterate-to-stability relaxation of switch-level
+   simulators (Bryant 1981, Mehlhorn 1982) that the introduction of the
+   report compares Zeus against.  Sweeps run against the creation order,
+   so information crosses one level of logic per sweep — the worst-case
+   behaviour of order-oblivious relaxation.  Semantics are identical to
+   the other engines. *)
+
+type t = Sim.t
+
+let create ?seed design = Sim.create ~engine:Sim.Relaxation ?seed design
+
+let step = Sim.step
+
+let step_n = Sim.step_n
+
+let reset = Sim.reset
+
+let poke = Sim.poke
+
+let poke_bool = Sim.poke_bool
+
+let poke_int = Sim.poke_int
+
+let peek = Sim.peek
+
+let peek_bit = Sim.peek_bit
+
+let peek_int = Sim.peek_int
+
+let node_visits = Sim.node_visits
+
+let runtime_errors = Sim.runtime_errors
+
+let snapshot = Sim.snapshot

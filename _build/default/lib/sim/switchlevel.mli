@@ -1,0 +1,21 @@
+(** The switch-level-style relaxation baseline (experiment E8): {!Sim}
+    under [Sim.Relaxation] scheduling — sweeps run against the creation
+    order, modelling the iterate-to-stability relaxation of switch-level
+    simulators (Bryant 1981) that the report's introduction compares
+    Zeus against.  All functions are those of {!Sim}. *)
+
+type t = Sim.t
+
+val create : ?seed:int -> Zeus_sem.Elaborate.design -> t
+val step : t -> unit
+val step_n : t -> int -> unit
+val reset : t -> unit
+val poke : t -> string -> Zeus_base.Logic.t list -> unit
+val poke_bool : t -> string -> bool -> unit
+val poke_int : t -> string -> int -> unit
+val peek : t -> string -> Zeus_base.Logic.t list
+val peek_bit : t -> string -> Zeus_base.Logic.t
+val peek_int : t -> string -> int option
+val node_visits : t -> int
+val runtime_errors : t -> Sim.runtime_error list
+val snapshot : t -> Zeus_base.Logic.t option array

@@ -1,0 +1,14 @@
+(** Value-change-dump (VCD) writer: waveforms from the simulator in the
+    standard format ([0 1 x z] for Zeus's 0/1/UNDEF/NOINFL). *)
+
+type t
+
+(** [create sim paths] starts a dump of the given hierarchical signal
+    paths.  @raise Invalid_argument for unresolvable paths. *)
+val create : Sim.t -> string list -> t
+
+(** Record the current values; call once per simulated cycle. *)
+val sample : t -> unit
+
+val contents : t -> string
+val to_file : t -> string -> unit

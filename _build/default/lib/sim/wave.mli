@@ -1,0 +1,16 @@
+(** ASCII waveform rendering: one row per watched signal, one column per
+    sampled cycle.  Single-bit signals render as levels ([_ # x z]);
+    multi-bit signals as hex digits where the value is defined. *)
+
+type t
+
+(** @raise Invalid_argument for unresolvable paths. *)
+val create : Sim.t -> string list -> t
+
+(** Record the current values; call once per simulated cycle. *)
+val sample : t -> unit
+
+val render : t -> string
+
+(** One line per signal with decoded integer values per cycle. *)
+val render_values : t -> string

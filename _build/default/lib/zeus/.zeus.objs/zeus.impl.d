@@ -1,0 +1,1 @@
+lib/zeus/zeus.ml: Corpus Corpus_fsm Fmt Printexc Refmodel Testbench Zeus_base Zeus_lang Zeus_layout Zeus_sem Zeus_sim

@@ -1,0 +1,1 @@
+lib/zeus/corpus.ml: Corpus_am2901 Corpus_sort Corpus_systolic Printf

@@ -1,0 +1,1 @@
+lib/zeus/corpus_systolic.ml: Printf

@@ -1,0 +1,1 @@
+lib/zeus/refmodel.mli:

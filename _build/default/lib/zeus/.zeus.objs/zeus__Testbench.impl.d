@@ -1,0 +1,1 @@
+lib/zeus/testbench.ml: Fmt List String Zeus_base Zeus_sim

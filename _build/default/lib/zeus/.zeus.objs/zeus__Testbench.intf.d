@@ -1,0 +1,1 @@
+lib/zeus/testbench.mli: Fmt Format Zeus_base Zeus_sem Zeus_sim

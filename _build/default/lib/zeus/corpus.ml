@@ -1,0 +1,494 @@
+(* The example programs of the Zeus report (section 10 and the bodies of
+   sections 3, 4 and 8), as compilable Zeus source text.
+
+   The 1983 report is a scan with OCR-era typos and a few deliberately
+   elided bodies ("...").  Each deviation from the printed text is marked
+   with a comment in the source below and catalogued in DESIGN.md. *)
+
+(* ------------------------------------------------------------------ *)
+(* Adders (section 10, "Adders" + Fig 3.2.2)                            *)
+(* ------------------------------------------------------------------ *)
+
+let adders_prelude =
+  {zeus|
+TYPE halfadder = COMPONENT (IN a,b: boolean; OUT cout,s: boolean) IS
+BEGIN
+  s := XOR(a,b);
+  cout := AND(a,b)
+END;
+
+fulladder = COMPONENT (IN a,b,cin: boolean; OUT cout,s: boolean) IS
+SIGNAL h1,h2: halfadder;
+BEGIN
+  h1(a,b,*,h2.a);
+  h2(h1.s,cin,*,s);
+  cout := OR(h1.cout,h2.cout)
+END;
+
+bo(n) = ARRAY [1..n] OF boolean;
+
+rippleCarry(length) =
+  COMPONENT (IN a,b: ARRAY[1..length] OF boolean; IN cin: boolean;
+             OUT cout: boolean; OUT s: ARRAY[1..length] OF boolean) IS
+SIGNAL add: ARRAY [1..length] OF fulladder;
+       h: ARRAY [1..length+1] OF boolean;
+{ ORDER lefttoright FOR i := 1 TO length DO add[i] END END }
+BEGIN
+  SEQUENTIAL
+    h[1] := cin;
+    FOR i := 1 TO length DO SEQUENTIALLY
+      add[i](a[i],b[i],h[i],h[i+1],s[i]);
+    END;
+    cout := h[length+1];
+  END
+END;
+|zeus}
+
+let adder4 = adders_prelude ^ "\nSIGNAL adder: rippleCarry(4);\n"
+
+let adder_n n = adders_prelude ^ Printf.sprintf "\nSIGNAL adder: rippleCarry(%d);\n" n
+
+(* ------------------------------------------------------------------ *)
+(* mux4 (section 3.2)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let mux4 =
+  {zeus|
+TYPE bo(n) = ARRAY[1..n] OF boolean;
+mux4 = COMPONENT ( IN d: bo(4); IN a: bo(2); IN g: boolean ) : boolean IS
+CONST bit2 = ( (0,0),(0,1),(1,0),(1,1) );
+SIGNAL h: multiplex;
+BEGIN
+  FOR i := 1 TO 4 DO
+    IF EQUAL(a,bit2[i]) THEN h := d[i] END
+  END;
+  RESULT AND(NOT g,h)
+END;
+
+muxtop = COMPONENT ( IN d: bo(4); IN a: bo(2); IN g: boolean; OUT z: boolean ) IS
+BEGIN
+  z := mux4(d,a,g)
+END;
+
+SIGNAL m: muxtop;
+|zeus}
+
+(* ------------------------------------------------------------------ *)
+(* Arithmetic helpers used by Blackjack (declared "available" in the
+   report; implemented here as Zeus function components, MSB first)      *)
+(* ------------------------------------------------------------------ *)
+
+let arith5 =
+  {zeus|
+TYPE bo5 = ARRAY [1..5] OF boolean;
+
+plus = COMPONENT (IN term1,term2: bo5) : bo5 IS
+SIGNAL s: bo5; c: ARRAY[1..6] OF boolean;
+BEGIN
+  c[6] := 0;
+  FOR i := 5 DOWNTO 1 DO
+    s[i] := XOR(XOR(term1[i],term2[i]),c[i+1]);
+    c[i] := OR(AND(term1[i],term2[i]),AND(XOR(term1[i],term2[i]),c[i+1]))
+  END;
+  RESULT s
+END;
+
+minus = COMPONENT (IN term1,term2: bo5) : bo5 IS
+SIGNAL s: bo5; c: ARRAY[1..6] OF boolean;
+BEGIN
+  c[6] := 1;
+  FOR i := 5 DOWNTO 1 DO
+    s[i] := XOR(XOR(term1[i],NOT term2[i]),c[i+1]);
+    c[i] := OR(AND(term1[i],NOT term2[i]),
+               AND(XOR(term1[i],NOT term2[i]),c[i+1]))
+  END;
+  RESULT s
+END;
+
+lt = COMPONENT (IN term1,term2: bo5) : boolean IS
+SIGNAL l: ARRAY[1..6] OF boolean;
+BEGIN
+  l[6] := 0;
+  FOR i := 5 DOWNTO 1 DO
+    l[i] := OR(AND(NOT term1[i],term2[i]),
+               AND(EQUAL(term1[i],term2[i]),l[i+1]))
+  END;
+  RESULT l[1]
+END;
+
+ge = COMPONENT (IN term1,term2: bo5) : boolean IS
+BEGIN
+  RESULT NOT lt(term1,term2)
+END;
+|zeus}
+
+(* ------------------------------------------------------------------ *)
+(* Blackjack finite state machine (section 10)                          *)
+(*                                                                      *)
+(* Deviations from the print:                                           *)
+(* - "yeard"/"ycrd"/"yerd" normalised to ycard;                         *)
+(* - "IF EQUAL(state,end)" corrected to state.out;                      *)
+(* - scorelt22/scorege17 declared multiplex: they are assigned inside    *)
+(*   the RSET-guard ELSE, and plain booleans may not be assigned         *)
+(*   conditionally (type rules (1));                                     *)
+(* - BIN(22,5)/BIN(17,5) as in the print.                                *)
+(* ------------------------------------------------------------------ *)
+
+let blackjack =
+  arith5
+  ^ {zeus|
+blackjack = COMPONENT (IN ycard: boolean; IN value: bo5;
+                       OUT hit, broke, stand: boolean) IS
+CONST start = (0,0,0); read = (0,0,1); sum = (0,1,0);
+      firstace = (0,1,1); test = (1,0,0); end = (1,0,1);
+      zero5 = (0,0,0,0,0);
+      ten = BIN(10,5);
+TYPE reg(n) = ARRAY [1..n] OF REG;
+SIGNAL score, card: reg(5);
+       ace: REG;
+       state: reg(3);
+       scorelt22, scorege17: multiplex;
+BEGIN
+  IF RSET THEN state.in := start
+  ELSE
+    scorelt22 := lt(score.out,BIN(22,5));
+    scorege17 := ge(score.out,BIN(17,5));
+    IF EQUAL(state.out,start) THEN
+      score.in := zero5; ace.in := 0; state.in := read
+    END;
+    IF EQUAL(state.out,read) THEN
+      card.in := value; hit := 1;
+      IF ycard THEN state.in := sum END;
+    END;
+    IF EQUAL(state.out,sum) THEN
+      score.in := plus(score.out,card.out);
+      state.in := firstace
+    END;
+    IF EQUAL(state.out,firstace) THEN
+      state.in := test;
+      IF AND(EQUAL(card.out,BIN(1,5)),NOT ace.out) THEN
+        score.in := plus(score.out,ten);
+        ace.in := 1;
+      END;
+    END;
+    IF EQUAL(state.out,test) THEN
+      IF NOT scorege17 THEN state.in := read
+      ELSIF scorelt22 THEN state.in := end
+      ELSIF ace.out THEN
+        score.in := minus(score.out,ten);
+        ace.in := 0
+      ELSE state.in := end
+      <* the print has no branch for a busted hand without an ace, which
+         would leave the machine stuck in test and make broke
+         unreachable; this ELSE is the obvious repair *>
+      END;
+    END;
+    IF EQUAL(state.out,end) THEN
+      IF scorelt22 THEN stand := 1 ELSE broke := 1 END;
+      IF ycard THEN state.in := start ELSE state.in := end END;
+    END;
+  END
+END;
+
+SIGNAL bj: blackjack;
+|zeus}
+
+(* ------------------------------------------------------------------ *)
+(* Binary trees (section 10)                                            *)
+(* ------------------------------------------------------------------ *)
+
+let tree_prelude =
+  {zeus|
+TYPE q = COMPONENT (IN in: boolean; OUT out1,out2: boolean) IS
+BEGIN
+  out1 := in;
+  out2 := in
+END;
+|zeus}
+
+(* iterative formulation; the print's "h[2*i+1]" lacks the ".in"
+   selector — restored here *)
+let tree_iterative n =
+  tree_prelude
+  ^ {zeus|
+tree(n) = COMPONENT (IN in: boolean; OUT leaf: ARRAY [1..n] OF boolean) IS
+SIGNAL h: ARRAY [1..n-1] OF q;
+BEGIN
+  h[1].in := in;
+  FOR i := 1 TO n DIV 2 - 1 DO
+    h[i](*,h[2*i].in,h[2*i+1].in);
+  END;
+  FOR i := 1 TO n DIV 2 DO
+    h[i + n DIV 2 - 1](*,leaf[2*i-1],leaf[2*i]);
+  END;
+END;
+|zeus}
+  ^ Printf.sprintf "\nSIGNAL a: tree(%d);\n" n
+
+(* recursive formulation with layout; the print's preleaf wiring is
+   inconsistent (indices walk off the subtrees) — this is the obvious
+   repair with identical structure *)
+let tree_recursive n =
+  tree_prelude
+  ^ {zeus|
+tree(n) = COMPONENT (IN in: boolean; OUT leaf: ARRAY[1..n] OF boolean) IS
+SIGNAL left, right: tree(n DIV 2);
+       root: q;
+{ ORDER toptobottom
+    root;
+    ORDER lefttoright left; right END;
+  END }
+BEGIN
+  WHEN n > 2 THEN
+    root.in := in;
+    left.in := root.out1;
+    right.in := root.out2;
+    FOR i := 1 TO n DIV 2 DO
+      leaf[i] := left.leaf[i];
+      leaf[i + n DIV 2] := right.leaf[i]
+    END
+  OTHERWISE
+    root.in := in;
+    leaf[1] := root.out1;
+    leaf[2] := root.out2
+  END
+END;
+|zeus}
+  ^ Printf.sprintf "\nSIGNAL a: tree(%d);\n" n
+
+(* the H-tree with linear layout area (section 10); the leaf body is
+   empty in the print — kept that way (it is a layout demonstration) *)
+let htree n =
+  {zeus|
+TYPE htree(n) = COMPONENT (IN in: boolean; out: multiplex) { BOTTOM in;out } IS
+TYPE leaftype = COMPONENT (IN in: boolean; out: multiplex) { BOTTOM in;out } IS
+BEGIN
+END;
+SIGNAL s: ARRAY[1..4] OF htree(n DIV 4);
+       leaf: leaftype;
+{ ORDER lefttoright
+    ORDER toptobottom s[1]; flip90 s[3] END;
+    ORDER toptobottom s[2]; flip90 s[4] END;
+  END }
+BEGIN
+  WHEN n > 1 THEN
+    FOR i := 1 TO 4 DO
+      s[i].in := in;
+      out == s[i].out
+    END
+  OTHERWISE
+    leaf.in := in;
+    out == leaf.out
+  END
+END;
+|zeus}
+  ^ Printf.sprintf "\nSIGNAL a: htree(%d);\n" n
+
+(* ------------------------------------------------------------------ *)
+(* Pattern matching (section 10)                                        *)
+(*                                                                      *)
+(* The comparator is printed in full; the accumulator figure is cut     *)
+(* off mid-body in the scan, so its datapath is reconstructed after     *)
+(* Foster/Kung (1979): tp accumulates AND(d OR wildcard); the           *)
+(* end-of-pattern marker l emits the result and resets tp.              *)
+(* "wildout := comp.xout" / "comp.rin := resultin" corrected to acc     *)
+(* (the comparator has no such ports), and the illegal internal         *)
+(* assignment "resultin := 0" is dropped (resultin is a formal IN).     *)
+(* ------------------------------------------------------------------ *)
+
+let patternmatch length =
+  {zeus|
+TYPE patternmatch(length) =
+COMPONENT (IN pattern, string, endofpattern, wild, resultin: boolean;
+           OUT result, endout, stringout, wildout, patternout: boolean) IS
+TYPE comparator = COMPONENT (IN pin, sin: boolean;
+                             OUT pout, dout, sout: boolean) IS
+SIGNAL p,s: REG;
+BEGIN
+  IF RSET THEN p.in := 0; s.in := 0
+  ELSE
+    p(pin,pout);
+    s(sin,sout);
+  END;
+  dout := AND(1,EQUAL(p.out,s.out));
+END;
+
+accumulator = COMPONENT (IN d,lin,xin,rin: boolean;
+                         OUT lout,xout,rout: boolean) IS
+SIGNAL tp,l,x,r: REG;
+BEGIN
+  IF RSET THEN tp.in := 1; l.in := 0; x.in := 0; r.in := 0
+  ELSE
+    l(lin,lout);
+    x(xin,xout);
+    r(rin,*);
+    IF lin THEN
+      rout := tp.out;
+      tp.in := 1
+    ELSE
+      rout := r.out;
+      tp.in := AND(tp.out,OR(d,xin))
+    END;
+  END
+END;
+
+SIGNAL pe: ARRAY[1..length] OF COMPONENT (comp: comparator; acc: accumulator) IS
+BEGIN
+  acc.d := comp.dout
+END;
+
+{ ORDER lefttoright
+    FOR i := 1 TO length DO
+      ORDER toptobottom
+        WITH pe[i] DO comp; acc END;
+      END;
+    END
+  END }
+
+BEGIN
+  <* connections to the outside *>
+  WITH pe[1] DO
+    comp.pin := pattern;
+    acc.lin := endofpattern;
+    acc.xin := wild;
+    result := acc.rout;
+    stringout := comp.sout;
+  END;
+  WITH pe[length] DO
+    patternout := comp.pout;
+    comp.sin := string;
+    wildout := acc.xout;
+    acc.rin := resultin;
+    endout := acc.lout;
+  END;
+  <* internal connections *>
+  FOR i := 2 TO length-1 DO
+    WITH pe[i] DO
+      comp(pe[i-1].comp.pout,pe[i+1].comp.sout,
+           pe[i+1].comp.pin,*,pe[i-1].comp.sin);
+      acc(*,pe[i-1].acc.lout,pe[i-1].acc.xout,pe[i+1].acc.rout,
+          pe[i+1].acc.lin,pe[i+1].acc.xin,pe[i-1].acc.rin);
+    END
+  END
+END;
+|zeus}
+  ^ Printf.sprintf "\nSIGNAL match: patternmatch(%d);\n" length
+
+(* ------------------------------------------------------------------ *)
+(* HISDL routing network (section 4.2)                                  *)
+(*                                                                      *)
+(* The print leaves the router body as "..."; implemented here as a     *)
+(* 2x2 crossbar switched by the first (most significant) bit of         *)
+(* inport0, so the recursive butterfly actually routes.                 *)
+(* ------------------------------------------------------------------ *)
+
+let routing_network n =
+  {zeus|
+TYPE bit10 = ARRAY[1..10] OF boolean;
+channel(n) = ARRAY[0..n] OF bit10;
+
+router = COMPONENT (IN inport0,inport1: bit10;
+                    OUT outport0,outport1: bit10) IS
+BEGIN
+  IF inport0[1] THEN
+    outport0 := inport1;
+    outport1 := inport0
+  ELSE
+    outport0 := inport0;
+    outport1 := inport1
+  END
+END;
+
+routingnetwork(n) =
+COMPONENT (IN input: channel(n-1); OUT output: channel(n-1)) IS
+SIGNAL top,bottom: routingnetwork(n DIV 2);
+       <* this hardware is only generated if it is used *>
+       c: ARRAY[0..n DIV 2 - 1] OF router;
+BEGIN
+  WHEN n = 2 THEN
+    c[0](input[0],input[1],output[0],output[1])
+  OTHERWISE
+    FOR i := 0 TO n DIV 2 - 1 DO
+      c[i](input[2*i],input[2*i+1],top.input[i],bottom.input[i]);
+      output[i] := top.output[i];
+      output[i + n DIV 2] := bottom.output[i]
+    END;
+  END;
+END;
+|zeus}
+  ^ Printf.sprintf "\nSIGNAL net: routingnetwork(%d);\n" n
+
+(* ------------------------------------------------------------------ *)
+(* Random access memory via NUM (section 5.1)                           *)
+(* ------------------------------------------------------------------ *)
+
+let ram ~abits ~wbits =
+  Printf.sprintf
+    {zeus|
+TYPE word = ARRAY[1..%d] OF boolean;
+ram = COMPONENT (IN addr: ARRAY[1..%d] OF boolean; IN data: word;
+                 IN we: boolean; OUT q: word) IS
+SIGNAL mem: ARRAY[0..%d] OF ARRAY[1..%d] OF REG;
+BEGIN
+  IF we THEN mem[NUM(addr)].in := data END;
+  q := mem[NUM(addr)].out
+END;
+
+SIGNAL m: ram;
+|zeus}
+    wbits abits
+    ((1 lsl abits) - 1)
+    wbits
+
+(* ------------------------------------------------------------------ *)
+(* The semantics example of section 8 (evaluation-sequence trace)       *)
+(* ------------------------------------------------------------------ *)
+
+let section8_example =
+  {zeus|
+TYPE c = COMPONENT (IN a,b,cc,x,y,rin: boolean;
+                    OUT rout: boolean; out: multiplex) IS
+SIGNAL r: REG;
+BEGIN
+  IF x THEN out := AND(a,b) END;
+  IF y THEN out := cc END;
+  r(rin,rout)
+END;
+
+SIGNAL top: c;
+|zeus}
+
+(* ------------------------------------------------------------------ *)
+(* The other design classes named in the report's abstract              *)
+(* ------------------------------------------------------------------ *)
+
+let am2901 = Corpus_am2901.am2901
+
+let stack = Corpus_systolic.stack
+
+let dictionary = Corpus_systolic.dictionary
+
+let priority_queue = Corpus_systolic.priority_queue
+
+let sorter = Corpus_sort.sorter
+
+(* All statically sized programs, for parser/elaborator regression
+   sweeps. *)
+let all_named =
+  [
+    ("adder4", adder4);
+    ("mux4", mux4);
+    ("blackjack", blackjack);
+    ("tree_iterative8", tree_iterative 8);
+    ("tree_recursive8", tree_recursive 8);
+    ("htree16", htree 16);
+    ("patternmatch3", patternmatch 3);
+    ("routing4", routing_network 4);
+    ("ram", ram ~abits:4 ~wbits:8);
+    ("section8", section8_example);
+    ("am2901", am2901);
+    ("stack8x4", stack ~depth:8 ~width:4);
+    ("dictionary8x6", dictionary ~slots:8 ~keybits:6);
+    ("sorter8x4", sorter ~n:8 ~w:4);
+    ("pqueue8x4", priority_queue ~slots:8 ~width:4);
+  ]

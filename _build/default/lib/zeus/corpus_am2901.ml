@@ -1,0 +1,105 @@
+(* The AM2901 4-bit bit-slice ALU — one of the designs the report's
+   abstract says Zeus was "tested on".
+
+   This follows the classic AMD datapath: a 16x4 dual-read register file,
+   the Q register, a 3-bit source-operand selector, a 3-bit ALU function
+   code and a 3-bit destination control with up/down shifts.
+
+   Instruction encoding (bits are MSB first; i[1..3] = source,
+   i[4..6] = function, i[7..9] = destination):
+
+     source  0 AQ  1 AB  2 ZQ  3 ZB  4 ZA  5 DA  6 DQ  7 DZ
+     func    0 ADD (R+S+cin)   1 SUBR (S-R-1+cin)  2 SUBS (R-S-1+cin)
+             3 OR  4 AND  5 NOTRS (~R&S)  6 EXOR  7 EXNOR
+     dest    0 QREG (Q<-F)     1 NOP          2 RAMA (B<-F, Y=A)
+             3 RAMF (B<-F)     4 RAMQD (B<-F/2, Q<-Q/2)
+             5 RAMD (B<-F/2)   6 RAMQU (B<-2F, Q<-2Q)  7 RAMU (B<-2F)
+
+   Y = F for every destination except RAMA (Y = A-latch). *)
+
+let am2901 =
+  {zeus|
+TYPE bo3 = ARRAY[1..3] OF boolean;
+bo4 = ARRAY[1..4] OF boolean;
+
+am2901 = COMPONENT (IN i: ARRAY[1..9] OF boolean;
+                    IN a, b: bo4; IN d: bo4; IN cin: boolean;
+                    OUT y: bo4; OUT cout: boolean;
+                    OUT fzero, f3: boolean) IS
+CONST zero4 = (0,0,0,0);
+SIGNAL ram: ARRAY[0..15] OF ARRAY[1..4] OF REG;
+       q: ARRAY[1..4] OF REG;
+       av, bv: bo4;
+       src, fn, dst: bo3;
+       r, s: ARRAY[1..4] OF multiplex;
+       p1, p2: ARRAY[1..4] OF multiplex;
+       c: ARRAY[1..5] OF boolean;
+       sum: bo4;
+       f: ARRAY[1..4] OF multiplex;
+       fb: bo4;
+       arith: boolean;
+BEGIN
+  src := i[1..3];
+  fn := i[4..6];
+  dst := i[7..9];
+  av := ram[NUM(a)].out;
+  bv := ram[NUM(b)].out;
+
+  <* source operand selection *>
+  IF EQUAL(src,BIN(0,3)) THEN r := av;    s := q.out END;
+  IF EQUAL(src,BIN(1,3)) THEN r := av;    s := bv END;
+  IF EQUAL(src,BIN(2,3)) THEN r := zero4; s := q.out END;
+  IF EQUAL(src,BIN(3,3)) THEN r := zero4; s := bv END;
+  IF EQUAL(src,BIN(4,3)) THEN r := zero4; s := av END;
+  IF EQUAL(src,BIN(5,3)) THEN r := d;     s := av END;
+  IF EQUAL(src,BIN(6,3)) THEN r := d;     s := q.out END;
+  IF EQUAL(src,BIN(7,3)) THEN r := d;     s := zero4 END;
+
+  <* addends for the three arithmetic functions *>
+  IF EQUAL(fn,BIN(0,3)) THEN p1 := r;     p2 := s END;
+  IF EQUAL(fn,BIN(1,3)) THEN p1 := NOT r; p2 := s END;
+  IF EQUAL(fn,BIN(2,3)) THEN p1 := r;     p2 := NOT s END;
+
+  <* ripple carry; index 4 is the least significant bit *>
+  c[5] := cin;
+  FOR k := 4 DOWNTO 1 DO
+    sum[k] := XOR(XOR(p1[k],p2[k]),c[k+1]);
+    c[k] := OR(AND(p1[k],p2[k]),AND(XOR(p1[k],p2[k]),c[k+1]))
+  END;
+
+  arith := OR(OR(EQUAL(fn,BIN(0,3)),EQUAL(fn,BIN(1,3))),EQUAL(fn,BIN(2,3)));
+  IF arith THEN f := sum END;
+  IF EQUAL(fn,BIN(3,3)) THEN f := OR(r,s) END;
+  IF EQUAL(fn,BIN(4,3)) THEN f := AND(r,s) END;
+  IF EQUAL(fn,BIN(5,3)) THEN f := AND(NOT r,s) END;
+  IF EQUAL(fn,BIN(6,3)) THEN f := XOR(r,s) END;
+  IF EQUAL(fn,BIN(7,3)) THEN f := NOT XOR(r,s) END;
+
+  fb := f;
+  cout := c[1];
+  fzero := EQUAL(fb,zero4);
+  f3 := fb[1];
+
+  <* destination control *>
+  IF EQUAL(dst,BIN(2,3)) THEN y := av ELSE y := fb END;
+
+  IF EQUAL(dst,BIN(0,3)) THEN q.in := fb END;
+  IF OR(EQUAL(dst,BIN(2,3)),EQUAL(dst,BIN(3,3))) THEN
+    ram[NUM(b)].in := fb
+  END;
+  IF OR(EQUAL(dst,BIN(4,3)),EQUAL(dst,BIN(5,3))) THEN
+    ram[NUM(b)].in := (0,fb[1],fb[2],fb[3])
+  END;
+  IF EQUAL(dst,BIN(4,3)) THEN
+    q.in := (0,q.out[1],q.out[2],q.out[3])
+  END;
+  IF OR(EQUAL(dst,BIN(6,3)),EQUAL(dst,BIN(7,3))) THEN
+    ram[NUM(b)].in := (fb[2],fb[3],fb[4],0)
+  END;
+  IF EQUAL(dst,BIN(6,3)) THEN
+    q.in := (q.out[2],q.out[3],q.out[4],0)
+  END;
+END;
+
+SIGNAL alu: am2901;
+|zeus}

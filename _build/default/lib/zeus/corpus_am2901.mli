@@ -1,0 +1,5 @@
+(** The AM2901 bit-slice ALU in Zeus (named in the report's abstract);
+    re-exported as {!Corpus.am2901}.  See the implementation header for
+    the instruction encoding. *)
+
+val am2901 : string

@@ -1,0 +1,150 @@
+(* Small sequential machines — the "finite state machines, multiplexors"
+   of the report's abstract — written in Zeus.  Each is a classic idiom:
+   a binary counter, a shift register, a Fibonacci LFSR, a serial adder
+   and a Gray-code counter.
+
+   Note the Zeus discipline at work: the carry chains are computed
+   unconditionally (local booleans may not be assigned inside an IF,
+   type rules (1)); only the register inputs — IN pins of instantiated
+   components, exception 1 — are driven conditionally. *)
+
+(* n-bit binary up-counter with enable; index 1 is the MSB *)
+let counter n =
+  Printf.sprintf
+    {zeus|
+TYPE counter = COMPONENT (IN en: boolean; OUT value: ARRAY[1..%d] OF boolean) IS
+SIGNAL st: ARRAY[1..%d] OF REG;
+       carry: ARRAY[1..%d] OF boolean;
+BEGIN
+  carry[%d] := 1;
+  FOR i := %d DOWNTO 2 DO carry[i-1] := AND(carry[i],st[i].out) END;
+  IF RSET THEN st.in := BIN(0,%d)
+  ELSIF en THEN
+    FOR i := 1 TO %d DO st[i].in := XOR(st[i].out,carry[i]) END;
+  END;
+  value := st.out
+END;
+
+SIGNAL c: counter;
+|zeus}
+    n n n n n n n
+
+(* serial-in shift register, q[1] is the most recent bit *)
+let shift_register n =
+  Printf.sprintf
+    {zeus|
+TYPE shiftreg = COMPONENT (IN d, en: boolean; OUT q: ARRAY[1..%d] OF boolean) IS
+SIGNAL st: ARRAY[1..%d] OF REG;
+BEGIN
+  IF RSET THEN st.in := BIN(0,%d)
+  ELSIF en THEN
+    st[1].in := d;
+    FOR i := 2 TO %d DO st[i].in := st[i-1].out END;
+  END;
+  q := st.out
+END;
+
+SIGNAL sr: shiftreg;
+|zeus}
+    n n n n
+
+(* 4-bit Fibonacci LFSR with taps at bits 4 and 3 (period 15) *)
+let lfsr4 =
+  {zeus|
+TYPE lfsr = COMPONENT (IN en: boolean; OUT q: ARRAY[1..4] OF boolean) IS
+SIGNAL st: ARRAY[1..4] OF REG;
+BEGIN
+  IF RSET THEN st.in := (1,0,0,0)
+  ELSIF en THEN
+    st[1].in := XOR(st[4].out,st[3].out);
+    FOR i := 2 TO 4 DO st[i].in := st[i-1].out END;
+  END;
+  q := st.out
+END;
+
+SIGNAL l: lfsr;
+|zeus}
+
+(* bit-serial adder: one full adder plus a carry flip-flop *)
+let serial_adder =
+  {zeus|
+TYPE serialadder = COMPONENT (IN a, b: boolean; OUT s: boolean) IS
+SIGNAL c: REG;
+BEGIN
+  IF RSET THEN c.in := 0
+  ELSE c.in := OR(AND(a,b),AND(XOR(a,b),c.out))
+  END;
+  s := XOR(XOR(a,b),c.out)
+END;
+
+SIGNAL sa: serialadder;
+|zeus}
+
+(* Gray-code counter: a binary counter with an XOR output stage *)
+let gray_counter n =
+  Printf.sprintf
+    {zeus|
+TYPE gray = COMPONENT (IN en: boolean; OUT g: ARRAY[1..%d] OF boolean) IS
+SIGNAL st: ARRAY[1..%d] OF REG;
+       carry: ARRAY[1..%d] OF boolean;
+BEGIN
+  carry[%d] := 1;
+  FOR i := %d DOWNTO 2 DO carry[i-1] := AND(carry[i],st[i].out) END;
+  IF RSET THEN st.in := BIN(0,%d)
+  ELSIF en THEN
+    FOR i := 1 TO %d DO st[i].in := XOR(st[i].out,carry[i]) END;
+  END;
+  g[1] := st[1].out;
+  FOR i := 2 TO %d DO g[i] := XOR(st[i-1].out,st[i].out) END;
+END;
+
+SIGNAL gc: gray;
+|zeus}
+    n n n n n n n n
+
+(* a parameterized multiplexor via NUM — the general form of section
+   3.2's mux4 *)
+let muxn ~inputs ~selbits =
+  Printf.sprintf
+    {zeus|
+TYPE muxn = COMPONENT (IN d: ARRAY[0..%d] OF boolean;
+                       IN sel: ARRAY[1..%d] OF boolean;
+                       OUT z: boolean) IS
+BEGIN
+  z := d[NUM(sel)]
+END;
+
+SIGNAL m: muxn;
+|zeus}
+    (inputs - 1) selbits
+
+(* A two-request arbiter resolving simultaneous requests with the
+   predefined RANDOM source — section 7 lists RANDOM precisely "for
+   describing bistable elements" whose metastable resolution is
+   nondeterministic. *)
+let arbiter =
+  {zeus|
+TYPE arbiter = COMPONENT (IN req1, req2: boolean; OUT gnt1, gnt2: boolean) IS
+SIGNAL coin: boolean;
+BEGIN
+  coin := RANDOM();
+  IF AND(req1,NOT req2) THEN gnt1 := 1 END;
+  IF AND(req2,NOT req1) THEN gnt2 := 1 END;
+  IF AND(req1,req2) THEN
+    IF coin THEN gnt1 := 1 ELSE gnt2 := 1 END
+  END;
+END;
+
+SIGNAL arb: arbiter;
+|zeus}
+
+let all_named =
+  [
+    ("counter8", counter 8);
+    ("arbiter", arbiter);
+    ("shiftreg8", shift_register 8);
+    ("lfsr4", lfsr4);
+    ("serial_adder", serial_adder);
+    ("gray4", gray_counter 4);
+    ("mux8", muxn ~inputs:8 ~selbits:3);
+  ]

@@ -1,0 +1,28 @@
+(** Classic sequential idioms written in Zeus — the "finite state
+    machines, multiplexors" of the report's abstract.  Each value is a
+    complete program ending in a top-level SIGNAL instantiation. *)
+
+(** n-bit binary up-counter with enable ([c]); index 1 is the MSB. *)
+val counter : int -> string
+
+(** Serial-in shift register ([sr]); q[1] is the most recent bit. *)
+val shift_register : int -> string
+
+(** 4-bit maximal-length Fibonacci LFSR ([l]), taps 4 and 3. *)
+val lfsr4 : string
+
+(** Bit-serial adder ([sa]): one full adder and a carry flip-flop. *)
+val serial_adder : string
+
+(** Gray-code counter ([gc]): consecutive outputs differ in one bit. *)
+val gray_counter : int -> string
+
+(** NUM-based parameterized multiplexor ([m]) — the general form of the
+    report's mux4. *)
+val muxn : inputs:int -> selbits:int -> string
+
+(** Two-request arbiter ([arb]) resolving ties with the predefined
+    RANDOM source — section 7's "for describing bistable elements". *)
+val arbiter : string
+
+val all_named : (string * string) list

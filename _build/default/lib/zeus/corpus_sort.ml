@@ -1,0 +1,70 @@
+(* An odd-even transposition sorter — answering section 9's invitation to
+   describe published circuits (Thompson 1981, "VLSI Complexity of
+   Sorting") in Zeus.
+
+   n words of w bits held in registers; each cycle compare-exchanges
+   adjacent pairs, alternating between the odd-indexed and even-indexed
+   pairs under a phase flip-flop.  After n cycles the array is sorted
+   ascending.
+
+   The design leans on exactly the discipline the report centres on:
+   v[i].in is conditionally driven by the load path, by pair (i-1,i) and
+   by pair (i,i+1) — statically that is multiple conditional assignment,
+   legal only because the guards are disjoint at runtime (pairs alternate
+   with the phase), which the simulator's multiple-drive check verifies
+   on every cycle. *)
+
+let sorter ~n ~w =
+  Printf.sprintf
+    {zeus|
+TYPE word = ARRAY[1..%d] OF boolean;
+
+gtw = COMPONENT (IN a, b: word) : boolean IS
+SIGNAL g: ARRAY[1..%d] OF boolean;
+BEGIN
+  <* g[i] = 1 iff a[i..] > b[i..], MSB first *>
+  g[%d] := AND(a[%d],NOT b[%d]);
+  FOR i := %d DOWNTO 1 DO
+    g[i] := OR(AND(a[i],NOT b[i]),AND(EQUAL(a[i],b[i]),g[i+1]))
+  END;
+  RESULT g[1]
+END;
+
+sorter = COMPONENT (IN load: boolean; IN din: ARRAY[1..%d] OF word;
+                    OUT dout: ARRAY[1..%d] OF word) IS
+SIGNAL v: ARRAY[1..%d] OF ARRAY[1..%d] OF REG;
+       phase, valid: REG;
+       swap: ARRAY[1..%d] OF boolean;
+BEGIN
+  FOR i := 1 TO %d DO
+    swap[i] := gtw(v[i].out,v[i+1].out)
+  END;
+  <* valid gates the compare-exchange phase: before the first load the
+     registers hold UNDEF and the pair guards would fire spuriously *>
+  IF RSET THEN phase.in := 0; valid.in := 0
+  ELSIF load THEN
+    phase.in := 0;
+    valid.in := 1;
+    FOR i := 1 TO %d DO v[i].in := din[i] END
+  ELSIF valid.out THEN
+    phase.in := NOT phase.out;
+    FOR i := 1 TO %d DO
+      WHEN odd(i) THEN
+        IF AND(NOT phase.out,swap[i]) THEN
+          v[i].in := v[i+1].out;
+          v[i+1].in := v[i].out
+        END
+      OTHERWISE
+        IF AND(phase.out,swap[i]) THEN
+          v[i].in := v[i+1].out;
+          v[i+1].in := v[i].out
+        END
+      END
+    END
+  END;
+  dout := v.out
+END;
+
+SIGNAL srt: sorter;
+|zeus}
+    w w w w w (w - 1) n n n w (n - 1) (n - 1) n (n - 1)

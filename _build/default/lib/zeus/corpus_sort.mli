@@ -1,0 +1,5 @@
+(** The odd-even transposition sorter ([srt]), answering section 9's
+    invitation to describe Thompson-style sorting circuits in Zeus;
+    re-exported as {!Corpus.sorter}. *)
+
+val sorter : n:int -> w:int -> string

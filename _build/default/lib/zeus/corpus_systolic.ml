@@ -1,0 +1,160 @@
+(* The remaining example classes named in the report's abstract —
+   "dictionary machines, systolic stacks" — written in Zeus.
+
+   - The systolic stack follows Guibas/Liang (1982, cited in section 9):
+     a linear array of width-w cells; a push shifts every cell one place
+     away from the top, a pop shifts every cell one place toward it.
+     Every cell acts simultaneously, so both operations are one clock
+     cycle regardless of depth.
+
+   - The dictionary machine follows Ottmann/Rosenberg/Stockmeyer (1982,
+     cited in section 10's invitation list): an associative memory of n
+     key cells with INSERT/DELETE/MEMBER; the MEMBER answer is reduced
+     through an OR chain. *)
+
+(* ------------------------------------------------------------------ *)
+(* Systolic stack                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* depth cells of w bits; top of stack is cell 1.
+   push: cell[i] <- cell[i-1] (cell[1] <- datain)
+   pop:  cell[i] <- cell[i+1] (cell[depth] <- zeros)
+   top output is cell[1]'s stored value. *)
+let stack ~depth ~width =
+  Printf.sprintf
+    {zeus|
+TYPE word = ARRAY[1..%d] OF boolean;
+
+stackcell = COMPONENT (IN push, pop: boolean;
+                       IN fromabove, frombelow: word;
+                       OUT val: word) IS
+SIGNAL v: ARRAY[1..%d] OF REG;
+BEGIN
+  IF RSET THEN v.in := BIN(0,%d)
+  ELSIF push THEN v.in := fromabove
+  ELSIF pop THEN v.in := frombelow
+  END;
+  val := v.out
+END;
+
+stack(depth) = COMPONENT (IN push, pop: boolean; IN datain: word;
+                          OUT top: word) IS
+SIGNAL cell: ARRAY[1..depth] OF stackcell;
+CONST zero = BIN(0,%d);
+{ ORDER toptobottom FOR i := 1 TO depth DO cell[i] END END }
+BEGIN
+  cell[1].push := push;
+  cell[1].pop := pop;
+  cell[1].fromabove := datain;
+  FOR i := 2 TO depth DO
+    cell[i].push := push;
+    cell[i].pop := pop;
+    cell[i].fromabove := cell[i-1].val;
+    cell[i-1].frombelow := cell[i].val;
+  END;
+  cell[depth].frombelow := zero;
+  top := cell[1].val
+END;
+
+SIGNAL st: stack(%d);
+|zeus}
+    width width width width depth
+
+(* ------------------------------------------------------------------ *)
+(* Systolic priority queue (Guibas/Liang: "Systolic Stacks, Queues and  *)
+(* Counters")                                                           *)
+(*                                                                      *)
+(* Cells keep their values sorted ascending from the min end: an insert *)
+(* ripples the new value in at its rank and displaces the rest one cell *)
+(* toward the tail (the largest value falls off a full queue); an       *)
+(* extract shifts everything one cell toward the head.  Empty cells     *)
+(* hold the maximum — the REG(1) initialization makes that the          *)
+(* power-up state with no reset protocol.                               *)
+(* ------------------------------------------------------------------ *)
+
+let priority_queue ~slots ~width =
+  Printf.sprintf
+    {zeus|
+TYPE word = ARRAY[1..%d] OF boolean;
+
+ltw = COMPONENT (IN a, b: word) : boolean IS
+SIGNAL l: ARRAY[1..%d] OF boolean;
+BEGIN
+  l[%d] := AND(NOT a[%d],b[%d]);
+  FOR i := %d DOWNTO 1 DO
+    l[i] := OR(AND(NOT a[i],b[i]),AND(EQUAL(a[i],b[i]),l[i+1]))
+  END;
+  RESULT l[1]
+END;
+
+pqueue = COMPONENT (IN ins, ext: boolean; IN din: word; OUT minout: word) IS
+SIGNAL v: ARRAY[1..%d] OF ARRAY[1..%d] OF REG(1);
+       less: ARRAY[1..%d] OF boolean;
+       disp: ARRAY[0..%d] OF ARRAY[1..%d] OF multiplex;
+       <* disp[i] = the value displaced past cell i during an insert *>
+CONST allones = BIN(%d,%d);
+BEGIN
+  disp[0] := din;
+  FOR i := 1 TO %d DO
+    less[i] := ltw(disp[i-1],v[i].out);
+    IF less[i] THEN disp[i] := v[i].out ELSE disp[i] := disp[i-1] END;
+    IF AND(ins,less[i]) THEN v[i].in := disp[i-1] END;
+  END;
+  * := disp[%d];  <* a full queue drops its largest value *>
+  IF AND(ext,NOT ins) THEN
+    FOR i := 1 TO %d DO v[i].in := v[i+1].out END;
+    v[%d].in := allones;
+  END;
+  minout := v[1].out
+END;
+
+SIGNAL pq: pqueue;
+|zeus}
+    width width width width width (width - 1) slots width slots slots width
+    ((1 lsl width) - 1)
+    width slots slots (slots - 1) slots
+
+(* ------------------------------------------------------------------ *)
+(* Dictionary machine (associative memory with OR-chain reduction)      *)
+(* ------------------------------------------------------------------ *)
+
+let dictionary ~slots ~keybits =
+  let abits =
+    let rec go n acc = if n <= 1 then acc else go (n / 2) (acc + 1) in
+    max 1 (go slots 0)
+  in
+  Printf.sprintf
+    {zeus|
+TYPE key = ARRAY[1..%d] OF boolean;
+addr = ARRAY[1..%d] OF boolean;
+
+dictionary = COMPONENT (IN ins, del: boolean; IN slot: addr;
+                        IN query: key; IN data: key;
+                        OUT member: boolean) IS
+SIGNAL keys: ARRAY[0..%d] OF ARRAY[1..%d] OF REG;
+       valid: ARRAY[0..%d] OF REG;
+       hit: ARRAY[0..%d] OF boolean;
+       acc: ARRAY[0..%d] OF boolean;
+BEGIN
+  IF RSET THEN
+    FOR i := 0 TO %d DO valid[i].in := 0 END
+  ELSE
+    IF ins THEN
+      keys[NUM(slot)].in := data;
+      valid[NUM(slot)].in := 1
+    END;
+    IF del THEN valid[NUM(slot)].in := 0 END;
+  END;
+  FOR i := 0 TO %d DO
+    hit[i] := AND(valid[i].out,EQUAL(keys[i].out,query))
+  END;
+  <* OR-chain reduction of the hit bits *>
+  acc[0] := hit[0];
+  FOR i := 1 TO %d DO acc[i] := OR(acc[i-1],hit[i]) END;
+  member := acc[%d]
+END;
+
+SIGNAL dict: dictionary;
+|zeus}
+    keybits abits (slots - 1) keybits (slots - 1) (slots - 1) (slots - 1)
+    (slots - 1) (slots - 1) (slots - 1) (slots - 1)

@@ -1,0 +1,14 @@
+(** The systolic designs of the report's abstract and citation list
+    (Guibas/Liang, Ottmann/Rosenberg/Stockmeyer), re-exported through
+    {!Corpus}. *)
+
+(** Systolic stack ([st]): one cycle per push/pop at any depth. *)
+val stack : depth:int -> width:int -> string
+
+(** Systolic priority queue ([pq]): one-cycle insert/extract-min; empty
+    cells power up at the all-ones maximum via REG(1). *)
+val priority_queue : slots:int -> width:int -> string
+
+(** Dictionary machine ([dict]): INSERT/DELETE/MEMBER with an OR-chain
+    reduction. *)
+val dictionary : slots:int -> keybits:int -> string

@@ -1,0 +1,151 @@
+(* Pure-OCaml golden models for the larger corpus designs, used by the
+   differential tests and the benchmark harness. *)
+
+(* ------------------------------------------------------------------ *)
+(* AM2901                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Am2901 = struct
+  type t = {
+    ram : int array; (* 16 x 4-bit *)
+    mutable q : int;
+  }
+
+  type result = {
+    y : int;
+    cout : bool;
+    fzero : bool;
+    f3 : bool;
+  }
+
+  let create () = { ram = Array.make 16 0; q = 0 }
+
+  let mask4 v = v land 0xf
+
+  (* one clocked instruction; [i] is the 9-bit code with the source in
+     the top three bits (matching the MSB-first Zeus encoding) *)
+  let step t ~i ~a ~b ~d ~cin =
+    let src = (i lsr 6) land 7
+    and fn = (i lsr 3) land 7
+    and dst = i land 7 in
+    let av = t.ram.(a) and bv = t.ram.(b) in
+    let r, s =
+      match src with
+      | 0 -> (av, t.q)
+      | 1 -> (av, bv)
+      | 2 -> (0, t.q)
+      | 3 -> (0, bv)
+      | 4 -> (0, av)
+      | 5 -> (d, av)
+      | 6 -> (d, t.q)
+      | _ -> (d, 0)
+    in
+    let ci = if cin then 1 else 0 in
+    let wide =
+      match fn with
+      | 0 -> r + s + ci
+      | 1 -> s + (lnot r land 0xf) + ci
+      | 2 -> r + (lnot s land 0xf) + ci
+      | 3 -> r lor s
+      | 4 -> r land s
+      | 5 -> lnot r land s land 0xf
+      | 6 -> r lxor s
+      | _ -> lnot (r lxor s) land 0xf
+    in
+    let f = mask4 wide in
+    let cout = fn <= 2 && wide > 0xf in
+    (* destination *)
+    (match dst with
+    | 0 -> t.q <- f
+    | 1 -> ()
+    | 2 | 3 -> t.ram.(b) <- f
+    | 4 ->
+        t.ram.(b) <- f lsr 1;
+        t.q <- t.q lsr 1
+    | 5 -> t.ram.(b) <- f lsr 1
+    | 6 ->
+        t.ram.(b) <- mask4 (f lsl 1);
+        t.q <- mask4 (t.q lsl 1)
+    | _ -> t.ram.(b) <- mask4 (f lsl 1));
+    {
+      y = (if dst = 2 then av else f);
+      cout;
+      fzero = f = 0;
+      f3 = f land 8 <> 0;
+    }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Systolic stack                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Stack = struct
+  type t = {
+    cells : int array; (* cell 0 is the top *)
+  }
+
+  let create ~depth = { cells = Array.make depth 0 }
+
+  let top t = t.cells.(0)
+
+  let push t v =
+    let n = Array.length t.cells in
+    Array.blit t.cells 0 t.cells 1 (n - 1);
+    t.cells.(0) <- v
+
+  let pop t =
+    let n = Array.length t.cells in
+    Array.blit t.cells 1 t.cells 0 (n - 1);
+    t.cells.(n - 1) <- 0
+end
+
+(* ------------------------------------------------------------------ *)
+(* Systolic priority queue: a sorted array of fixed size, empty slots
+   holding the all-ones maximum                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Pqueue = struct
+  type t = {
+    slots : int;
+    maxv : int;
+    mutable values : int list; (* sorted ascending, length = slots *)
+  }
+
+  let create ~slots ~width =
+    { slots; maxv = (1 lsl width) - 1; values = List.init slots (fun _ -> (1 lsl width) - 1) }
+
+  let min t = List.hd t.values
+
+  let insert t v =
+    let vs = List.stable_sort compare (t.values @ [ v ]) in
+    t.values <- List.filteri (fun i _ -> i < t.slots) vs
+
+  let extract t =
+    match t.values with
+    | _ :: rest -> t.values <- rest @ [ t.maxv ]
+    | [] -> ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Dictionary machine                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Dictionary = struct
+  type t = {
+    keys : int array;
+    valid : bool array;
+  }
+
+  let create ~slots = { keys = Array.make slots 0; valid = Array.make slots false }
+
+  let insert t ~slot ~key =
+    t.keys.(slot) <- key;
+    t.valid.(slot) <- true
+
+  let delete t ~slot = t.valid.(slot) <- false
+
+  let member t key =
+    let found = ref false in
+    Array.iteri (fun i k -> if t.valid.(i) && k = key then found := true) t.keys;
+    !found
+end

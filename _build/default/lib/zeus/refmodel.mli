@@ -1,0 +1,54 @@
+(** Pure-OCaml golden models for the larger corpus designs — the
+    references the differential tests and the A1 benchmark compare the
+    Zeus simulations against. *)
+
+(** The AM2901 bit-slice ALU. *)
+module Am2901 : sig
+  type t
+
+  type result = {
+    y : int;
+    cout : bool;
+    fzero : bool;
+    f3 : bool;
+  }
+
+  val create : unit -> t
+
+  (** One clocked instruction.  [i] is the 9-bit code with the source
+      select in the top three bits (matching the MSB-first Zeus
+      encoding: i[1..3] source, i[4..6] function, i[7..9] destination). *)
+  val step : t -> i:int -> a:int -> b:int -> d:int -> cin:bool -> result
+end
+
+(** The systolic stack (cell 0 is the top; empty cells read 0). *)
+module Stack : sig
+  type t
+
+  val create : depth:int -> t
+  val top : t -> int
+  val push : t -> int -> unit
+  val pop : t -> unit
+end
+
+(** The systolic priority queue: a fixed-size sorted array whose empty
+    slots hold the all-ones maximum. *)
+module Pqueue : sig
+  type t
+
+  val create : slots:int -> width:int -> t
+  val min : t -> int
+  val insert : t -> int -> unit
+  val extract : t -> unit
+end
+
+(** The dictionary machine: slot-addressed insert/delete, associative
+    member queries. *)
+module Dictionary : sig
+  type t
+
+  val create : slots:int -> t
+  val insert : t -> slot:int -> key:int -> unit
+  val delete : t -> slot:int -> unit
+  val member : t -> int -> bool
+end

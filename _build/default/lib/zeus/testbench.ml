@@ -1,0 +1,110 @@
+(* A small vector-driven testbench harness over the simulator: poke
+   named inputs, clock, and collect expectation failures with readable
+   messages.  Used by the examples and available to library users. *)
+
+module Sim = Zeus_sim.Sim
+module Logic = Zeus_base.Logic
+
+type failure = {
+  cycle : int;
+  signal : string;
+  expected : string;
+  actual : string;
+}
+
+type t = {
+  sim : Sim.t;
+  mutable failures : failure list;
+}
+
+let create ?engine ?seed design = { sim = Sim.create ?engine ?seed design; failures = [] }
+
+let sim t = t.sim
+
+(* ------------------------------------------------------------------ *)
+(* Driving                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let set t path v = Sim.poke_int t.sim path v
+
+let set_lsb t path v = Sim.poke_int_lsb t.sim path v
+
+let set_bool t path v = Sim.poke_bool t.sim path v
+
+let set_bits t path bits = Sim.poke t.sim path bits
+
+let reset t = Sim.reset t.sim
+
+let clock ?(n = 1) t = Sim.step_n t.sim n
+
+(* ------------------------------------------------------------------ *)
+(* Expectations                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let record t signal expected actual =
+  if expected <> actual then
+    t.failures <-
+      { cycle = Sim.cycle_count t.sim; signal; expected; actual }
+      :: t.failures
+
+let bits_to_string bits = String.concat "" (List.map Logic.to_string bits)
+
+let expect_int t path v =
+  record t path (string_of_int v)
+    (match Sim.peek_int t.sim path with
+    | Some got -> string_of_int got
+    | None -> bits_to_string (Sim.peek t.sim path))
+
+let expect_int_lsb t path v =
+  record t path (string_of_int v)
+    (match Sim.peek_int_lsb t.sim path with
+    | Some got -> string_of_int got
+    | None -> bits_to_string (Sim.peek t.sim path))
+
+let expect_bool t path v =
+  record t path
+    (Logic.to_string (Logic.of_bool v))
+    (Logic.to_string (Sim.peek_bit t.sim path))
+
+let expect_bits t path bits =
+  record t path (bits_to_string bits) (bits_to_string (Sim.peek t.sim path))
+
+(* ------------------------------------------------------------------ *)
+(* Vector tables                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* [run_table t ~inputs ~outputs rows]: each row is (input values,
+   expected output values); applies the inputs, clocks once, checks the
+   outputs.  Integer values use the MSB-first BIN convention. *)
+let run_table t ~inputs ~outputs rows =
+  List.iter
+    (fun (ins, outs) ->
+      List.iter2 (fun path v -> set t path v) inputs ins;
+      clock t;
+      List.iter2 (fun path v -> expect_int t path v) outputs outs)
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Results                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let failures t = List.rev t.failures
+
+let runtime_errors t = Sim.runtime_errors t.sim
+
+let ok t = t.failures = [] && Sim.runtime_errors t.sim = []
+
+let pp_failure ppf f =
+  Fmt.pf ppf "cycle %d: %s = %s (expected %s)" f.cycle f.signal f.actual
+    f.expected
+
+let report ppf t =
+  match (failures t, runtime_errors t) with
+  | [], [] -> Fmt.pf ppf "all expectations met@."
+  | fs, res ->
+      List.iter (fun f -> Fmt.pf ppf "FAIL %a@." pp_failure f) fs;
+      List.iter
+        (fun (e : Sim.runtime_error) ->
+          Fmt.pf ppf "RUNTIME (cycle %d) %s: %s@." e.Sim.err_cycle
+            e.Sim.err_net e.Sim.err_message)
+        res

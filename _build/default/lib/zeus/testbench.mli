@@ -1,0 +1,57 @@
+(** A small vector-driven testbench harness over the simulator: poke
+    named inputs, clock, record expectation failures with readable
+    messages. *)
+
+module Sim = Zeus_sim.Sim
+module Logic = Zeus_base.Logic
+
+type failure = {
+  cycle : int;
+  signal : string;
+  expected : string;
+  actual : string;
+}
+
+type t
+
+val create :
+  ?engine:Sim.engine -> ?seed:int -> Zeus_sem.Elaborate.design -> t
+
+(** The underlying simulator, for operations not wrapped here. *)
+val sim : t -> Sim.t
+
+(** {1 Driving} *)
+
+(** Integer pokes use the MSB-first BIN convention. *)
+val set : t -> string -> int -> unit
+
+val set_lsb : t -> string -> int -> unit
+val set_bool : t -> string -> bool -> unit
+val set_bits : t -> string -> Logic.t list -> unit
+val reset : t -> unit
+val clock : ?n:int -> t -> unit
+
+(** {1 Expectations}
+
+    Mismatches are recorded, not raised; see {!failures}/{!ok}. *)
+
+val expect_int : t -> string -> int -> unit
+val expect_int_lsb : t -> string -> int -> unit
+val expect_bool : t -> string -> bool -> unit
+val expect_bits : t -> string -> Logic.t list -> unit
+
+(** [run_table t ~inputs ~outputs rows]: for each row (input values,
+    expected outputs), apply the inputs, clock once, check the outputs. *)
+val run_table :
+  t -> inputs:string list -> outputs:string list -> (int list * int list) list -> unit
+
+(** {1 Results} *)
+
+val failures : t -> failure list
+val runtime_errors : t -> Sim.runtime_error list
+
+(** No expectation failures and no simulator runtime errors. *)
+val ok : t -> bool
+
+val pp_failure : failure Fmt.t
+val report : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_autoplace.ml: Alcotest Autoplace Corpus Corpus_fsm Diag Elaborate Floorplan Fmt Geom List Printf Sim Stats String Wave Zeus

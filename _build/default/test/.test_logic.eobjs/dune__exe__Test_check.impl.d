@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Corpus Diag Fmt List Printf Zeus

@@ -1,0 +1,1 @@
+test/test_const_eval.ml: Alcotest Ast Const_eval Cval Diag List Logic Parser QCheck QCheck_alcotest Zeus

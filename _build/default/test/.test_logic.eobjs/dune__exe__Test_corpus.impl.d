@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Corpus Diag Elaborate Fmt List Netlist Printf Zeus

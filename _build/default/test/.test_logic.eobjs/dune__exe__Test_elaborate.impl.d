@@ -1,0 +1,1 @@
+test/test_elaborate.ml: Alcotest Array Corpus Diag Elaborate Fmt List Netlist Printf Zeus

@@ -1,0 +1,1 @@
+test/test_errors.ml: Alcotest Corpus Diag List Loc Printexc Printf QCheck QCheck_alcotest String Zeus

@@ -1,0 +1,1 @@
+test/test_etype.ml: Alcotest Etype List Printf QCheck QCheck_alcotest Zeus

@@ -1,0 +1,1 @@
+test/test_examples.ml: Alcotest Corpus Diag Elaborate Fmt Hashtbl List Logic Netlist Printf QCheck QCheck_alcotest Sim Zeus

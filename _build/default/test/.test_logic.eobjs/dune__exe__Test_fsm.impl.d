@@ -1,0 +1,1 @@
+test/test_fsm.ml: Alcotest Corpus_fsm Diag Fmt List Logic Printf QCheck QCheck_alcotest Sim Zeus

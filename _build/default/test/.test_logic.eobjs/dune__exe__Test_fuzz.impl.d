@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Buffer Diag Fmt Fun List Logic Parser Pretty Printf QCheck QCheck_alcotest Random Sim String Zeus

@@ -1,0 +1,1 @@
+test/test_language.ml: Alcotest Diag Elaborate Fmt List Logic Printf Sim Zeus

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Corpus Diag Floorplan Fmt Geom Layout_ir List Option Printf QCheck QCheck_alcotest Render String Zeus

@@ -1,0 +1,1 @@
+test/test_layout_fuzz.ml: Alcotest Diag Floorplan Fmt Geom List Logic Printf QCheck QCheck_alcotest Sim String Zeus

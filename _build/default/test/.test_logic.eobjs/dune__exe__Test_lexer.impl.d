@@ -1,0 +1,1 @@
+test/test_lexer.ml: Alcotest Array Char Diag Lexer List Loc QCheck QCheck_alcotest String Token Zeus

@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest List Logic Option QCheck QCheck_alcotest Zeus

@@ -1,0 +1,1 @@
+test/test_machines.ml: Alcotest Corpus Diag Fmt Gen List Logic Option Printf QCheck QCheck_alcotest Refmodel Sim String Zeus

@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Corpus Corpus_fsm Diag Elaborate Etype Fmt List Logic Netlist Optimize Random Sim String Zeus

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Corpus Diag List Option Parser Pretty Zeus

@@ -1,0 +1,1 @@
+test/test_scale.ml: Alcotest Corpus Diag Elaborate Floorplan Fmt Fun List Logic Netlist Option Printf Sim Zeus

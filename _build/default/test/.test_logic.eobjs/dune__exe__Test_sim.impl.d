@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Check Corpus Diag Fmt List Logic Printf QCheck QCheck_alcotest Random Sim String Vcd Zeus

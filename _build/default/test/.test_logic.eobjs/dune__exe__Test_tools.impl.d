@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Array Buffer Corpus Corpus_fsm Diag Elaborate Explain Fmt Graph List Logic Netlist Option Printf Sim Stats String Testbench Zeus

@@ -1,0 +1,24 @@
+  $ zeusc corpus
+  $ zeusc corpus adder4 > adder4.zeus
+  $ zeusc check adder4.zeus
+  $ zeusc sim adder4.zeus -n 1 -p adder.a=9 -p adder.b=6 -p adder.cin=0 -w adder.s -w adder.cout
+  $ cat > bad.zeus <<'ZEUS'
+  > TYPE bad = COMPONENT (IN a,b: boolean; OUT s: boolean) IS
+  > BEGIN
+  >   s := XOR(a,b);
+  >   s := AND(a,b)
+  > END;
+  > SIGNAL x: bad;
+  > ZEUS
+  $ zeusc check bad.zeus
+  $ zeusc corpus htree16 | zeusc layout -
+  $ zeusc corpus mux4 | zeusc pp - | zeusc check -
+  $ zeusc corpus blackjack | zeusc optimize -
+  $ zeusc place adder4.zeus
+  $ zeusc stats adder4.zeus | head -1
+  $ zeusc corpus sorter8x4 | zeusc check -
+  $ zeusc tree adder4.zeus | head -4
+  $ zeusc sim adder4.zeus -n 1 -p adder.a=9 -p adder.b=6 -p adder.cin=0 --explain adder.s[4]
+  $ for p in $(zeusc corpus); do
+  >   zeusc corpus $p | zeusc pp - | zeusc check - > /dev/null || echo FAIL $p
+  > done; echo all clean

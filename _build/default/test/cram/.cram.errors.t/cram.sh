@@ -1,0 +1,75 @@
+  $ cat > cycle.zeus <<'ZEUS'
+  > TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+  > SIGNAL u,v: boolean;
+  > BEGIN
+  >   u := AND(a,v);
+  >   v := NOT u;
+  >   y := v
+  > END;
+  > SIGNAL s: t;
+  > ZEUS
+  $ zeusc check cycle.zeus
+  $ cat > cond.zeus <<'ZEUS'
+  > TYPE t = COMPONENT (IN b,c: boolean; OUT y: boolean) IS
+  > SIGNAL x: boolean;
+  > BEGIN
+  >   IF b THEN x := c END;
+  >   y := x
+  > END;
+  > SIGNAL s: t;
+  > ZEUS
+  $ zeusc check cond.zeus
+  $ cat > alias.zeus <<'ZEUS'
+  > TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+  > SIGNAL u,v: boolean;
+  > BEGIN
+  >   u := a;
+  >   u == v;
+  >   y := v
+  > END;
+  > SIGNAL s: t;
+  > ZEUS
+  $ zeusc check alias.zeus
+  $ cat > formal.zeus <<'ZEUS'
+  > TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+  > BEGIN
+  >   a := 1;
+  >   y := a
+  > END;
+  > SIGNAL s: t;
+  > ZEUS
+  $ zeusc check formal.zeus
+  $ cat > port.zeus <<'ZEUS'
+  > TYPE r = COMPONENT (IN a: boolean; OUT b,c: boolean) IS
+  > BEGIN b := NOT a; c := a END;
+  > t = COMPONENT (IN x: boolean; OUT y: boolean) IS
+  > SIGNAL i: r;
+  > BEGIN
+  >   i.a := x;
+  >   y := i.b
+  > END;
+  > SIGNAL s: t;
+  > ZEUS
+  $ zeusc check port.zeus
+  $ cat > order.zeus <<'ZEUS'
+  > TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+  > SIGNAL u: boolean;
+  > BEGIN
+  >   SEQUENTIAL
+  >     y := NOT u;
+  >     u := NOT a
+  >   END
+  > END;
+  > SIGNAL s: t;
+  > ZEUS
+  $ zeusc check order.zeus
+  $ cat > parse.zeus <<'ZEUS'
+  > TYPE t = COMPONENT (IN a boolean) IS BEGIN END;
+  > ZEUS
+  $ zeusc check parse.zeus
+  $ cat > name.zeus <<'ZEUS'
+  > TYPE t = COMPONENT (OUT y: boolean) IS
+  > BEGIN y := nosuch END;
+  > SIGNAL s: t;
+  > ZEUS
+  $ zeusc check name.zeus

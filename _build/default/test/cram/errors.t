@@ -1,0 +1,116 @@
+Golden diagnostics: one program per static rule of section 4.7.
+
+Combinational feedback without a register:
+
+  $ cat > cycle.zeus <<'ZEUS'
+  > TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+  > SIGNAL u,v: boolean;
+  > BEGIN
+  >   u := AND(a,v);
+  >   v := NOT u;
+  >   y := v
+  > END;
+  > SIGNAL s: t;
+  > ZEUS
+  $ zeusc check cycle.zeus
+  4:8-16: error(cycle): combinational feedback loop (no REG on the path): s.and#1[0] -> s.u -> s.not#2[0] -> s.v -> s.and#1[0]
+  [1]
+
+Conditional assignment to a plain boolean (type rules (1)):
+
+  $ cat > cond.zeus <<'ZEUS'
+  > TYPE t = COMPONENT (IN b,c: boolean; OUT y: boolean) IS
+  > SIGNAL x: boolean;
+  > BEGIN
+  >   IF b THEN x := c END;
+  >   y := x
+  > END;
+  > SIGNAL s: t;
+  > ZEUS
+  $ zeusc check cond.zeus
+  4:13-19: error(type): conditional assignment to boolean signal 's.x' (type rules (1): only multiplex signals, formal OUT parameters and IN parameters of instantiated components may be assigned conditionally)
+  [1]
+
+Aliasing two booleans (type rules (2)):
+
+  $ cat > alias.zeus <<'ZEUS'
+  > TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+  > SIGNAL u,v: boolean;
+  > BEGIN
+  >   u := a;
+  >   u == v;
+  >   y := v
+  > END;
+  > SIGNAL s: t;
+  > ZEUS
+  $ zeusc check alias.zeus
+  5:3-9: error(type): '==' between two boolean signals is illegal (type rules (2)): s.u == s.v
+  [1]
+
+Assignment to a formal IN parameter:
+
+  $ cat > formal.zeus <<'ZEUS'
+  > TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+  > BEGIN
+  >   a := 1;
+  >   y := a
+  > END;
+  > SIGNAL s: t;
+  > ZEUS
+  $ zeusc check formal.zeus
+  3:3-9: error(assign): assignment to formal IN parameter 's.a'
+  [1]
+
+An unused port that is not closed with '*':
+
+  $ cat > port.zeus <<'ZEUS'
+  > TYPE r = COMPONENT (IN a: boolean; OUT b,c: boolean) IS
+  > BEGIN b := NOT a; c := a END;
+  > t = COMPONENT (IN x: boolean; OUT y: boolean) IS
+  > SIGNAL i: r;
+  > BEGIN
+  >   i.a := x;
+  >   y := i.b
+  > END;
+  > SIGNAL s: t;
+  > ZEUS
+  $ zeusc check port.zeus
+  4:8-9: error(port): instance 's.i' of 'r': port(s) 'c' neither used nor assigned — close them explicitly with '*'
+  [1]
+
+SEQUENTIAL order incompatible with the dataflow:
+
+  $ cat > order.zeus <<'ZEUS'
+  > TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+  > SIGNAL u: boolean;
+  > BEGIN
+  >   SEQUENTIAL
+  >     y := NOT u;
+  >     u := NOT a
+  >   END
+  > END;
+  > SIGNAL s: t;
+  > ZEUS
+  $ zeusc check order.zeus
+  4:3-7:6: error(order): SEQUENTIAL order is incompatible with the dataflow: 's.not#1[0]' is computed from a later statement's result
+  [1]
+
+A parse error points at the offending token:
+
+  $ cat > parse.zeus <<'ZEUS'
+  > TYPE t = COMPONENT (IN a boolean) IS BEGIN END;
+  > ZEUS
+  $ zeusc check parse.zeus
+  1:26-33: error(parse): expected ':' but found 'boolean'
+  [1]
+
+Undeclared identifiers:
+
+  $ cat > name.zeus <<'ZEUS'
+  > TYPE t = COMPONENT (OUT y: boolean) IS
+  > BEGIN y := nosuch END;
+  > SIGNAL s: t;
+  > ZEUS
+  $ zeusc check name.zeus
+  2:12-18: error(type): undeclared signal 'nosuch'
+  [1]

@@ -1,0 +1,88 @@
+(* The whole embedded corpus: compiles cleanly, pretty-prints and
+   re-parses, elaborates to stable netlist sizes (regression pinning). *)
+
+open Zeus
+
+let test_all_compile () =
+  List.iter
+    (fun (name, src) ->
+      match Zeus.compile src with
+      | Ok _ -> ()
+      | Error diags ->
+          Alcotest.failf "%s failed: %a" name Fmt.(list Diag.pp) diags)
+    Corpus.all_named
+
+(* netlist statistics are pinned so that elaboration changes are caught *)
+let test_pinned_stats () =
+  List.iter
+    (fun (name, expect) ->
+      let src = List.assoc name Corpus.all_named in
+      match Zeus.compile src with
+      | Error diags ->
+          Alcotest.failf "%s failed: %a" name Fmt.(list Diag.pp) diags
+      | Ok d ->
+          Alcotest.(check string)
+            name expect
+            (Netlist.stats d.Elaborate.netlist))
+    [
+      ("adder4", "nets=93 gates=20 drivers=62 regs=0 instances=13");
+      ("mux4", "nets=29 gates=10 drivers=13 regs=0 instances=2");
+      ("section8", "nets=15 gates=3 drivers=4 regs=1 instances=2");
+    ]
+
+let test_sized_variants () =
+  (* parameterized generators elaborate across a size sweep *)
+  List.iter
+    (fun n ->
+      match Zeus.compile (Corpus.adder_n n) with
+      | Ok d ->
+          let fulladders =
+            List.filter
+              (fun (i : Netlist.instance) -> i.Netlist.itype = "fulladder")
+              (Netlist.instances d.Elaborate.netlist)
+          in
+          Alcotest.(check int)
+            (Printf.sprintf "adder_n %d" n)
+            n (List.length fulladders)
+      | Error diags ->
+          Alcotest.failf "adder_n %d: %a" n Fmt.(list Diag.pp) diags)
+    [ 1; 2; 3; 7; 16; 33; 64 ]
+
+let test_htree_instance_counts () =
+  (* htree(n) instantiates (4^k - 1)/3 internal nodes x 4 + leaves;
+     simply pin a couple of sizes *)
+  let count n =
+    match Zeus.compile (Corpus.htree n) with
+    | Ok d -> List.length (Netlist.instances d.Elaborate.netlist)
+    | Error diags -> Alcotest.failf "htree %d: %a" n Fmt.(list Diag.pp) diags
+  in
+  (* n=1: a + leaf = 2; n=4: a + 4 htree(1) + 4 leaves = 9 *)
+  Alcotest.(check int) "htree 1" 2 (count 1);
+  Alcotest.(check int) "htree 4" 9 (count 4);
+  Alcotest.(check int) "htree 16" 37 (count 16)
+
+let test_deterministic_elaboration () =
+  (* elaborating twice gives the identical netlist (no hidden state) *)
+  List.iter
+    (fun (name, src) ->
+      let stats () =
+        match Zeus.compile src with
+        | Ok d -> Netlist.stats d.Elaborate.netlist
+        | Error _ -> "error"
+      in
+      Alcotest.(check string) name (stats ()) (stats ()))
+    Corpus.all_named
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "all compile" `Quick test_all_compile;
+          Alcotest.test_case "pinned stats" `Quick test_pinned_stats;
+          Alcotest.test_case "size sweep" `Quick test_sized_variants;
+          Alcotest.test_case "htree counts" `Quick test_htree_instance_counts;
+          Alcotest.test_case "deterministic" `Quick
+            test_deterministic_elaboration;
+        ] );
+    ]

@@ -1,0 +1,440 @@
+(* Elaboration: statements to netlist, lazy instantiation, parameterized
+   recursion, connection-statement translation, WITH, the '*' rules. *)
+
+open Zeus
+
+let elab src =
+  let design, diags = elaborate_with_diags src in
+  match design with
+  | Some d -> (d, diags)
+  | None -> Alcotest.failf "elaboration failed: %a" Fmt.(list Diag.pp) diags
+
+let elab_ok src =
+  let d, diags = elab src in
+  let errors = List.filter (fun x -> x.Diag.severity = Diag.Error) diags in
+  if errors <> [] then
+    Alcotest.failf "unexpected errors: %a" Fmt.(list Diag.pp) errors;
+  d
+
+let elab_errors src =
+  let _, diags = elab src in
+  List.filter (fun x -> x.Diag.severity = Diag.Error) diags
+
+let has_error_kind kind diags =
+  List.exists (fun (d : Diag.t) -> d.Diag.kind = kind) diags
+
+let check_error name kind src =
+  let errs = elab_errors src in
+  if not (has_error_kind kind errs) then
+    Alcotest.failf "%s: expected %s error, got %a" name
+      (Diag.kind_to_string kind)
+      Fmt.(list Diag.pp)
+      errs
+
+let nl d = d.Elaborate.netlist
+
+(* ---- basic shapes ---- *)
+
+let test_gate_counts () =
+  let d =
+    elab_ok
+      "TYPE t = COMPONENT (IN a,b: boolean; OUT x: boolean) IS BEGIN x := \
+       AND(a,OR(a,b)) END; SIGNAL s: t;"
+  in
+  Alcotest.(check int) "gates" 2 (List.length (Netlist.gates (nl d)));
+  Alcotest.(check int) "instances" 1 (List.length (Netlist.instances (nl d)))
+
+let test_bitwise_gates () =
+  (* AND over 4-bit operands bit-blasts into 4 gates *)
+  let d =
+    elab_ok
+      "TYPE bo4 = ARRAY[1..4] OF boolean; t = COMPONENT (IN a,b: bo4; OUT x: \
+       bo4) IS BEGIN x := AND(a,b) END; SIGNAL s: t;"
+  in
+  Alcotest.(check int) "gates" 4 (List.length (Netlist.gates (nl d)))
+
+let test_variadic_gates () =
+  let d =
+    elab_ok
+      "TYPE t = COMPONENT (IN a,b,c,e: boolean; OUT x: boolean) IS BEGIN x \
+       := OR(a,b,c,e) END; SIGNAL s: t;"
+  in
+  match Netlist.gates (nl d) with
+  | [ g ] -> Alcotest.(check int) "4 inputs" 4 (List.length g.Netlist.inputs)
+  | _ -> Alcotest.fail "one variadic gate"
+
+let test_equal_reduces () =
+  (* EQUAL on multi-bit operands yields a single boolean *)
+  let d =
+    elab_ok
+      "TYPE bo3 = ARRAY[1..3] OF boolean; t = COMPONENT (IN a,b: bo3; OUT x: \
+       boolean) IS BEGIN x := EQUAL(a,b) END; SIGNAL s: t;"
+  in
+  match Netlist.gates (nl d) with
+  | [ g ] ->
+      Alcotest.(check bool) "op" true (g.Netlist.op = Netlist.Gequal);
+      Alcotest.(check int) "6 inputs" 6 (List.length g.Netlist.inputs)
+  | _ -> Alcotest.fail "one EQUAL gate"
+
+let test_structured_assign () =
+  (* a.in := b abbreviates the FOR loop (section 4.2) *)
+  let d =
+    elab_ok
+      "TYPE bo4 = ARRAY[1..4] OF boolean; t = COMPONENT (IN b: bo4; OUT z: \
+       bo4) IS BEGIN z := b END; SIGNAL s: t;"
+  in
+  Alcotest.(check int) "4 drivers" 4 (List.length (Netlist.drivers (nl d)))
+
+let test_width_mismatch () =
+  check_error "width" Diag.Type_error
+    "TYPE bo4 = ARRAY[1..4] OF boolean; bo3 = ARRAY[1..3] OF boolean; t = \
+     COMPONENT (IN b: bo4; OUT z: bo3) IS BEGIN z := b END; SIGNAL s: t;"
+
+(* ---- lazy instantiation (section 4.2) ---- *)
+
+let test_lazy_unused_not_generated () =
+  (* top/bottom are only generated if used: at n=2 the recursive network
+     instantiates no sub-networks *)
+  let d = elab_ok (Corpus.routing_network 2) in
+  Alcotest.(check int) "instances at n=2" 2
+    (List.length (Netlist.instances (nl d)))
+  (* net + c[0] *)
+
+let test_recursion_terminates () =
+  let d = elab_ok (Corpus.routing_network 8) in
+  (* 8-input butterfly: log2(8)=3 stages x 4 routers = 12 routers, plus
+     the 1 + 2 + 4 = 7 network instances *)
+  let routers =
+    List.filter
+      (fun (i : Netlist.instance) -> i.Netlist.itype = "router")
+      (Netlist.instances (nl d))
+  in
+  Alcotest.(check int) "routers" 12 (List.length routers)
+
+let test_unbounded_recursion_caught () =
+  check_error "infinite recursion" Diag.Type_error
+    "TYPE bad(n) = COMPONENT (IN a: boolean) IS SIGNAL s: bad(n); BEGIN \
+     s.a := a END; SIGNAL x: bad(1);"
+
+(* ---- connection statements (section 4.3) ---- *)
+
+let test_connection_translation () =
+  (* RAM(star,F) is equivalent to F := RAM.DA *)
+  let d =
+    elab_ok
+      "TYPE inner = COMPONENT (IN a: boolean; OUT da: boolean) IS BEGIN da \
+       := NOT a END; t = COMPONENT (IN x: boolean; OUT f: boolean) IS SIGNAL \
+       r: inner; BEGIN r(x,f) END; SIGNAL s: t;"
+  in
+  (* drivers: r.a := x, f := r.da, da := NOT x *)
+  Alcotest.(check int) "drivers" 3 (List.length (Netlist.drivers (nl d)))
+
+let test_vector_connection () =
+  (* x(s,t) over an array of components (section 4.3) *)
+  let d =
+    elab_ok
+      "TYPE r = COMPONENT (IN a: boolean; OUT b: boolean) IS BEGIN b := NOT \
+       a END; bo10 = ARRAY[1..10] OF boolean; t = COMPONENT (IN s: bo10; OUT \
+       u: bo10) IS SIGNAL x: ARRAY[1..10] OF r; BEGIN x(s,u) END; SIGNAL q: \
+       t;"
+  in
+  let insts =
+    List.filter
+      (fun (i : Netlist.instance) -> i.Netlist.itype = "r")
+      (Netlist.instances (nl d))
+  in
+  Alcotest.(check int) "10 instances" 10 (List.length insts);
+  Alcotest.(check bool) "all connected" true
+    (List.for_all (fun (i : Netlist.instance) -> i.Netlist.connected) insts)
+
+let test_double_connection_rejected () =
+  check_error "double connection" Diag.Assign_error
+    "TYPE r = COMPONENT (IN a: boolean; OUT b: boolean) IS BEGIN b := NOT a \
+     END; t = COMPONENT (IN x: boolean; OUT y,z: boolean) IS SIGNAL c: r; \
+     BEGIN c(x,y); c(x,z) END; SIGNAL s: t;"
+
+let test_identical_connections_allowed () =
+  (* "It is allowed to specify connections several times as long as they
+     are identical" — the adjacent-cell pattern of the pattern matcher *)
+  let d =
+    elab_ok
+      "TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL h: \
+       boolean; BEGIN h := x; h := x; y := NOT h END; SIGNAL s: t;"
+  in
+  (* the duplicate h := x collapses to one driver *)
+  let drivers_to_h =
+    List.filter
+      (fun (dr : Netlist.driver) ->
+        (Netlist.net (nl d) dr.Netlist.target).Netlist.name = "s.h")
+      (Netlist.drivers (nl d))
+  in
+  Alcotest.(check int) "deduplicated" 1 (List.length drivers_to_h)
+
+let test_wrong_arity_connection () =
+  check_error "arity" Diag.Type_error
+    "TYPE r = COMPONENT (IN a: boolean; OUT b: boolean) IS BEGIN b := NOT a \
+     END; t = COMPONENT (IN x: boolean) IS SIGNAL c: r; BEGIN c(x) END; \
+     SIGNAL s: t;"
+
+(* ---- star rules (section 4.1) ---- *)
+
+let test_star_closes_port () =
+  let d =
+    elab_ok
+      "TYPE r = COMPONENT (IN a: boolean; OUT b,c: boolean) IS BEGIN b := \
+       NOT a; c := a END; t = COMPONENT (IN x: boolean; OUT y: boolean) IS \
+       SIGNAL i: r; BEGIN i(x,y,*) END; SIGNAL s: t;"
+  in
+  let starred =
+    Array.to_list (Netlist.nets_array (nl d))
+    |> List.filter (fun (n : Netlist.net) -> n.Netlist.starred)
+  in
+  Alcotest.(check int) "one starred net" 1 (List.length starred)
+
+let test_star_rhs_keeps_signal () =
+  (* "* := x.b" keeps the signal available *)
+  ignore
+    (elab_ok
+       "TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS BEGIN * := x; \
+        y := NOT x END; SIGNAL s: t;")
+
+(* ---- function components ---- *)
+
+let test_function_inline () =
+  let d =
+    elab_ok
+      "TYPE f = COMPONENT (IN a: boolean) : boolean IS BEGIN RESULT NOT a \
+       END; t = COMPONENT (IN x: boolean; OUT y: boolean) IS BEGIN y := \
+       f(x) END; SIGNAL s: t;"
+  in
+  let calls =
+    List.filter
+      (fun (i : Netlist.instance) -> i.Netlist.is_function_call)
+      (Netlist.instances (nl d))
+  in
+  Alcotest.(check int) "one inlined call" 1 (List.length calls)
+
+let test_function_type_params () =
+  (* plus[n](a,b)-style bracket parameters *)
+  let d =
+    elab_ok
+      "TYPE ident(n) = COMPONENT (IN a: ARRAY[1..n] OF boolean) : \
+       ARRAY[1..n] OF boolean IS BEGIN RESULT a END; t = COMPONENT (IN x: \
+       ARRAY[1..3] OF boolean; OUT y: ARRAY[1..3] OF boolean) IS BEGIN y := \
+       ident[3](x) END; SIGNAL s: t;"
+  in
+  ignore d
+
+let test_function_not_signal () =
+  check_error "function as signal" Diag.Type_error
+    "TYPE f = COMPONENT (IN a: boolean) : boolean IS BEGIN RESULT a END; \
+     SIGNAL s: f;"
+
+let test_conditional_result () =
+  (* a function whose RESULTs are all conditional is of type multiplex *)
+  ignore
+    (elab_ok
+       "TYPE f = COMPONENT (IN a,b: boolean) : boolean IS BEGIN IF a THEN \
+        RESULT b END END; t = COMPONENT (IN x,y: boolean; OUT z: boolean) \
+        IS BEGIN z := f(x,y) END; SIGNAL s: t;")
+
+(* ---- name resolution / scoping ---- *)
+
+let test_undeclared () =
+  check_error "undeclared signal" Diag.Type_error
+    "TYPE t = COMPONENT (OUT y: boolean) IS BEGIN y := nosuch END; SIGNAL \
+     s: t;";
+  check_error "undeclared type" Diag.Type_error
+    "SIGNAL s: nosuchtype;"
+
+let test_uses_restricts () =
+  check_error "uses filtering" Diag.Type_error
+    "CONST k = 1; TYPE t = COMPONENT (OUT y: boolean) IS USES ; CONST m = \
+     k; BEGIN y := 1 END; SIGNAL s: t;"
+
+let test_uses_allows () =
+  ignore
+    (elab_ok
+       "CONST k = 1; TYPE t = COMPONENT (OUT y: boolean) IS USES k; CONST m \
+        = k; BEGIN WHEN m = 1 THEN y := 1 OTHERWISE y := 0 END END; SIGNAL \
+        s: t;")
+
+let test_with_scope () =
+  let d =
+    elab_ok
+      "TYPE r = COMPONENT (IN a: boolean; OUT b: boolean) IS BEGIN b := NOT \
+       a END; t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL i: r; \
+       BEGIN WITH i DO a := x; y := b END END; SIGNAL s: t;"
+  in
+  ignore d
+
+let test_for_scoping () =
+  (* the loop variable is fresh and only visible inside *)
+  check_error "loop var leak" Diag.Type_error
+    "TYPE bo4 = ARRAY[1..4] OF boolean; t = COMPONENT (IN a: bo4; OUT y: \
+     bo4) IS BEGIN FOR i := 1 TO 4 DO y[i] := a[i] END; y[NUM(a)] := a[i] \
+     END; SIGNAL s: t;"
+
+(* ---- assignments to parameters (section 3.2) ---- *)
+
+let test_assign_to_formal_in () =
+  check_error "formal IN" Diag.Assign_error
+    "TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS BEGIN a := 1; y \
+     := a END; SIGNAL s: t;"
+
+let test_assign_to_instance_out () =
+  check_error "instance OUT" Diag.Assign_error
+    "TYPE r = COMPONENT (IN a: boolean; OUT b: boolean) IS BEGIN b := NOT a \
+     END; t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL i: r; \
+     BEGIN i.a := x; i.b := x; y := i.b END; SIGNAL s: t;"
+
+let test_unstructured_in_must_be_boolean () =
+  check_error "IN multiplex" Diag.Type_error
+    "TYPE t = COMPONENT (IN a: multiplex; OUT y: boolean) IS BEGIN y := a \
+     END; SIGNAL s: t;"
+
+let test_inout_must_be_multiplex () =
+  check_error "INOUT boolean" Diag.Type_error
+    "TYPE t = COMPONENT (a: boolean) IS BEGIN a := 1 END; SIGNAL s: t;"
+
+(* ---- NUM dynamic indexing ---- *)
+
+let test_num_read_write () =
+  let d = elab_ok (Corpus.ram ~abits:2 ~wbits:1) in
+  (* 4 words x 1 bit: 4 EQUAL gates for the write decoder + 4 for the
+     read mux *)
+  let eqs =
+    List.filter
+      (fun (g : Netlist.gate) -> g.Netlist.op = Netlist.Gequal)
+      (Netlist.gates (nl d))
+  in
+  Alcotest.(check int) "decoder gates" 8 (List.length eqs);
+  Alcotest.(check int) "regs" 4 (List.length (Netlist.regs (nl d)))
+
+(* ---- virtual replacement (section 6.4) ---- *)
+
+let chessboard n =
+  Printf.sprintf
+    "TYPE black = COMPONENT (IN t: boolean; OUT b: boolean) IS BEGIN b := \
+     NOT t END;\n\
+     white = COMPONENT (IN t: boolean; OUT b: boolean) IS BEGIN b := t END;\n\
+     board = COMPONENT (IN x: boolean; OUT y: boolean) IS\n\
+     SIGNAL m: ARRAY[1..%d,1..%d] OF virtual;\n\
+     { FOR i = 1 TO %d DO FOR j = 1 TO %d DO WHEN odd(i+j) THEN m[i,j] = \
+     black OTHERWISE m[i,j] = white END END END }\n\
+     BEGIN\n\
+     m[1,1].t := x;\n\
+     FOR i := 1 TO %d DO FOR j := 1 TO %d DO WHEN (i+j) < %d THEN \
+     m[i,j+1].t := m[i,j].b END END END;\n\
+     y := m[%d,%d].b\n\
+     END;\n\
+     SIGNAL s: board;" n n n n 1 (n - 1) (1 + n) 1 n
+
+let test_virtual_replacement () =
+  let d = elab_ok (chessboard 4) in
+  let blacks =
+    List.filter
+      (fun (i : Netlist.instance) -> i.Netlist.itype = "black")
+      (Netlist.instances (nl d))
+  in
+  (* row 1: squares (1,2) and (1,4) used; (1,1),(1,3) are white *)
+  Alcotest.(check bool) "black cells exist" true (List.length blacks >= 1)
+
+let test_virtual_unreplaced () =
+  check_error "unreplaced virtual" Diag.Type_error
+    "TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL v: \
+     virtual; BEGIN y := v END; SIGNAL s: t;"
+
+(* ---- resolve_path (testbench plumbing) ---- *)
+
+let test_resolve_path () =
+  let d = elab_ok (Corpus.adder_n 4) in
+  (match Elaborate.resolve_path d "adder.s" with
+  | Ok nets -> Alcotest.(check int) "adder.s width" 4 (List.length nets)
+  | Error e -> Alcotest.fail e);
+  (match Elaborate.resolve_path d "adder.s[2]" with
+  | Ok [ _ ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "single bit");
+  (match Elaborate.resolve_path d "adder.add[1].cout" with
+  | Ok [ _ ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "local instance path");
+  (match Elaborate.resolve_path d "adder.nosuch" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad path must fail");
+  match Elaborate.resolve_path d "RSET" with
+  | Ok [ _ ] -> ()
+  | _ -> Alcotest.fail "RSET path"
+
+let () =
+  Alcotest.run "elaborate"
+    [
+      ( "shapes",
+        [
+          Alcotest.test_case "gate counts" `Quick test_gate_counts;
+          Alcotest.test_case "bitwise gates" `Quick test_bitwise_gates;
+          Alcotest.test_case "variadic" `Quick test_variadic_gates;
+          Alcotest.test_case "EQUAL reduces" `Quick test_equal_reduces;
+          Alcotest.test_case "structured assign" `Quick test_structured_assign;
+          Alcotest.test_case "width mismatch" `Quick test_width_mismatch;
+        ] );
+      ( "laziness",
+        [
+          Alcotest.test_case "unused not generated" `Quick
+            test_lazy_unused_not_generated;
+          Alcotest.test_case "recursion terminates" `Quick
+            test_recursion_terminates;
+          Alcotest.test_case "runaway recursion" `Quick
+            test_unbounded_recursion_caught;
+        ] );
+      ( "connections",
+        [
+          Alcotest.test_case "translation" `Quick test_connection_translation;
+          Alcotest.test_case "vector" `Quick test_vector_connection;
+          Alcotest.test_case "double rejected" `Quick
+            test_double_connection_rejected;
+          Alcotest.test_case "identical allowed" `Quick
+            test_identical_connections_allowed;
+          Alcotest.test_case "wrong arity" `Quick test_wrong_arity_connection;
+        ] );
+      ( "star",
+        [
+          Alcotest.test_case "closes port" `Quick test_star_closes_port;
+          Alcotest.test_case "rhs keeps signal" `Quick
+            test_star_rhs_keeps_signal;
+        ] );
+      ( "functions",
+        [
+          Alcotest.test_case "inline" `Quick test_function_inline;
+          Alcotest.test_case "type params" `Quick test_function_type_params;
+          Alcotest.test_case "not a signal" `Quick test_function_not_signal;
+          Alcotest.test_case "conditional result" `Quick
+            test_conditional_result;
+        ] );
+      ( "scoping",
+        [
+          Alcotest.test_case "undeclared" `Quick test_undeclared;
+          Alcotest.test_case "uses restricts" `Quick test_uses_restricts;
+          Alcotest.test_case "uses allows" `Quick test_uses_allows;
+          Alcotest.test_case "with" `Quick test_with_scope;
+          Alcotest.test_case "for var" `Quick test_for_scoping;
+        ] );
+      ( "parameters",
+        [
+          Alcotest.test_case "formal IN" `Quick test_assign_to_formal_in;
+          Alcotest.test_case "instance OUT" `Quick
+            test_assign_to_instance_out;
+          Alcotest.test_case "IN boolean rule" `Quick
+            test_unstructured_in_must_be_boolean;
+          Alcotest.test_case "INOUT multiplex rule" `Quick
+            test_inout_must_be_multiplex;
+        ] );
+      ( "dynamic",
+        [ Alcotest.test_case "NUM read/write" `Quick test_num_read_write ] );
+      ( "virtual",
+        [
+          Alcotest.test_case "replacement" `Quick test_virtual_replacement;
+          Alcotest.test_case "unreplaced" `Quick test_virtual_unreplaced;
+        ] );
+      ( "paths",
+        [ Alcotest.test_case "resolve_path" `Quick test_resolve_path ] );
+    ]

@@ -1,0 +1,131 @@
+(* A systematic sweep of elaboration error paths: each bad program must
+   fail with a diagnostic (never an exception or a silent acceptance),
+   and the message must carry a usable source location. *)
+
+open Zeus
+
+let fails name src =
+  match Zeus.elaborate_with_diags src with
+  | _, diags ->
+      let errors =
+        List.filter (fun (d : Diag.t) -> d.Diag.severity = Diag.Error) diags
+      in
+      (match errors with
+      | [] -> Alcotest.failf "%s: expected an error" name
+      | e :: _ ->
+          (* the location must be real, not <unknown> *)
+          Alcotest.(check bool)
+            (name ^ " has a location")
+            true
+            (not (Loc.is_dummy e.Diag.loc)))
+  | exception e ->
+      Alcotest.failf "%s: escaped exception %s" name (Printexc.to_string e)
+
+let wrap body = "TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS " ^ body ^ ";\nSIGNAL s: t;"
+
+let test_type_errors () =
+  fails "undeclared type" "SIGNAL x: nosuch;";
+  fails "type arity" "TYPE bo(n) = ARRAY[1..n] OF boolean; SIGNAL x: bo;";
+  fails "type arity too many" "SIGNAL x: boolean(3);";
+  fails "value as type"
+    "CONST k = 3; TYPE t = COMPONENT (IN a: k) IS BEGIN END; SIGNAL s: t;";
+  fails "empty array range" "SIGNAL x: ARRAY[5..2] OF boolean;";
+  fails "function as signal"
+    "TYPE f = COMPONENT (IN a: boolean) : boolean IS BEGIN RESULT a END; \
+     SIGNAL s: f;"
+
+let test_selector_errors () =
+  fails "index out of range" (wrap "SIGNAL v: ARRAY[1..3] OF boolean; BEGIN v := (a,a,a); y := v[7] END");
+  fails "range out of bounds" (wrap "SIGNAL v: ARRAY[1..3] OF boolean; BEGIN v := (a,a,a); y := v[2..9][1] END");
+  fails "index non-array" (wrap "BEGIN y := a[1] END");
+  fails "field on basic" (wrap "BEGIN y := a.q END");
+  fails "no such field"
+    "TYPE r = COMPONENT (p: multiplex); t = COMPONENT (IN a: boolean; OUT \
+     y: boolean) IS SIGNAL b: r; BEGIN b.p := a; y := b.nosuch END;\n\
+     SIGNAL s: t;"
+
+let test_expression_errors () =
+  fails "width mismatch"
+    (wrap "SIGNAL v: ARRAY[1..3] OF boolean; BEGIN v := (a,a); y := v[1] END");
+  fails "equal width mismatch"
+    (wrap "SIGNAL v: ARRAY[1..2] OF boolean; BEGIN v := (a,a); y := \
+           EQUAL(v,a) END");
+  fails "and width mismatch"
+    (wrap "SIGNAL v: ARRAY[1..2] OF boolean; BEGIN v := (a,a); y := \
+           AND(v,(a,a,a))[1] END");
+  fails "if condition width"
+    (wrap "SIGNAL v: ARRAY[1..2] OF boolean; m: multiplex; BEGIN v := \
+           (a,a); IF v THEN m := a END; y := m END");
+  fails "star in gate" (wrap "BEGIN y := AND(a,*) END");
+  fails "bad BIN width" (wrap "BEGIN y := BIN(3,0)[1] END");
+  fails "undeclared function" (wrap "BEGIN y := nosuchfn(a) END");
+  fails "call arity"
+    "TYPE f = COMPONENT (IN a,b: boolean) : boolean IS BEGIN RESULT \
+     AND(a,b) END; t = COMPONENT (IN a: boolean; OUT y: boolean) IS BEGIN \
+     y := f(a) END;\nSIGNAL s: t;";
+  fails "result outside function" (wrap "BEGIN RESULT a")
+
+let test_statement_errors () =
+  fails "connection to non-instance" (wrap "BEGIN a(y) END");
+  fails "with on basic" (wrap "BEGIN WITH a DO y := a END END");
+  fails "alias with constant"
+    (wrap "SIGNAL m: multiplex; BEGIN m == (1) ; y := m END");
+  fails "num address star"
+    (wrap "SIGNAL v: ARRAY[0..1] OF boolean; BEGIN v := (a,a); y := \
+           v[NUM(*)] END")
+
+let test_const_errors () =
+  fails "division by zero in type" "SIGNAL x: ARRAY[1..4 DIV 0] OF boolean;";
+  fails "signal const as number" "CONST c = (0,1); SIGNAL x: ARRAY[1..c] OF boolean;";
+  fails "bad signal value" "CONST c = (0,2);";
+  fails "undeclared const in bound" "SIGNAL x: ARRAY[1..nn] OF boolean;"
+
+let test_layout_errors () =
+  fails "unknown boundary pin"
+    "TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) { BOTTOM nosuch } \
+     IS BEGIN y := NOT a END;\nSIGNAL s: t;";
+  fails "double replacement"
+    "TYPE b = COMPONENT (IN t: boolean; OUT u: boolean) IS BEGIN u := NOT \
+     t END; t = COMPONENT (IN a: boolean; OUT y: boolean) IS SIGNAL v: \
+     virtual; { v = b; v = b } BEGIN v.t := a; y := v.u END;\nSIGNAL s: t;";
+  fails "replacement of non-virtual"
+    "TYPE b = COMPONENT (IN t: boolean; OUT u: boolean) IS BEGIN u := NOT \
+     t END; t = COMPONENT (IN a: boolean; OUT y: boolean) IS SIGNAL w: \
+     boolean; { w = b } BEGIN w := a; y := w END;\nSIGNAL s: t;"
+
+(* robustness: every program must either elaborate or produce located
+   diagnostics — never crash — even for hostile inputs *)
+let prop_no_crashes =
+  QCheck.Test.make ~count:300 ~name:"no_crash_on_mutated_sources"
+    (QCheck.make
+       ~print:(fun (name, i, j) -> Printf.sprintf "%s swap %d %d" name i j)
+       QCheck.Gen.(
+         triple
+           (oneofl (List.map fst Corpus.all_named))
+           (int_bound 400) (int_bound 4000)))
+    (fun (name, i, j) ->
+      (* mutate a valid corpus program by deleting a token-ish chunk *)
+      let src = List.assoc name Corpus.all_named in
+      let n = String.length src in
+      let i = i mod n and len = min 30 (j mod 60) in
+      let mutated =
+        String.sub src 0 i ^ String.sub src (min n (i + len)) (n - min n (i + len))
+      in
+      match Zeus.elaborate_with_diags mutated with
+      | _ -> true
+      | exception _ -> false)
+
+let () =
+  Alcotest.run "errors"
+    [
+      ( "sweep",
+        [
+          Alcotest.test_case "types" `Quick test_type_errors;
+          Alcotest.test_case "selectors" `Quick test_selector_errors;
+          Alcotest.test_case "expressions" `Quick test_expression_errors;
+          Alcotest.test_case "statements" `Quick test_statement_errors;
+          Alcotest.test_case "constants" `Quick test_const_errors;
+          Alcotest.test_case "layout" `Quick test_layout_errors;
+        ] );
+      ("robustness", [ QCheck_alcotest.to_alcotest prop_no_crashes ]);
+    ]

@@ -1,0 +1,114 @@
+(* Elaborated types: widths, natural flattening order, mode inheritance
+   (section 3.2). *)
+
+open Zeus
+
+let b = Etype.Basic Etype.KBool
+
+let m = Etype.Basic Etype.KMux
+
+let test_width () =
+  Alcotest.(check int) "basic" 1 (Etype.width b);
+  Alcotest.(check int) "array" 5 (Etype.width (Etype.Array (1, 5, b)));
+  Alcotest.(check int) "nested" 12
+    (Etype.width (Etype.Array (0, 3, Etype.Array (1, 3, b))));
+  Alcotest.(check int) "record" 3
+    (Etype.width
+       (Etype.Record
+          [
+            { Etype.fname = "a"; fmode = Etype.In; fty = b };
+            { Etype.fname = "b"; fmode = Etype.Out; fty = Etype.Array (1, 2, m) };
+          ]));
+  Alcotest.(check int) "empty array" 0 (Etype.width (Etype.Array (1, 0, b)))
+
+let test_flatten_order () =
+  (* natural order: array indices ascending, record fields in sequence *)
+  let t =
+    Etype.Array
+      ( 1,
+        2,
+        Etype.Record
+          [
+            { Etype.fname = "x"; fmode = Etype.In; fty = b };
+            { Etype.fname = "y"; fmode = Etype.Out; fty = b };
+          ] )
+  in
+  let leaves = Etype.flatten ~prefix:"s" t in
+  Alcotest.(check (list string))
+    "paths"
+    [ "s[1].x"; "s[1].y"; "s[2].x"; "s[2].y" ]
+    (List.map (fun (p, _, _) -> p) leaves)
+
+let test_mode_inheritance () =
+  (* IN/OUT is inherited by substructures (section 3.2) *)
+  let t =
+    Etype.Record
+      [ { Etype.fname = "x"; fmode = Etype.Inout; fty = b } ]
+  in
+  let leaves = Etype.flatten ~mode:Etype.In t in
+  (match leaves with
+  | [ (_, Etype.In, _) ] -> ()
+  | _ -> Alcotest.fail "IN inherited through INOUT field");
+  Alcotest.(check bool) "combine in/in" true
+    (Etype.combine_mode Etype.In Etype.In = Some Etype.In);
+  Alcotest.(check bool) "combine contradiction" true
+    (Etype.combine_mode Etype.In Etype.Out = None);
+  Alcotest.(check bool) "inout transparent" true
+    (Etype.combine_mode Etype.Inout Etype.Out = Some Etype.Out)
+
+let test_equal_shape () =
+  let a = Etype.Array (1, 4, b) and a' = Etype.Array (0, 3, b) in
+  Alcotest.(check bool) "same extent different bounds" true
+    (Etype.equal_shape a a');
+  Alcotest.(check bool) "different kind" false
+    (Etype.equal_shape b m);
+  Alcotest.(check bool) "different length" false
+    (Etype.equal_shape a (Etype.Array (1, 5, b)))
+
+let test_pp () =
+  Alcotest.(check string) "pp basic" "boolean" (Etype.to_string b);
+  Alcotest.(check string)
+    "pp array" "ARRAY [1..4] OF multiplex"
+    (Etype.to_string (Etype.Array (1, 4, m)))
+
+let prop_width_flatten_agree =
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          if n <= 1 then
+            map (fun k -> Etype.Basic (if k then Etype.KBool else Etype.KMux)) bool
+          else
+            oneof
+              [
+                map (fun k -> Etype.Basic (if k then Etype.KBool else Etype.KMux)) bool;
+                map2
+                  (fun len elem -> Etype.Array (1, len, elem))
+                  (int_range 0 4) (self (n / 2));
+                map
+                  (fun fields ->
+                    Etype.Record
+                      (List.mapi
+                         (fun i f ->
+                           { Etype.fname = Printf.sprintf "f%d" i;
+                             fmode = Etype.Inout; fty = f })
+                         fields))
+                  (list_size (int_range 1 3) (self (n / 3)));
+              ]))
+  in
+  QCheck.Test.make ~count:300 ~name:"width_equals_flatten_length"
+    (QCheck.make ~print:Etype.to_string gen)
+    (fun t -> Etype.width t = List.length (Etype.flatten t))
+
+let () =
+  Alcotest.run "etype"
+    [
+      ( "etype",
+        [
+          Alcotest.test_case "width" `Quick test_width;
+          Alcotest.test_case "flatten order" `Quick test_flatten_order;
+          Alcotest.test_case "mode inheritance" `Quick test_mode_inheritance;
+          Alcotest.test_case "equal shape" `Quick test_equal_shape;
+          Alcotest.test_case "pp" `Quick test_pp;
+          QCheck_alcotest.to_alcotest prop_width_flatten_agree;
+        ] );
+    ]

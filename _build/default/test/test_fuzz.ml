@@ -1,0 +1,250 @@
+(* Whole-pipeline differential fuzzing: generate random well-formed Zeus
+   programs as *source text*, run them through lexer, parser, elaborator,
+   checker and all three simulator engines, and compare each output
+   against direct evaluation of the generating circuit description.
+
+   This exercises the full stack at once: any disagreement between the
+   printed program's simulation and the OCaml-side evaluation is a bug
+   somewhere in the pipeline. *)
+
+open Zeus
+
+(* a random combinational circuit: [n_in] primary inputs, then a list of
+   internal nodes, each a gate over earlier wires *)
+type gate_kind =
+  | Gand
+  | Gor
+  | Gnand
+  | Gnor
+  | Gxor
+  | Gnot
+
+type node = {
+  kind : gate_kind;
+  args : int list; (* indices < current node; 0..n_in-1 are inputs *)
+}
+
+type circuit = {
+  n_in : int;
+  nodes : node list;
+}
+
+let kind_name = function
+  | Gand -> "AND"
+  | Gor -> "OR"
+  | Gnand -> "NAND"
+  | Gnor -> "NOR"
+  | Gxor -> "XOR"
+  | Gnot -> "NOT"
+
+let gen_circuit =
+  QCheck.Gen.(
+    int_range 1 6 >>= fun n_in ->
+    int_range 1 25 >>= fun n_nodes ->
+    let gen_node idx =
+      let wires = n_in + idx in
+      oneofl [ Gand; Gor; Gnand; Gnor; Gxor; Gnot ] >>= fun kind ->
+      match kind with
+      | Gnot ->
+          map (fun a -> { kind; args = [ a ] }) (int_range 0 (wires - 1))
+      | _ ->
+          int_range 2 4 >>= fun arity ->
+          map
+            (fun args -> { kind; args })
+            (list_repeat arity (int_range 0 (wires - 1)))
+    in
+    let rec nodes idx acc =
+      if idx >= n_nodes then return (List.rev acc)
+      else gen_node idx >>= fun n -> nodes (idx + 1) (n :: acc)
+    in
+    map (fun nodes -> { n_in; nodes }) (nodes 0 []))
+
+(* print the circuit as a Zeus component *)
+let to_zeus c =
+  let buf = Buffer.create 512 in
+  let ins =
+    String.concat "," (List.init c.n_in (fun i -> Printf.sprintf "x%d" i))
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "TYPE t = COMPONENT (IN %s: boolean; OUT out: boolean) IS\n"
+       ins);
+  Buffer.add_string buf
+    (Printf.sprintf "SIGNAL %s: boolean;\n"
+       (String.concat ","
+          (List.mapi (fun i _ -> Printf.sprintf "w%d" (c.n_in + i)) c.nodes)));
+  Buffer.add_string buf "BEGIN\n";
+  let wire i = if i < c.n_in then Printf.sprintf "x%d" i else Printf.sprintf "w%d" i in
+  List.iteri
+    (fun i node ->
+      let lhs = Printf.sprintf "w%d" (c.n_in + i) in
+      let rhs =
+        match node.kind with
+        | Gnot -> Printf.sprintf "NOT %s" (wire (List.hd node.args))
+        | k ->
+            Printf.sprintf "%s(%s)" (kind_name k)
+              (String.concat "," (List.map wire node.args))
+      in
+      Buffer.add_string buf (Printf.sprintf "  %s := %s;\n" lhs rhs))
+    c.nodes;
+  let last = c.n_in + List.length c.nodes - 1 in
+  Buffer.add_string buf (Printf.sprintf "  out := %s\n" (wire last));
+  Buffer.add_string buf "END;\nSIGNAL s: t;\n";
+  Buffer.contents buf
+
+(* direct evaluation over the four-valued domain *)
+let eval_circuit c (inputs : Logic.t array) =
+  let values = Array.make (c.n_in + List.length c.nodes) Logic.Undef in
+  Array.blit inputs 0 values 0 c.n_in;
+  List.iteri
+    (fun i node ->
+      let args = List.map (fun a -> values.(a)) node.args in
+      let v =
+        match node.kind with
+        | Gand -> Logic.and_list args
+        | Gor -> Logic.or_list args
+        | Gnand -> Logic.nand_list args
+        | Gnor -> Logic.nor_list args
+        | Gxor -> Logic.xor_list args
+        | Gnot -> Logic.not_ (List.hd args)
+      in
+      values.(c.n_in + i) <- v)
+    c.nodes;
+  values.(c.n_in + List.length c.nodes - 1)
+
+let print_circuit c = to_zeus c
+
+let arb_circuit = QCheck.make ~print:print_circuit gen_circuit
+
+let gen_inputs n =
+  QCheck.Gen.(list_repeat n (oneofl [ Logic.Zero; Logic.One; Logic.Undef ]))
+
+(* compile once, evaluate under random input vectors with each engine *)
+let prop_random_circuits =
+  QCheck.Test.make ~count:150 ~name:"random_circuit_pipeline"
+    arb_circuit
+    (fun c ->
+      let src = to_zeus c in
+      match Zeus.compile src with
+      | Error diags ->
+          QCheck.Test.fail_reportf "did not compile:@.%s@.%a" src
+            Fmt.(list Diag.pp)
+            diags
+      | Ok design ->
+          let vectors =
+            QCheck.Gen.generate ~n:5 ~rand:(Random.State.make [| 99 |])
+              (gen_inputs c.n_in)
+          in
+          List.for_all
+            (fun vec ->
+              let inputs = Array.of_list vec in
+              let expected = eval_circuit c inputs in
+              List.for_all
+                (fun engine ->
+                  let sim = Sim.create ~engine design in
+                  Array.iteri
+                    (fun i v -> Sim.poke sim (Printf.sprintf "s.x%d" i) [ v ])
+                    inputs;
+                  Sim.step sim;
+                  let got = Sim.peek_bit sim "s.out" in
+                  if not (Logic.equal got expected) then
+                    QCheck.Test.fail_reportf
+                      "engine %s: expected %a, got %a for@.%s"
+                      (Sim.engine_name engine) Logic.pp expected Logic.pp got
+                      src
+                  else true)
+                [ Sim.Firing; Sim.Fixpoint; Sim.Relaxation ])
+            vectors)
+
+(* pretty-print round trip on random programs *)
+let prop_random_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"random_circuit_pretty_roundtrip"
+    arb_circuit
+    (fun c ->
+      let src = to_zeus c in
+      match Parser.program src with
+      | None, _ -> false
+      | Some p1, _ -> (
+          let printed = Pretty.program_to_string p1 in
+          match Parser.program printed with
+          | None, _ -> false
+          | Some p2, _ ->
+              Pretty.program_to_string p2 = printed))
+
+(* random register pipelines: a chain of REGs must delay by its length *)
+let prop_register_pipeline =
+  QCheck.Test.make ~count:30 ~name:"register_pipeline_delay"
+    QCheck.(pair (int_range 1 10) (list_of_size (QCheck.Gen.int_range 12 24) bool))
+    (fun (depth, stream) ->
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        "TYPE t = COMPONENT (IN d: boolean; OUT q: boolean) IS\n";
+      Buffer.add_string buf
+        (Printf.sprintf "SIGNAL r: ARRAY[1..%d] OF REG;\nBEGIN\n" depth);
+      Buffer.add_string buf "  r[1].in := d;\n";
+      for i = 2 to depth do
+        Buffer.add_string buf
+          (Printf.sprintf "  r[%d].in := r[%d].out;\n" i (i - 1))
+      done;
+      Buffer.add_string buf
+        (Printf.sprintf "  q := r[%d].out\nEND;\nSIGNAL s: t;\n" depth);
+      let design = Zeus.compile_exn (Buffer.contents buf) in
+      let sim = Sim.create design in
+      let outputs =
+        List.map
+          (fun b ->
+            Sim.poke_bool sim "s.d" b;
+            Sim.step sim;
+            Sim.peek_bit sim "s.q")
+          stream
+      in
+      (* output k equals input k-depth *)
+      List.for_all2
+        (fun i (out : Logic.t) ->
+          if i < depth then true
+          else Logic.equal out (Logic.of_bool (List.nth stream (i - depth))))
+        (List.init (List.length stream) Fun.id)
+        outputs)
+
+(* random mux trees through IF chains agree with direct selection *)
+let prop_random_mux =
+  QCheck.Test.make ~count:60 ~name:"random_if_chain_select"
+    QCheck.(pair (int_range 1 4) (int_bound 15))
+    (fun (bits, data) ->
+      let n = 1 lsl bits in
+      let buf = Buffer.create 256 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "TYPE t = COMPONENT (IN a: ARRAY[1..%d] OF boolean; OUT z: \
+            boolean) IS\nSIGNAL h: multiplex;\nBEGIN\n"
+           bits);
+      for k = 0 to n - 1 do
+        Buffer.add_string buf
+          (Printf.sprintf "  IF EQUAL(a,BIN(%d,%d)) THEN h := %d END;\n" k
+             bits
+             ((data lsr (k mod 4)) land 1))
+      done;
+      Buffer.add_string buf "  z := h\nEND;\nSIGNAL s: t;\n";
+      let design = Zeus.compile_exn (Buffer.contents buf) in
+      let sim = Sim.create design in
+      List.for_all
+        (fun k ->
+          Sim.poke_int sim "s.a" k;
+          Sim.step sim;
+          Logic.equal
+            (Sim.peek_bit sim "s.z")
+            (Logic.of_bool ((data lsr (k mod 4)) land 1 = 1))
+          && Sim.runtime_errors sim = [])
+        (List.init n Fun.id))
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "pipeline",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_random_circuits;
+            prop_random_roundtrip;
+            prop_register_pipeline;
+            prop_random_mux;
+          ] );
+    ]

@@ -1,0 +1,257 @@
+(* Layout language (section 6): geometry, the dihedral group, packing,
+   the H-tree's linear area (E3), boundary pins, virtual replacement. *)
+
+open Zeus
+
+let compile src =
+  match Zeus.compile src with
+  | Ok d -> d
+  | Error diags -> Alcotest.failf "compile: %a" Fmt.(list Diag.pp) diags
+
+let plan_of src top =
+  let d = compile src in
+  match Floorplan.of_design d top with
+  | Some p -> p
+  | None -> Alcotest.failf "no floorplan for %s" top
+
+(* ---- geometry ---- *)
+
+let test_rect_ops () =
+  let a = Geom.rect ~x:0 ~y:0 ~w:2 ~h:3 in
+  let b = Geom.rect ~x:2 ~y:0 ~w:1 ~h:1 in
+  Alcotest.(check int) "area" 6 (Geom.area a);
+  Alcotest.(check bool) "adjacent no overlap" false (Geom.overlap a b);
+  Alcotest.(check bool) "self overlap" true (Geom.overlap a a);
+  let u = Geom.union a b in
+  Alcotest.(check int) "union w" 3 u.Geom.w;
+  Alcotest.(check int) "union h" 3 u.Geom.h;
+  let t = Geom.translate a ~dx:5 ~dy:1 in
+  Alcotest.(check int) "translate x" 5 t.Geom.x
+
+let test_oriented_size () =
+  let quarter = [ Layout_ir.Rotate90; Layout_ir.Rotate270;
+                  Layout_ir.Flip45; Layout_ir.Flip135 ] in
+  let keep = [ Layout_ir.Rotate180; Layout_ir.Flip0; Layout_ir.Flip90 ] in
+  List.iter
+    (fun o ->
+      Alcotest.(check (pair int int))
+        (Layout_ir.orientation_to_string o)
+        (3, 2)
+        (Geom.oriented_size (Some o) (2, 3)))
+    quarter;
+  List.iter
+    (fun o ->
+      Alcotest.(check (pair int int))
+        (Layout_ir.orientation_to_string o)
+        (2, 3)
+        (Geom.oriented_size (Some o) (2, 3)))
+    keep;
+  Alcotest.(check (pair int int)) "identity" (2, 3)
+    (Geom.oriented_size None (2, 3))
+
+(* the seven orientation changes + identity form the dihedral group D4 *)
+let all_orients =
+  None
+  :: List.map Option.some
+       [ Layout_ir.Rotate90; Layout_ir.Rotate180; Layout_ir.Rotate270;
+         Layout_ir.Flip0; Layout_ir.Flip45; Layout_ir.Flip90;
+         Layout_ir.Flip135 ]
+
+let orient_str = function
+  | None -> "id"
+  | Some o -> Layout_ir.orientation_to_string o
+
+let test_group_closure () =
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let c = Geom.compose a b in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s.%s in group" (orient_str a) (orient_str b))
+            true
+            (List.exists (fun o -> o = c) all_orients))
+        all_orients)
+    all_orients
+
+let test_group_laws () =
+  (* identity, rotation order 4, flips are involutions *)
+  let r90 = Some Layout_ir.Rotate90 in
+  let r4 =
+    Geom.compose r90 (Geom.compose r90 (Geom.compose r90 r90))
+  in
+  Alcotest.(check string) "r^4 = id" "id" (orient_str r4);
+  List.iter
+    (fun f ->
+      let ff = Geom.compose (Some f) (Some f) in
+      Alcotest.(check string)
+        (Layout_ir.orientation_to_string f ^ "^2 = id")
+        "id" (orient_str ff))
+    [ Layout_ir.Flip0; Layout_ir.Flip45; Layout_ir.Flip90; Layout_ir.Flip135 ]
+
+let prop_group_associative =
+  let gen = QCheck.make ~print:orient_str (QCheck.Gen.oneofl all_orients) in
+  QCheck.Test.make ~count:300 ~name:"orientation_compose_associative"
+    (QCheck.triple gen gen gen)
+    (fun (a, b, c) ->
+      Geom.compose a (Geom.compose b c) = Geom.compose (Geom.compose a b) c)
+
+(* ---- packing ---- *)
+
+let row_design : (string -> string, unit, string) format =
+  "TYPE cell = COMPONENT (IN a: boolean; OUT b: boolean) IS BEGIN b := NOT \
+   a END; t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL c: \
+   ARRAY[1..4] OF cell; { ORDER %s FOR i := 1 TO 4 DO c[i] END END } BEGIN \
+   c[1].a := x; c[2].a := c[1].b; c[3].a := c[2].b; c[4].a := c[3].b; y := \
+   c[4].b END; SIGNAL s: t;"
+
+let test_row_lefttoright () =
+  let plan = plan_of (Printf.sprintf row_design "lefttoright") "s" in
+  Alcotest.(check int) "width" 4 plan.Floorplan.width;
+  Alcotest.(check int) "height" 1 plan.Floorplan.height;
+  let xs =
+    List.map (fun (p : Floorplan.placement) -> p.Floorplan.rect.Geom.x)
+      plan.Floorplan.cells
+  in
+  Alcotest.(check (list int)) "in order" [ 0; 1; 2; 3 ] xs;
+  Alcotest.(check int) "no overlaps" 0 (List.length (Floorplan.overlaps plan))
+
+let test_row_righttoleft () =
+  let plan = plan_of (Printf.sprintf row_design "righttoleft") "s" in
+  let xs =
+    List.map (fun (p : Floorplan.placement) -> p.Floorplan.rect.Geom.x)
+      plan.Floorplan.cells
+  in
+  Alcotest.(check (list int)) "mirrored" [ 3; 2; 1; 0 ] xs
+
+let test_column () =
+  let plan = plan_of (Printf.sprintf row_design "toptobottom") "s" in
+  Alcotest.(check int) "width" 1 plan.Floorplan.width;
+  Alcotest.(check int) "height" 4 plan.Floorplan.height
+
+let test_diagonal () =
+  (* the "snake" style diagonal of section 6 *)
+  let plan = plan_of (Printf.sprintf row_design "toplefttobottomright") "s" in
+  Alcotest.(check int) "width" 4 plan.Floorplan.width;
+  Alcotest.(check int) "height" 4 plan.Floorplan.height;
+  let ys =
+    List.map (fun (p : Floorplan.placement) -> p.Floorplan.rect.Geom.y)
+      plan.Floorplan.cells
+  in
+  Alcotest.(check (list int)) "descending diagonal" [ 0; 1; 2; 3 ] ys
+
+(* ---- E3: the H-tree has linear area ---- *)
+
+let test_htree_linear_area () =
+  List.iter
+    (fun n ->
+      let plan = plan_of (Corpus.htree n) "a" in
+      Alcotest.(check int)
+        (Printf.sprintf "htree(%d) area" n)
+        n (Floorplan.area plan);
+      Alcotest.(check int)
+        (Printf.sprintf "htree(%d) overlap-free" n)
+        0
+        (List.length (Floorplan.overlaps plan)))
+    [ 1; 4; 16; 64; 256 ]
+
+let test_htree_boundary_pins () =
+  let plan = plan_of (Corpus.htree 16) "a" in
+  Alcotest.(check int) "two pins" 2 (List.length plan.Floorplan.boundary_pins);
+  Alcotest.(check bool) "both on bottom" true
+    (List.for_all
+       (fun (side, _) -> side = Layout_ir.Bottom)
+       plan.Floorplan.boundary_pins)
+
+(* ---- nested orders + orientation in the H-tree ---- *)
+
+let test_htree_quadrants () =
+  let plan = plan_of (Corpus.htree 16) "a" in
+  (* the four direct children are the 2x2 htree(4) quadrant boxes *)
+  let quads =
+    List.filter
+      (fun (p : Floorplan.placement) ->
+        p.Floorplan.type_name = "htree" && Geom.area p.Floorplan.rect = 4)
+      plan.Floorplan.cells
+  in
+  Alcotest.(check int) "four quadrants" 4 (List.length quads);
+  (* two of them are flipped (flip90) *)
+  let flipped =
+    List.filter
+      (fun (p : Floorplan.placement) ->
+        p.Floorplan.orient = Some Layout_ir.Flip90)
+      quads
+  in
+  Alcotest.(check int) "two flipped" 2 (List.length flipped)
+
+(* ---- adder layout (the ORDER in rippleCarry) ---- *)
+
+let test_adder_row () =
+  let d = compile (Corpus.adder_n 8) in
+  match Floorplan.of_design d "adder" with
+  | None -> Alcotest.fail "no plan"
+  | Some plan ->
+      Alcotest.(check int) "8 cells in a row" 8 plan.Floorplan.width;
+      Alcotest.(check int) "height 1" 1 plan.Floorplan.height;
+      Alcotest.(check int) "cells" 8 (List.length plan.Floorplan.cells)
+
+(* ---- patternmatch layout: columns of comparator over accumulator ---- *)
+
+let test_patternmatch_grid () =
+  let d = compile (Corpus.patternmatch 5) in
+  match Floorplan.of_design d "match" with
+  | None -> Alcotest.fail "no plan"
+  | Some plan ->
+      Alcotest.(check int) "width" 5 plan.Floorplan.width;
+      Alcotest.(check int) "height" 2 plan.Floorplan.height;
+      let comps =
+        List.filter
+          (fun (p : Floorplan.placement) ->
+            p.Floorplan.type_name = "comparator")
+          plan.Floorplan.cells
+      in
+      Alcotest.(check bool) "comparators on top row" true
+        (List.for_all
+           (fun (p : Floorplan.placement) -> p.Floorplan.rect.Geom.y = 0)
+           comps)
+
+(* ---- render ---- *)
+
+let test_render () =
+  let plan = plan_of (Corpus.htree 4) "a" in
+  let s = Render.to_string plan in
+  Alcotest.(check bool) "mentions size" true
+    (String.length s > 0 && String.sub s 0 1 = "a")
+
+let () =
+  Alcotest.run "layout"
+    [
+      ( "geometry",
+        [
+          Alcotest.test_case "rect ops" `Quick test_rect_ops;
+          Alcotest.test_case "oriented size" `Quick test_oriented_size;
+          Alcotest.test_case "group closure" `Quick test_group_closure;
+          Alcotest.test_case "group laws" `Quick test_group_laws;
+          QCheck_alcotest.to_alcotest prop_group_associative;
+        ] );
+      ( "packing",
+        [
+          Alcotest.test_case "lefttoright" `Quick test_row_lefttoright;
+          Alcotest.test_case "righttoleft" `Quick test_row_righttoleft;
+          Alcotest.test_case "column" `Quick test_column;
+          Alcotest.test_case "diagonal" `Quick test_diagonal;
+        ] );
+      ( "htree",
+        [
+          Alcotest.test_case "linear area" `Quick test_htree_linear_area;
+          Alcotest.test_case "boundary pins" `Quick test_htree_boundary_pins;
+          Alcotest.test_case "quadrants" `Quick test_htree_quadrants;
+        ] );
+      ( "designs",
+        [
+          Alcotest.test_case "adder row" `Quick test_adder_row;
+          Alcotest.test_case "patternmatch grid" `Quick
+            test_patternmatch_grid;
+          Alcotest.test_case "render" `Quick test_render;
+        ] );
+    ]

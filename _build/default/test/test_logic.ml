@@ -1,0 +1,174 @@
+(* Four-valued logic: gate truth tables of section 8, driver resolution,
+   and the consistency of early ("partial") firing with full evaluation. *)
+
+open Zeus
+
+let all_values = [ Logic.Zero; Logic.One; Logic.Undef; Logic.Noinfl ]
+
+let logic = Alcotest.testable Logic.pp Logic.equal
+
+let check_logic = Alcotest.check logic
+
+let test_chars () =
+  List.iter
+    (fun v ->
+      Alcotest.(check (option logic))
+        "of_char/to_char" (Some v)
+        (Logic.of_char (Logic.to_char v)))
+    all_values;
+  Alcotest.(check (option logic)) "bad char" None (Logic.of_char '?')
+
+let test_booleanize () =
+  check_logic "Z -> U" Logic.Undef (Logic.booleanize Logic.Noinfl);
+  List.iter
+    (fun v ->
+      if not (Logic.equal v Logic.Noinfl) then
+        check_logic "identity" v (Logic.booleanize v))
+    all_values
+
+let test_and_table () =
+  (* AND fires 0 as soon as one input is 0; 1 iff both 1; else UNDEF *)
+  check_logic "0.U" Logic.Zero (Logic.and2 Logic.Zero Logic.Undef);
+  check_logic "U.0" Logic.Zero (Logic.and2 Logic.Undef Logic.Zero);
+  check_logic "1.1" Logic.One (Logic.and2 Logic.One Logic.One);
+  check_logic "1.U" Logic.Undef (Logic.and2 Logic.One Logic.Undef);
+  check_logic "Z.1" Logic.Undef (Logic.and2 Logic.Noinfl Logic.One);
+  check_logic "Z.0" Logic.Zero (Logic.and2 Logic.Noinfl Logic.Zero)
+
+let test_or_table () =
+  check_logic "1+U" Logic.One (Logic.or2 Logic.One Logic.Undef);
+  check_logic "0+0" Logic.Zero (Logic.or2 Logic.Zero Logic.Zero);
+  check_logic "0+U" Logic.Undef (Logic.or2 Logic.Zero Logic.Undef);
+  check_logic "Z+0" Logic.Undef (Logic.or2 Logic.Noinfl Logic.Zero)
+
+let test_xor_equal () =
+  check_logic "xor 1 0" Logic.One (Logic.xor2 Logic.One Logic.Zero);
+  check_logic "xor 1 1" Logic.Zero (Logic.xor2 Logic.One Logic.One);
+  check_logic "xor U 1" Logic.Undef (Logic.xor2 Logic.Undef Logic.One);
+  check_logic "equal 1 1" Logic.One (Logic.equal2 Logic.One Logic.One);
+  check_logic "equal 1 0" Logic.Zero (Logic.equal2 Logic.One Logic.Zero);
+  check_logic "equal U 0" Logic.Undef (Logic.equal2 Logic.Undef Logic.Zero)
+
+let test_not () =
+  check_logic "not 0" Logic.One (Logic.not_ Logic.Zero);
+  check_logic "not 1" Logic.Zero (Logic.not_ Logic.One);
+  check_logic "not U" Logic.Undef (Logic.not_ Logic.Undef);
+  check_logic "not Z" Logic.Undef (Logic.not_ Logic.Noinfl)
+
+let test_nary () =
+  check_logic "and3" Logic.Zero
+    (Logic.and_list [ Logic.One; Logic.Zero; Logic.One ]);
+  check_logic "or3" Logic.One
+    (Logic.or_list [ Logic.Zero; Logic.Undef; Logic.One ]);
+  check_logic "nand" Logic.One
+    (Logic.nand_list [ Logic.Zero; Logic.One ]);
+  check_logic "nor" Logic.Zero (Logic.nor_list [ Logic.One; Logic.Zero ]);
+  check_logic "xor3" Logic.One
+    (Logic.xor_list [ Logic.One; Logic.One; Logic.One ]);
+  Alcotest.check_raises "empty and" (Invalid_argument "Logic.and_list: empty")
+    (fun () -> ignore (Logic.and_list []))
+
+(* resolution: NOINFL overruled; >1 driving value is a conflict *)
+let test_resolve () =
+  let r = Logic.resolve [ Logic.Noinfl; Logic.One; Logic.Noinfl ] in
+  check_logic "single driver" Logic.One r.Logic.value;
+  Alcotest.(check bool) "no conflict" false r.Logic.conflict;
+  let r = Logic.resolve [ Logic.One; Logic.Zero ] in
+  check_logic "conflict -> U" Logic.Undef r.Logic.value;
+  Alcotest.(check bool) "conflict" true r.Logic.conflict;
+  let r = Logic.resolve [ Logic.Undef; Logic.Undef ] in
+  Alcotest.(check bool) "two UNDEF drives also conflict" true r.Logic.conflict;
+  let r = Logic.resolve [ Logic.Noinfl; Logic.Noinfl ] in
+  check_logic "all NOINFL" Logic.Noinfl r.Logic.value;
+  Alcotest.(check bool) "no conflict" false r.Logic.conflict;
+  let r = Logic.resolve [] in
+  check_logic "no drivers" Logic.Noinfl r.Logic.value
+
+(* ---- qcheck properties ---- *)
+
+let gen_logic = QCheck.make ~print:Logic.to_string (QCheck.Gen.oneofl all_values)
+
+let gen_partial =
+  QCheck.make
+    ~print:(function None -> "?" | Some v -> Logic.to_string v)
+    QCheck.Gen.(
+      oneof [ return None; map (fun v -> Some v) (oneofl all_values) ])
+
+(* once a partial gate fires, filling in the missing inputs never changes
+   the result — the "all orders give the same result" claim of section 8
+   at the gate level *)
+let partial_consistent name partial strict =
+  QCheck.Test.make ~count:500
+    ~name:(name ^ "_partial_consistent")
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 5) gen_partial)
+    (fun inputs ->
+      match partial inputs with
+      | None -> true
+      | Some fired ->
+          (* complete the inputs in every (sampled) way *)
+          List.for_all
+            (fun fill ->
+              let complete =
+                List.map (function Some v -> v | None -> fill) inputs
+              in
+              Logic.equal (strict complete) fired)
+            all_values)
+
+let prop_and = partial_consistent "and" Logic.and_partial Logic.and_list
+
+let prop_or = partial_consistent "or" Logic.or_partial Logic.or_list
+
+let prop_nand = partial_consistent "nand" Logic.nand_partial Logic.nand_list
+
+let prop_nor = partial_consistent "nor" Logic.nor_partial Logic.nor_list
+
+let prop_full_fires =
+  QCheck.Test.make ~count:500 ~name:"full_inputs_always_fire"
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 5) gen_logic)
+    (fun inputs ->
+      let some = List.map (fun v -> Some v) inputs in
+      Option.is_some (Logic.and_partial some)
+      && Option.is_some (Logic.or_partial some)
+      && Option.is_some (Logic.xor_partial some))
+
+let prop_resolve_order_independent =
+  QCheck.Test.make ~count:500 ~name:"resolve_order_independent"
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 6) gen_logic)
+    (fun drivers ->
+      let a = Logic.resolve drivers in
+      let b = Logic.resolve (List.rev drivers) in
+      Logic.equal a.Logic.value b.Logic.value
+      && a.Logic.conflict = b.Logic.conflict)
+
+let prop_demorgan =
+  QCheck.Test.make ~count:500 ~name:"demorgan_nand"
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 5) gen_logic)
+    (fun inputs ->
+      Logic.equal (Logic.nand_list inputs) (Logic.not_ (Logic.and_list inputs)))
+
+let () =
+  Alcotest.run "logic"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "chars" `Quick test_chars;
+          Alcotest.test_case "booleanize" `Quick test_booleanize;
+          Alcotest.test_case "and" `Quick test_and_table;
+          Alcotest.test_case "or" `Quick test_or_table;
+          Alcotest.test_case "xor/equal" `Quick test_xor_equal;
+          Alcotest.test_case "not" `Quick test_not;
+          Alcotest.test_case "nary" `Quick test_nary;
+          Alcotest.test_case "resolve" `Quick test_resolve;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_and;
+            prop_or;
+            prop_nand;
+            prop_nor;
+            prop_full_fires;
+            prop_resolve_order_independent;
+            prop_demorgan;
+          ] );
+    ]

@@ -1,0 +1,165 @@
+(* The optimizer: constant propagation and dead-logic elimination must
+   preserve observable behaviour exactly — checked by differential
+   simulation on the corpus and on random circuits. *)
+
+open Zeus
+
+let compile src =
+  match Zeus.compile src with
+  | Ok d -> d
+  | Error diags -> Alcotest.failf "compile: %a" Fmt.(list Diag.pp) diags
+
+(* ---- directed reductions ---- *)
+
+let test_constant_folding () =
+  (* y := AND(x, OR(1, x)) — the OR is constant 1, so AND(x,1) = buffer;
+     the OR gate must fold away *)
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL one: \
+       boolean; BEGIN one := 1; y := AND(x,OR(one,x)) END;\nSIGNAL s: t;"
+  in
+  let opt, report = Optimize.run d in
+  Alcotest.(check bool) "gates reduced" true
+    (report.Optimize.gates_after < report.Optimize.gates_before);
+  Alcotest.(check bool) "constants found" true
+    (report.Optimize.constants_found > 0);
+  (* behaviour unchanged *)
+  let run design v =
+    let sim = Sim.create design in
+    Sim.poke_bool sim "s.x" v;
+    Sim.step sim;
+    Sim.peek_bit sim "s.y"
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check char) "same output"
+        (Logic.to_char (run d v))
+        (Logic.to_char (run opt v)))
+    [ true; false ]
+
+let test_dead_removal () =
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL u: \
+       boolean; BEGIN u := NOT x; * := u; y := x END;\nSIGNAL s: t;"
+  in
+  let _, report = Optimize.run d in
+  Alcotest.(check bool) "dead NOT removed" true
+    (report.Optimize.gates_after < report.Optimize.gates_before)
+
+let test_guard_folding () =
+  (* IF 1 THEN m := x END : the guard folds to an unconditional drive *)
+  let d =
+    compile
+      "CONST on = 1;\n\
+       TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL g: \
+       boolean; m: multiplex; BEGIN g := on; IF g THEN m := x END; y := m \
+       END;\nSIGNAL s: t;"
+  in
+  let opt, _ = Optimize.run d in
+  let sim = Sim.create opt in
+  Sim.poke_bool sim "s.x" true;
+  Sim.step sim;
+  Alcotest.(check char) "folded guard still drives" '1'
+    (Logic.to_char (Sim.peek_bit sim "s.y"))
+
+(* ---- equivalence on the corpus ---- *)
+
+let outputs_of design =
+  (* OUT/INOUT pins of root instances *)
+  let nl = design.Elaborate.netlist in
+  List.concat_map
+    (fun (i : Netlist.instance) ->
+      if String.contains i.Netlist.ipath '.' then []
+      else
+        List.concat_map
+          (fun (_, mode, nets) ->
+            match mode with
+            | Etype.Out | Etype.Inout -> nets
+            | Etype.In -> [])
+          i.Netlist.iports)
+    (Netlist.instances nl)
+
+let inputs_of design =
+  let nl = design.Elaborate.netlist in
+  List.concat_map
+    (fun (i : Netlist.instance) ->
+      if String.contains i.Netlist.ipath '.' then []
+      else
+        List.concat_map
+          (fun (_, mode, nets) ->
+            match mode with
+            | Etype.In -> nets
+            | Etype.Out | Etype.Inout -> [])
+          i.Netlist.iports)
+    (Netlist.instances nl)
+
+let equivalent ?(cycles = 4) design =
+  let opt, _ = Optimize.run design in
+  let ins = inputs_of design and outs = outputs_of design in
+  let rng = Random.State.make [| 1234 |] in
+  let ok = ref true in
+  for _trial = 1 to 5 do
+    let s1 = Sim.create design and s2 = Sim.create opt in
+    Sim.reset s1;
+    Sim.reset s2;
+    for _c = 1 to cycles do
+      let vec =
+        List.map
+          (fun _ -> if Random.State.bool rng then Logic.One else Logic.Zero)
+          ins
+      in
+      Sim.poke_nets s1 ins vec;
+      Sim.poke_nets s2 ins vec;
+      Sim.step s1;
+      Sim.step s2;
+      if Sim.peek_nets s1 outs <> Sim.peek_nets s2 outs then ok := false
+    done;
+    (* register state must agree as well *)
+    if Sim.reg_states s1 <> Sim.reg_states s2 then ok := false
+  done;
+  !ok
+
+let test_equivalence_corpus () =
+  List.iter
+    (fun (name, src) ->
+      let d = compile src in
+      Alcotest.(check bool)
+        (name ^ " optimized design equivalent")
+        true (equivalent d))
+    [
+      ("adder4", Corpus.adder4);
+      ("blackjack", Corpus.blackjack);
+      ("patternmatch3", Corpus.patternmatch 3);
+      ("am2901", Corpus.am2901);
+      ("counter8", Corpus_fsm.counter 8);
+      ("lfsr4", Corpus_fsm.lfsr4);
+    ]
+
+let test_reduction_on_blackjack () =
+  (* blackjack contains dead logic (the unused plus/minus carry-out), so
+     the optimizer must strictly shrink it *)
+  let d = compile Corpus.blackjack in
+  let _, r = Optimize.run d in
+  Alcotest.(check bool)
+    (Fmt.str "shrinks (%a)" Optimize.pp_report r)
+    true
+    (r.Optimize.gates_after < r.Optimize.gates_before)
+
+let () =
+  Alcotest.run "optimize"
+    [
+      ( "directed",
+        [
+          Alcotest.test_case "constant folding" `Quick test_constant_folding;
+          Alcotest.test_case "dead removal" `Quick test_dead_removal;
+          Alcotest.test_case "guard folding" `Quick test_guard_folding;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "corpus" `Quick test_equivalence_corpus;
+          Alcotest.test_case "blackjack shrinks" `Quick
+            test_reduction_on_blackjack;
+        ] );
+    ]

@@ -1,0 +1,333 @@
+(* Parser: the EBNF of report section 7 (main and layout syntax). *)
+
+open Zeus
+
+let parse_ok src =
+  match Parser.program src with
+  | Some p, _ -> p
+  | None, bag -> Alcotest.failf "parse failed: %a" Diag.Bag.pp bag
+
+let parse_err src =
+  match Parser.program src with
+  | None, bag -> Diag.Bag.errors bag
+  | Some _, _ -> Alcotest.failf "expected a parse error for %S" src
+
+let expr_ok src =
+  match Parser.expression src with
+  | Some e, _ -> e
+  | None, bag -> Alcotest.failf "expr parse failed: %a" Diag.Bag.pp bag
+
+(* ---- declarations ---- *)
+
+let test_const_decl () =
+  match parse_ok "CONST length = 7; start = (0,0,0); ten = BIN(10,5);" with
+  | [ Ast.Dconst [ (l, Ast.Knum _); (s, Ast.Ksig (Ast.Sc_tuple _));
+                   (t, Ast.Ksig (Ast.Sc_bin _)) ] ] ->
+      Alcotest.(check string) "name" "length" l.Ast.id;
+      Alcotest.(check string) "name" "start" s.Ast.id;
+      Alcotest.(check string) "name" "ten" t.Ast.id
+  | _ -> Alcotest.fail "const declaration shape"
+
+let test_nested_sig_const () =
+  match parse_ok "CONST a = ((0,1),(1,0),(0,0));" with
+  | [ Ast.Dconst [ (_, Ast.Ksig (Ast.Sc_tuple (elems, _))) ] ] ->
+      Alcotest.(check int) "outer arity" 3 (List.length elems)
+  | _ -> Alcotest.fail "nested signal constant"
+
+let test_type_decl () =
+  match parse_ok "TYPE bo(n) = ARRAY [1..n] OF boolean;" with
+  | [ Ast.Dtype [ d ] ] ->
+      Alcotest.(check string) "name" "bo" d.Ast.tname.Ast.id;
+      Alcotest.(check int) "formals" 1 (List.length d.Ast.tformals);
+      (match d.Ast.tty with
+      | Ast.Tarray (_, _, Ast.Tname (b, []), _) ->
+          Alcotest.(check string) "elem" "boolean" b.Ast.id
+      | _ -> Alcotest.fail "array type shape")
+  | _ -> Alcotest.fail "type declaration shape"
+
+let test_multidim_array () =
+  (* ARRAY[1..n,1..n] OF virtual (section 6.4) desugars to nested arrays *)
+  match parse_ok "TYPE m = ARRAY [1..4,1..4] OF virtual;" with
+  | [ Ast.Dtype [ { Ast.tty = Ast.Tarray (_, _, Ast.Tarray _, _); _ } ] ] -> ()
+  | _ -> Alcotest.fail "multi-dimensional array sugar"
+
+let test_component_record () =
+  (* component without body = record type *)
+  match parse_ok "TYPE bus = COMPONENT (r,s,t: bo(3); u: boolean);" with
+  | [ Ast.Dtype [ { Ast.tty = Ast.Tcomponent (c, _); _ } ] ] ->
+      Alcotest.(check bool) "no body" true (c.Ast.cbody = None);
+      Alcotest.(check int) "param groups" 2 (List.length c.Ast.cparams);
+      Alcotest.(check bool) "inout"
+        true
+        ((List.hd c.Ast.cparams).Ast.fmode = Ast.Minout)
+  | _ -> Alcotest.fail "record component"
+
+let test_function_component () =
+  match
+    parse_ok
+      "TYPE f = COMPONENT (IN a: boolean) : boolean IS BEGIN RESULT NOT a END;"
+  with
+  | [ Ast.Dtype [ { Ast.tty = Ast.Tcomponent (c, _); _ } ] ] ->
+      Alcotest.(check bool) "has result" true (c.Ast.cresult <> None);
+      Alcotest.(check bool) "has body" true (c.Ast.cbody <> None)
+  | _ -> Alcotest.fail "function component"
+
+let test_uses_clause () =
+  match
+    parse_ok
+      "TYPE f = COMPONENT (IN a: boolean) IS USES x,y; BEGIN END; g = \
+       COMPONENT (IN a: boolean) IS USES ; BEGIN END;"
+  with
+  | [ Ast.Dtype [ f; g ] ] ->
+      let uses (d : Ast.type_def) =
+        match d.Ast.tty with
+        | Ast.Tcomponent ({ Ast.cbody = Some b; _ }, _) -> b.Ast.buses
+        | _ -> None
+      in
+      Alcotest.(check (option (list string)))
+        "uses list" (Some [ "x"; "y" ])
+        (Option.map (List.map (fun i -> i.Ast.id)) (uses f));
+      Alcotest.(check (option (list string))) "empty uses" (Some [])
+        (Option.map (List.map (fun i -> i.Ast.id)) (uses g))
+  | _ -> Alcotest.fail "uses clause"
+
+let test_signal_decl_actuals () =
+  (* both spellings: t(4) fused in the type, and the detached form *)
+  match parse_ok "SIGNAL a: rippleCarry(4); b: rippleCarry (4);" with
+  | [ Ast.Dsignal [ (_, Ast.Tname (_, [ _ ])); (_, Ast.Tname (_, [ _ ])) ] ] ->
+      ()
+  | _ -> Alcotest.fail "signal declaration actuals"
+
+(* ---- statements ---- *)
+
+let body_of src =
+  match parse_ok src with
+  | [ Ast.Dtype [ { Ast.tty = Ast.Tcomponent ({ Ast.cbody = Some b; _ }, _); _ } ] ]
+    ->
+      b.Ast.bstmts
+  | _ -> Alcotest.fail "expected one component type"
+
+let wrap stmts = "TYPE t = COMPONENT (IN a: boolean) IS BEGIN " ^ stmts ^ " END;"
+
+let test_assign_kinds () =
+  match body_of (wrap "x := y; u == v; h1(a,b,*,c); * := q") with
+  | [ Ast.Sassign _; Ast.Salias _; Ast.Sconnect (_, args, _); Ast.Sassign (Ast.Star _, _, _) ]
+    ->
+      Alcotest.(check int) "connection arity" 4 (List.length args)
+  | _ -> Alcotest.fail "statement kinds"
+
+let test_if_elsif () =
+  match body_of (wrap "IF a THEN x := 1 ELSIF b THEN x := 0 ELSE y := 1 END") with
+  | [ Ast.Sif (arms, else_, _) ] ->
+      Alcotest.(check int) "arms" 2 (List.length arms);
+      Alcotest.(check int) "else" 1 (List.length else_)
+  | _ -> Alcotest.fail "if/elsif/else"
+
+let test_for_when () =
+  match
+    body_of
+      (wrap
+         "FOR i := 1 TO 4 DO x[i] := y[i] END; FOR j := 8 DOWNTO 1 DO \
+          SEQUENTIALLY z[j] := w[j] END; WHEN n = 2 THEN x := y \
+          OTHERWISEWHEN n = 3 THEN x := z OTHERWISE q := r END")
+  with
+  | [ Ast.Sfor ({ Ast.fdir = Ast.To; _ }, false, _, _);
+      Ast.Sfor ({ Ast.fdir = Ast.Downto; _ }, true, _, _);
+      Ast.Swhen (arms, otherwise, _) ] ->
+      Alcotest.(check int) "when arms" 2 (List.length arms);
+      Alcotest.(check bool) "otherwise" true (otherwise <> [])
+  | _ -> Alcotest.fail "for/when"
+
+let test_seq_par_with () =
+  match
+    body_of
+      (wrap
+         "SEQUENTIAL s1 := a; PARALLEL s2 := a; s3 := a END; s4 := a END; \
+          WITH g[1] DO x := x1 END")
+  with
+  | [ Ast.Ssequential (inner, _); Ast.Swith (_, _, _) ] ->
+      (match inner with
+      | [ Ast.Sassign _; Ast.Sparallel _; Ast.Sassign _ ] -> ()
+      | _ -> Alcotest.fail "sequential body")
+  | _ -> Alcotest.fail "sequential/parallel/with"
+
+let test_result_stmt () =
+  match body_of (wrap "RESULT AND(NOT g,h)") with
+  | [ Ast.Sresult (Ast.Ecall (a, [], [ _; _ ], _), _) ] ->
+      Alcotest.(check string) "AND" "AND" a.Ast.id
+  | _ -> Alcotest.fail "result statement"
+
+(* ---- expressions ---- *)
+
+let test_call_with_type_params () =
+  match expr_ok "plus[n](a,b)" with
+  | Ast.Ecall (f, [ _ ], [ _; _ ], _) ->
+      Alcotest.(check string) "callee" "plus" f.Ast.id
+  | _ -> Alcotest.fail "bracketed type parameters"
+
+let test_selectors () =
+  match expr_ok "r[1..n].in" with
+  | Ast.Eref (Ast.Sig (r, [ Ast.Sel_range _; Ast.Sel_field f ])) ->
+      Alcotest.(check string) "head" "r" r.Ast.id;
+      Alcotest.(check string) "field" "in" f.Ast.id
+  | _ -> Alcotest.fail "range + field selectors"
+
+let test_num_selector () =
+  match expr_ok "ram[NUM(a)].out" with
+  | Ast.Eref (Ast.Sig (_, [ Ast.Sel_num _; Ast.Sel_field _ ])) -> ()
+  | _ -> Alcotest.fail "NUM selector"
+
+let test_star_width () =
+  match expr_ok "*:3" with
+  | Ast.Estar (Some _, _) -> ()
+  | _ -> Alcotest.fail "star with width"
+
+let test_tuple_flattening () =
+  match expr_ok "((p,q),(p[1],q[2]))" with
+  | Ast.Etuple ([ Ast.Etuple _; Ast.Etuple _ ], _) -> ()
+  | _ -> Alcotest.fail "nested tuples"
+
+let test_clk_rset () =
+  (match expr_ok "CLK" with
+  | Ast.Eref (Ast.Sig (c, [])) -> Alcotest.(check string) "clk" "CLK" c.Ast.id
+  | _ -> Alcotest.fail "CLK");
+  match body_of (wrap "IF RSET THEN x := 1 END") with
+  | [ Ast.Sif ([ (Ast.Eref (Ast.Sig (r, [])), _) ], _, _) ] ->
+      Alcotest.(check string) "rset" "RSET" r.Ast.id
+  | _ -> Alcotest.fail "RSET"
+
+(* ---- layout ---- *)
+
+let layout_of src =
+  match parse_ok src with
+  | [ Ast.Dtype [ { Ast.tty = Ast.Tcomponent ({ Ast.cbody = Some b; _ }, _); _ } ] ]
+    ->
+      b.Ast.bbody_layout
+  | _ -> Alcotest.fail "expected one component type"
+
+let wrap_layout l =
+  "TYPE t = COMPONENT (IN a: boolean) IS { " ^ l ^ " } BEGIN END;"
+
+let test_layout_order () =
+  match layout_of (wrap_layout "ORDER lefttoright x; flip90 y END") with
+  | [ Ast.Lorder (d, [ Ast.Lcell (None, _, _); Ast.Lcell (Some o, _, _) ], _) ]
+    ->
+      Alcotest.(check string) "direction" "lefttoright" d.Ast.id;
+      Alcotest.(check string) "orientation" "flip90" o.Ast.id
+  | _ -> Alcotest.fail "order statement"
+
+let test_layout_boundary () =
+  match layout_of (wrap_layout "BOTTOM in;out") with
+  | [ Ast.Lboundary (Ast.Side_bottom, [ _; _ ], _) ] -> ()
+  | _ -> Alcotest.fail "boundary statement"
+
+let test_layout_replacement () =
+  match layout_of (wrap_layout "FOR i = 1 TO 4 DO m[i] = black END") with
+  | [ Ast.Lfor (_, [ Ast.Lreplace (None, _, Ast.Tname (b, []), _) ], _) ] ->
+      Alcotest.(check string) "replacement type" "black" b.Ast.id
+  | _ -> Alcotest.fail "replacement statement"
+
+let test_layout_when_with () =
+  match
+    layout_of
+      (wrap_layout
+         "WHEN n > 1 THEN ORDER toptobottom a; b END OTHERWISE c END; WITH \
+          pe[1] DO comp; acc END")
+  with
+  | [ Ast.Lwhen ([ (_, [ Ast.Lorder _ ]) ], [ Ast.Lcell _ ], _);
+      Ast.Lwith (_, [ Ast.Lcell _; Ast.Lcell _ ], _) ] ->
+      ()
+  | _ -> Alcotest.fail "layout when/with"
+
+let test_bad_direction () =
+  ignore (parse_err (wrap_layout "ORDER sideways x END"))
+
+(* ---- error reporting ---- *)
+
+let test_error_recovery () =
+  (* two independent errors in one file are both reported *)
+  let _, bag =
+    Parser.program
+      "TYPE t = COMPONENT (IN a boolean) IS BEGIN END;\n\
+       CONST k = ;\n\
+       SIGNAL ok: boolean_like;"
+  in
+  Alcotest.(check bool) "two or more errors" true
+    (List.length (Diag.Bag.errors bag) >= 2)
+
+let test_errors () =
+  ignore (parse_err "TYPE t = COMPONENT (IN a boolean) IS BEGIN END;");
+  ignore (parse_err "SIGNAL x;");
+  ignore (parse_err "TYPE t = COMPONENT (IN a: boolean) IS BEGIN x + y END;");
+  ignore (parse_err "CONST x = ;");
+  (* function component types need a body *)
+  ignore (parse_err "TYPE f = COMPONENT (IN a: boolean) : boolean;")
+
+(* ---- round trip: parse -> pretty -> parse gives the same tree shape *)
+
+let strip_locs_via_pp p = Pretty.program_to_string p
+
+let test_roundtrip_corpus () =
+  List.iter
+    (fun (name, src) ->
+      let p1 = parse_ok src in
+      let printed = strip_locs_via_pp p1 in
+      let p2 =
+        match Parser.program printed with
+        | Some p, _ -> p
+        | None, bag ->
+            Alcotest.failf "%s: reparse failed: %a@.%s" name Diag.Bag.pp bag
+              printed
+      in
+      Alcotest.(check string)
+        (name ^ " roundtrip")
+        printed (strip_locs_via_pp p2))
+    Corpus.all_named
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "declarations",
+        [
+          Alcotest.test_case "const" `Quick test_const_decl;
+          Alcotest.test_case "nested sig const" `Quick test_nested_sig_const;
+          Alcotest.test_case "type" `Quick test_type_decl;
+          Alcotest.test_case "multidim array" `Quick test_multidim_array;
+          Alcotest.test_case "record component" `Quick test_component_record;
+          Alcotest.test_case "function component" `Quick test_function_component;
+          Alcotest.test_case "uses" `Quick test_uses_clause;
+          Alcotest.test_case "signal actuals" `Quick test_signal_decl_actuals;
+        ] );
+      ( "statements",
+        [
+          Alcotest.test_case "assign kinds" `Quick test_assign_kinds;
+          Alcotest.test_case "if/elsif" `Quick test_if_elsif;
+          Alcotest.test_case "for/when" `Quick test_for_when;
+          Alcotest.test_case "seq/par/with" `Quick test_seq_par_with;
+          Alcotest.test_case "result" `Quick test_result_stmt;
+        ] );
+      ( "expressions",
+        [
+          Alcotest.test_case "type params" `Quick test_call_with_type_params;
+          Alcotest.test_case "selectors" `Quick test_selectors;
+          Alcotest.test_case "NUM" `Quick test_num_selector;
+          Alcotest.test_case "star width" `Quick test_star_width;
+          Alcotest.test_case "tuples" `Quick test_tuple_flattening;
+          Alcotest.test_case "CLK/RSET" `Quick test_clk_rset;
+        ] );
+      ( "layout",
+        [
+          Alcotest.test_case "order" `Quick test_layout_order;
+          Alcotest.test_case "boundary" `Quick test_layout_boundary;
+          Alcotest.test_case "replacement" `Quick test_layout_replacement;
+          Alcotest.test_case "when/with" `Quick test_layout_when_with;
+          Alcotest.test_case "bad direction" `Quick test_bad_direction;
+        ] );
+      ( "roundtrip",
+        [ Alcotest.test_case "corpus" `Quick test_roundtrip_corpus ] );
+      ( "errors",
+        [
+          Alcotest.test_case "reporting" `Quick test_errors;
+          Alcotest.test_case "recovery" `Quick test_error_recovery;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+(* Scale stress: large instances of the parameterized generators must
+   elaborate, check and simulate within sane bounds — the "VLSI" in the
+   title means thousands of nets, not dozens. *)
+
+open Zeus
+
+let compile src =
+  match Zeus.compile src with
+  | Ok d -> d
+  | Error diags -> Alcotest.failf "compile: %a" Fmt.(list Diag.pp) diags
+
+let test_large_ram () =
+  (* 256 x 16 RAM: 4096 registers *)
+  let d = compile (Corpus.ram ~abits:8 ~wbits:16) in
+  let nl = d.Elaborate.netlist in
+  Alcotest.(check int) "registers" 4096 (List.length (Netlist.regs nl));
+  let sim = Sim.create d in
+  (* a write/read burst across the address space *)
+  for a = 0 to 255 do
+    if a mod 17 = 0 then begin
+      Sim.poke_int sim "m.addr" a;
+      Sim.poke_int sim "m.data" ((a * 257) land 0xffff);
+      Sim.poke_bool sim "m.we" true;
+      Sim.step sim
+    end
+  done;
+  Sim.poke_bool sim "m.we" false;
+  for a = 0 to 255 do
+    if a mod 17 = 0 then begin
+      Sim.poke_int sim "m.addr" a;
+      Sim.step sim;
+      Alcotest.(check (option int))
+        (Printf.sprintf "readback %d" a)
+        (Some ((a * 257) land 0xffff))
+        (Sim.peek_int sim "m.q")
+    end
+  done;
+  Alcotest.(check int) "no runtime errors" 0
+    (List.length (Sim.runtime_errors sim))
+
+let test_large_routing () =
+  (* 128-input butterfly: 448 routers, ~30k nets *)
+  let d = compile (Corpus.routing_network 128) in
+  let nl = d.Elaborate.netlist in
+  let routers =
+    List.length
+      (List.filter
+         (fun (i : Netlist.instance) -> i.Netlist.itype = "router")
+         (Netlist.instances nl))
+  in
+  Alcotest.(check int) "router count" (128 / 2 * 7) routers;
+  let sim = Sim.create d in
+  for i = 0 to 127 do
+    Sim.poke_int sim (Printf.sprintf "net.input[%d]" i) i
+  done;
+  Sim.step sim;
+  (* straight switches: the butterfly applies its wiring permutation;
+     all outputs must be defined and a permutation of the inputs *)
+  let outs =
+    List.init 128 (fun i ->
+        Sim.peek_int sim (Printf.sprintf "net.output[%d]" i))
+  in
+  Alcotest.(check bool) "all defined" true (List.for_all Option.is_some outs);
+  let sorted = List.sort compare (List.map Option.get outs) in
+  Alcotest.(check (list int)) "a permutation" (List.init 128 Fun.id) sorted
+
+let test_deep_adder () =
+  let d = compile (Corpus.adder_n 128) in
+  let sim = Sim.create d in
+  (* worst-case carry propagation: all ones + 1 *)
+  Sim.poke_int_lsb sim "adder.a" 0;
+  Sim.poke_int_lsb sim "adder.b" 0;
+  Sim.poke_bool sim "adder.cin" true;
+  (* drive a[i] = 1 everywhere via direct bit pokes *)
+  (match Elaborate.resolve_path d "adder.a" with
+  | Ok nets -> Sim.poke_nets sim nets (List.map (fun _ -> Logic.One) nets)
+  | Error e -> Alcotest.fail e);
+  Sim.step sim;
+  Alcotest.(check char) "carry out after 128 bits" '1'
+    (Logic.to_char (Sim.peek_bit sim "adder.cout"));
+  (* the sum is all zeros *)
+  let s = Sim.peek sim "adder.s" in
+  Alcotest.(check bool) "sum wrapped to zero" true
+    (List.for_all (Logic.equal Logic.Zero) s)
+
+let test_wide_dictionary () =
+  let d = compile (Corpus.dictionary ~slots:64 ~keybits:12) in
+  let sim = Sim.create d in
+  Sim.poke_bool sim "dict.ins" false;
+  Sim.poke_bool sim "dict.del" false;
+  Sim.poke_int sim "dict.slot" 0;
+  Sim.poke_int sim "dict.data" 0;
+  Sim.poke_int sim "dict.query" 0;
+  Sim.reset sim;
+  for slot = 0 to 63 do
+    Sim.poke_bool sim "dict.ins" true;
+    Sim.poke_int sim "dict.slot" slot;
+    Sim.poke_int sim "dict.data" (slot * 63);
+    Sim.step sim
+  done;
+  Sim.poke_bool sim "dict.ins" false;
+  Sim.poke_int sim "dict.query" (17 * 63);
+  Sim.step sim;
+  Alcotest.(check char) "member found among 64 slots" '1'
+    (Logic.to_char (Sim.peek_bit sim "dict.member"))
+
+let test_htree_large () =
+  (* htree(4096): 5461 instances; elaboration + floorplan stay linear *)
+  let d = compile (Corpus.htree 4096) in
+  match Floorplan.of_design d "a" with
+  | Some plan -> Alcotest.(check int) "area" 4096 (Floorplan.area plan)
+  | None -> Alcotest.fail "no plan"
+
+let () =
+  Alcotest.run "scale"
+    [
+      ( "scale",
+        [
+          Alcotest.test_case "ram 256x16" `Slow test_large_ram;
+          Alcotest.test_case "routing 128" `Slow test_large_routing;
+          Alcotest.test_case "adder 128 carry chain" `Quick test_deep_adder;
+          Alcotest.test_case "dictionary 64x12" `Slow test_wide_dictionary;
+          Alcotest.test_case "htree 4096" `Slow test_htree_large;
+        ] );
+    ]

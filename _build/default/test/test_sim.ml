@@ -1,0 +1,428 @@
+(* The firing simulator of section 8: gate evaluation, registers,
+   multiplex resolution, runtime checks, the evaluation-sequence trace,
+   and the equivalence of all three scheduling engines. *)
+
+open Zeus
+
+let logic = Alcotest.testable Logic.pp Logic.equal
+
+let compile src =
+  match Zeus.compile src with
+  | Ok d -> d
+  | Error diags -> Alcotest.failf "compile: %a" Fmt.(list Diag.pp) diags
+
+let simple_gate op =
+  compile
+    (Printf.sprintf
+       "TYPE t = COMPONENT (IN a,b: boolean; OUT y: boolean) IS BEGIN y := \
+        %s(a,b) END; SIGNAL s: t;"
+       op)
+
+let eval2 d a b =
+  let sim = Sim.create d in
+  Sim.poke sim "s.a" [ a ];
+  Sim.poke sim "s.b" [ b ];
+  Sim.step sim;
+  Sim.peek_bit sim "s.y"
+
+let test_gate_sim () =
+  let d = simple_gate "AND" in
+  Alcotest.check logic "and 1 1" Logic.One (eval2 d Logic.One Logic.One);
+  Alcotest.check logic "and 0 U" Logic.Zero (eval2 d Logic.Zero Logic.Undef);
+  let d = simple_gate "NAND" in
+  Alcotest.check logic "nand 1 1" Logic.Zero (eval2 d Logic.One Logic.One);
+  let d = simple_gate "XOR" in
+  Alcotest.check logic "xor 1 0" Logic.One (eval2 d Logic.One Logic.Zero);
+  let d = simple_gate "EQUAL" in
+  Alcotest.check logic "equal 0 0" Logic.One (eval2 d Logic.Zero Logic.Zero)
+
+let test_unpoked_inputs_undef () =
+  let d = simple_gate "OR" in
+  let sim = Sim.create d in
+  Sim.step sim;
+  Alcotest.check logic "OR(U,U)" Logic.Undef (Sim.peek_bit sim "s.y");
+  Sim.poke sim "s.a" [ Logic.One ];
+  Sim.step sim;
+  (* early firing: OR fires 1 even though b is UNDEF *)
+  Alcotest.check logic "OR(1,U)" Logic.One (Sim.peek_bit sim "s.y")
+
+(* ---- registers (section 5.1) ---- *)
+
+let reg_design =
+  "TYPE t = COMPONENT (IN d,en: boolean; OUT q: boolean) IS SIGNAL r: REG; \
+   BEGIN IF en THEN r.in := d END; q := r.out END; SIGNAL s: t;"
+
+let test_reg_delay () =
+  let d = compile reg_design in
+  let sim = Sim.create d in
+  Sim.poke_bool sim "s.en" true;
+  Sim.poke_bool sim "s.d" true;
+  Sim.step sim;
+  (* q is last cycle's input: still UNDEF *)
+  Alcotest.check logic "initial out" Logic.Undef (Sim.peek_bit sim "s.q");
+  Sim.step sim;
+  Alcotest.check logic "one cycle later" Logic.One (Sim.peek_bit sim "s.q")
+
+let test_reg_holds_value () =
+  let d = compile reg_design in
+  let sim = Sim.create d in
+  Sim.poke_bool sim "s.en" true;
+  Sim.poke_bool sim "s.d" true;
+  Sim.step sim;
+  (* disable: the input gets NOINFL, the register keeps its value *)
+  Sim.poke_bool sim "s.en" false;
+  Sim.step sim;
+  Sim.step sim;
+  Sim.step sim;
+  Alcotest.check logic "held" Logic.One (Sim.peek_bit sim "s.q")
+
+let test_reg_same_cycle_read_write () =
+  (* "in the same clock cycle the in port is assigned and the stored
+     value is read at the out port" — a toggle flip-flop *)
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN a: boolean; OUT q: boolean) IS SIGNAL r: REG; \
+       BEGIN IF RSET THEN r.in := 0 ELSE r.in := XOR(r.out,a) END; q := \
+       r.out END; SIGNAL s: t;"
+  in
+  let sim = Sim.create d in
+  Sim.poke_bool sim "s.a" true;
+  Sim.reset sim;
+  Sim.step sim;
+  Alcotest.check logic "t1" Logic.Zero (Sim.peek_bit sim "s.q")
+  |> fun () ->
+  Sim.step sim;
+  Alcotest.check logic "t2" Logic.One (Sim.peek_bit sim "s.q");
+  Sim.step sim;
+  Alcotest.check logic "t3" Logic.Zero (Sim.peek_bit sim "s.q")
+
+(* ---- multiplex resolution and the runtime check ---- *)
+
+let mux_design =
+  "TYPE t = COMPONENT (IN b,c,x,y: boolean; m: multiplex) IS BEGIN IF b \
+   THEN m := x END; IF c THEN m := y END END; SIGNAL s: t;"
+
+let test_mux_single_drive () =
+  let d = compile mux_design in
+  let sim = Sim.create d in
+  Sim.poke_bool sim "s.b" true;
+  Sim.poke_bool sim "s.c" false;
+  Sim.poke_bool sim "s.x" true;
+  Sim.poke_bool sim "s.y" false;
+  Sim.step sim;
+  Alcotest.check logic "selected x" Logic.One (Sim.peek_bit sim "s.m");
+  Alcotest.(check int) "no runtime errors" 0
+    (List.length (Sim.runtime_errors sim))
+
+let test_mux_no_drive_noinfl () =
+  let d = compile mux_design in
+  let sim = Sim.create d in
+  Sim.poke_bool sim "s.b" false;
+  Sim.poke_bool sim "s.c" false;
+  Sim.poke_bool sim "s.x" true;
+  Sim.poke_bool sim "s.y" false;
+  Sim.step sim;
+  Alcotest.check logic "high impedance" Logic.Noinfl (Sim.peek_bit sim "s.m")
+
+let test_mux_conflict_detected () =
+  (* both guards on: the "burning transistors" runtime check fires *)
+  let d = compile mux_design in
+  let sim = Sim.create d in
+  Sim.poke_bool sim "s.b" true;
+  Sim.poke_bool sim "s.c" true;
+  Sim.poke_bool sim "s.x" true;
+  Sim.poke_bool sim "s.y" false;
+  Sim.step sim;
+  Alcotest.(check bool) "conflict reported" true
+    (Sim.runtime_errors sim <> []);
+  Alcotest.check logic "forced UNDEF" Logic.Undef (Sim.peek_bit sim "s.m")
+
+let test_mux_undef_guard () =
+  (* IF with UNDEF condition drives UNDEF (section 8) *)
+  let d = compile mux_design in
+  let sim = Sim.create d in
+  Sim.poke_bool sim "s.c" false;
+  Sim.poke_bool sim "s.x" true;
+  Sim.poke_bool sim "s.y" false;
+  (* b left undefined *)
+  Sim.step sim;
+  Alcotest.check logic "undef guard" Logic.Undef (Sim.peek_bit sim "s.m")
+
+let test_if_else_exclusive () =
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN b,x,y: boolean; OUT z: boolean) IS BEGIN IF b \
+       THEN z := x ELSE z := y END END; SIGNAL s: t;"
+  in
+  let sim = Sim.create d in
+  Sim.poke_bool sim "s.b" false;
+  Sim.poke_bool sim "s.x" true;
+  Sim.poke_bool sim "s.y" false;
+  Sim.step sim;
+  Alcotest.check logic "else branch" Logic.Zero (Sim.peek_bit sim "s.z");
+  Alcotest.(check int) "exclusive" 0 (List.length (Sim.runtime_errors sim));
+  Sim.poke_bool sim "s.b" true;
+  Sim.step sim;
+  Alcotest.check logic "then branch" Logic.One (Sim.peek_bit sim "s.z")
+
+let test_elsif_chain () =
+  let d =
+    compile
+      "TYPE bo2 = ARRAY[1..2] OF boolean; t = COMPONENT (IN a: bo2; OUT z: \
+       ARRAY[1..2] OF boolean) IS BEGIN IF EQUAL(a,(0,0)) THEN z := (0,1) \
+       ELSIF EQUAL(a,(0,1)) THEN z := (1,0) ELSIF EQUAL(a,(1,0)) THEN z := \
+       (1,1) ELSE z := (0,0) END END; SIGNAL s: t;"
+  in
+  let sim = Sim.create d in
+  List.iter
+    (fun (input, want) ->
+      Sim.poke_int sim "s.a" input;
+      Sim.step sim;
+      Alcotest.(check (option int))
+        (Printf.sprintf "increment %d" input)
+        (Some want) (Sim.peek_int sim "s.z"))
+    [ (0, 1); (1, 2); (2, 3); (3, 0) ];
+  Alcotest.(check int) "no conflicts" 0 (List.length (Sim.runtime_errors sim))
+
+(* ---- boolean conversion on reads ---- *)
+
+let test_noinfl_reads_undef_on_boolean () =
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN b,x: boolean; OUT z: boolean) IS SIGNAL m: \
+       multiplex; BEGIN IF b THEN m := x END; z := m END; SIGNAL s: t;"
+  in
+  let sim = Sim.create d in
+  Sim.poke_bool sim "s.b" false;
+  Sim.poke_bool sim "s.x" true;
+  Sim.step sim;
+  (* m is NOINFL; the boolean z reads UNDEF through the amplifier *)
+  Alcotest.check logic "amplified" Logic.Undef (Sim.peek_bit sim "s.z")
+
+(* ---- RANDOM (predefined, section 7) ---- *)
+
+let test_random_deterministic () =
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS BEGIN y := \
+       AND(a,RANDOM()) END; SIGNAL s: t;"
+  in
+  let run seed =
+    let sim = Sim.create ~seed d in
+    Sim.poke_bool sim "s.a" true;
+    List.init 20 (fun _ ->
+        Sim.step sim;
+        Sim.peek_bit sim "s.y")
+  in
+  Alcotest.(check bool) "same seed same stream" true (run 1 = run 1);
+  Alcotest.(check bool) "streams contain both values" true
+    (let s = run 7 in
+     List.exists (Logic.equal Logic.One) s
+     && List.exists (Logic.equal Logic.Zero) s)
+
+(* ---- evaluation trace (E5) ---- *)
+
+let test_trace_section8 () =
+  let d = compile Corpus.section8_example in
+  let sim = Sim.create d in
+  Sim.set_trace sim true;
+  List.iter
+    (fun (p, v) -> Sim.poke_bool sim p v)
+    [ ("top.a", true); ("top.b", true); ("top.cc", false); ("top.x", true);
+      ("top.y", false); ("top.rin", true) ];
+  Sim.step sim;
+  let trace = Sim.trace_last_cycle sim in
+  let fired_names = List.map fst trace in
+  (* inputs fire before the gated output *)
+  let idx name =
+    let rec go i = function
+      | [] -> Alcotest.failf "%s did not fire" name
+      | n :: _ when n = name -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 fired_names
+  in
+  Alcotest.(check bool) "a before out" true (idx "top.a" < idx "top.out");
+  Alcotest.(check bool) "x before out" true (idx "top.x" < idx "top.out");
+  Alcotest.check logic "out value" Logic.One (Sim.peek_bit sim "top.out");
+  (* rout is r.out: UNDEF in cycle 1, rin's value in cycle 2 *)
+  Alcotest.check logic "rout cycle1" Logic.Undef (Sim.peek_bit sim "top.rout");
+  Sim.step sim;
+  Alcotest.check logic "rout cycle2" Logic.One (Sim.peek_bit sim "top.rout")
+
+let test_section8_conflict_case () =
+  (* x=1 and y=1 with AND(a,b) <> cc: the paper's own trace would drive
+     out twice — the runtime check reports it (E9) *)
+  let d = compile Corpus.section8_example in
+  let sim = Sim.create d in
+  List.iter
+    (fun (p, v) -> Sim.poke_bool sim p v)
+    [ ("top.a", true); ("top.b", true); ("top.cc", false); ("top.x", true);
+      ("top.y", true); ("top.rin", false) ];
+  Sim.step sim;
+  Alcotest.(check bool) "double drive detected" true
+    (Sim.runtime_errors sim <> [])
+
+(* ---- engine equivalence (the section 8 claim) ---- *)
+
+let engines_agree_on src ~inputs ~cycles =
+  let d = compile src in
+  let run engine =
+    let sim = Sim.create ~engine d in
+    List.iter (fun (p, v) -> Sim.poke sim p [ v ]) inputs;
+    Sim.step_n sim cycles;
+    Sim.snapshot sim
+  in
+  let a = run Sim.Firing and b = run Sim.Fixpoint and c = run Sim.Relaxation in
+  a = b && b = c
+
+let test_engines_agree_adder () =
+  Alcotest.(check bool) "adder" true
+    (engines_agree_on (Corpus.adder_n 8)
+       ~inputs:
+         [ ("adder.cin", Logic.One) ]
+       ~cycles:1)
+
+(* corpus-wide: every design, random stimulus on every top-level input
+   pin, several cycles — all three engines bit-identical *)
+let test_engines_agree_corpus () =
+  List.iter
+    (fun (name, src) ->
+      let d = compile src in
+      let inputs = Check.top_input_nets d in
+      let rng = Random.State.make [| 77 |] in
+      let stimulus =
+        List.init 4 (fun _ ->
+            List.map
+              (fun _ ->
+                if Random.State.bool rng then Logic.One else Logic.Zero)
+              inputs)
+      in
+      let run engine =
+        let sim = Sim.create ~engine d in
+        List.map
+          (fun vec ->
+            Sim.poke_nets sim inputs vec;
+            Sim.step sim;
+            Sim.snapshot sim)
+          stimulus
+      in
+      let f = run Sim.Firing
+      and fs = run Sim.Firing_strict
+      and fx = run Sim.Fixpoint
+      and rx = run Sim.Relaxation in
+      Alcotest.(check bool) (name ^ ": firing = strict") true (f = fs);
+      Alcotest.(check bool) (name ^ ": firing = fixpoint") true (f = fx);
+      Alcotest.(check bool) (name ^ ": fixpoint = relaxation") true (fx = rx))
+    Corpus.all_named
+
+let test_engines_agree_blackjack () =
+  Alcotest.(check bool) "blackjack" true
+    (engines_agree_on Corpus.blackjack
+       ~inputs:[ ("bj.ycard", Logic.One) ]
+       ~cycles:5)
+
+let prop_engines_agree_random_inputs =
+  QCheck.Test.make ~count:50 ~name:"engines_agree_random_adder_inputs"
+    QCheck.(triple (int_bound 255) (int_bound 255) bool)
+    (fun (a, b, cin) ->
+      let d = compile (Corpus.adder_n 8) in
+      let run engine =
+        let sim = Sim.create ~engine d in
+        Sim.poke_int_lsb sim "adder.a" a;
+        Sim.poke_int_lsb sim "adder.b" b;
+        Sim.poke_bool sim "adder.cin" cin;
+        Sim.step sim;
+        (Sim.peek_int_lsb sim "adder.s", Sim.peek_bit sim "adder.cout")
+      in
+      let r1 = run Sim.Firing and r2 = run Sim.Fixpoint and r3 = run Sim.Relaxation in
+      r1 = r2 && r2 = r3
+      && fst r1 = Some ((a + b + if cin then 1 else 0) land 255))
+
+(* firing does strictly less work than the sweeping baselines (E8) *)
+let test_firing_fewer_visits () =
+  let d = compile (Corpus.adder_n 32) in
+  let visits engine =
+    let sim = Sim.create ~engine d in
+    Sim.poke_int_lsb sim "adder.a" 123456789;
+    Sim.poke_int_lsb sim "adder.b" 987654321;
+    Sim.poke_bool sim "adder.cin" false;
+    Sim.step sim;
+    Sim.node_visits sim
+  in
+  let f = visits Sim.Firing
+  and fx = visits Sim.Fixpoint
+  and rx = visits Sim.Relaxation in
+  Alcotest.(check bool)
+    (Printf.sprintf "firing(%d) < fixpoint(%d)" f fx)
+    true (f < fx);
+  Alcotest.(check bool)
+    (Printf.sprintf "fixpoint(%d) <= relaxation(%d)" fx rx)
+    true (fx <= rx)
+
+(* ---- VCD output ---- *)
+
+let test_vcd' () =
+  let d = compile (Corpus.adder_n 4) in
+  let sim = Sim.create d in
+  let vcd = Vcd.create sim [ "adder.a"; "adder.s"; "adder.cout" ] in
+  Sim.poke_int_lsb sim "adder.a" 5;
+  Sim.poke_int_lsb sim "adder.b" 3;
+  Sim.poke_bool sim "adder.cin" false;
+  Sim.step sim;
+  Vcd.sample vcd;
+  let out = Vcd.contents vcd in
+  let contains needle =
+    let nl = String.length needle and ol = String.length out in
+    let rec go i = i + nl <= ol && (String.sub out i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "enddefinitions" true (contains "$enddefinitions");
+  Alcotest.(check bool) "var adder_a" true (contains "adder_a");
+  Alcotest.(check bool) "timestamp" true (contains "#1")
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "gates",
+        [
+          Alcotest.test_case "truth tables" `Quick test_gate_sim;
+          Alcotest.test_case "undef inputs" `Quick test_unpoked_inputs_undef;
+        ] );
+      ( "registers",
+        [
+          Alcotest.test_case "delay" `Quick test_reg_delay;
+          Alcotest.test_case "hold" `Quick test_reg_holds_value;
+          Alcotest.test_case "same-cycle r/w" `Quick
+            test_reg_same_cycle_read_write;
+        ] );
+      ( "multiplex",
+        [
+          Alcotest.test_case "single drive" `Quick test_mux_single_drive;
+          Alcotest.test_case "no drive" `Quick test_mux_no_drive_noinfl;
+          Alcotest.test_case "conflict" `Quick test_mux_conflict_detected;
+          Alcotest.test_case "undef guard" `Quick test_mux_undef_guard;
+          Alcotest.test_case "if/else exclusive" `Quick test_if_else_exclusive;
+          Alcotest.test_case "elsif chain" `Quick test_elsif_chain;
+          Alcotest.test_case "amplifier" `Quick
+            test_noinfl_reads_undef_on_boolean;
+        ] );
+      ( "random",
+        [ Alcotest.test_case "deterministic" `Quick test_random_deterministic ]
+      );
+      ( "trace",
+        [
+          Alcotest.test_case "section 8 example" `Quick test_trace_section8;
+          Alcotest.test_case "conflict case" `Quick
+            test_section8_conflict_case;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "adder" `Quick test_engines_agree_adder;
+          Alcotest.test_case "blackjack" `Quick test_engines_agree_blackjack;
+          Alcotest.test_case "whole corpus" `Quick test_engines_agree_corpus;
+          QCheck_alcotest.to_alcotest prop_engines_agree_random_inputs;
+          Alcotest.test_case "work comparison" `Quick test_firing_fewer_visits;
+        ] );
+      ("vcd", [ Alcotest.test_case "format" `Quick test_vcd' ]);
+    ]
