@@ -210,8 +210,8 @@ let sim_cmd =
             (Zeus.Sim.trace_last_cycle sim);
         List.iter
           (fun (e : Zeus.Sim.runtime_error) ->
-            Fmt.pr "runtime error (cycle %d) %s: %s@." e.Zeus.Sim.err_cycle
-              e.Zeus.Sim.err_net e.Zeus.Sim.err_message)
+            Fmt.pr "runtime error (cycle %d) [%s] %s: %s@." e.Zeus.Sim.err_cycle
+              e.Zeus.Sim.err_code e.Zeus.Sim.err_net e.Zeus.Sim.err_message)
           (Zeus.Sim.runtime_errors sim);
         0
   in
@@ -220,6 +220,93 @@ let sim_cmd =
     Term.(
       const run $ file_arg $ cycles $ pokes $ peeks $ do_reset $ trace $ wave
       $ explain $ activity $ vcd_out)
+
+let lint_cmd =
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT" ~doc:"Output format: text or json.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int Zeus.Lint.default_budget
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Case-split budget of the drive-conflict prover (per driver \
+             pair).  Exhausting it demotes the net to needs-runtime-check.")
+  in
+  let suppress =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "suppress" ] ~docv:"CODE"
+          ~doc:"Drop findings with this diagnostic code (repeatable).")
+  in
+  let max_severity =
+    Arg.(
+      value
+      & opt
+          (enum [ ("error", `Error); ("warning", `Warning); ("none", `None) ])
+          `Warning
+      & info [ "max-severity" ] ~docv:"LEVEL"
+          ~doc:
+            "Most severe finding tolerated for exit status 0: 'error' never \
+             fails, 'warning' (default) fails on errors, 'none' fails on \
+             any finding.")
+  in
+  let run file format budget suppress max_severity =
+    match Zeus.compile (load file) with
+    | Error diags ->
+        report_diags diags;
+        1
+    | Ok design ->
+        let report = Zeus.Lint.run ~budget design in
+        let findings =
+          List.filter
+            (fun (d : Zeus.Diag.t) ->
+              match d.Zeus.Diag.code with
+              | Some c -> not (List.mem c suppress)
+              | None -> true)
+            report.Zeus.Lint.findings
+        in
+        let report = { report with Zeus.Lint.findings } in
+        (match format with
+        | `Json -> print_endline (Zeus.Lint.json_of_report report)
+        | `Text ->
+            List.iter
+              (fun (v : Zeus.Lint.net_verdict) ->
+                Fmt.pr "net '%s' (%s, %d producers): %s — %s@." v.Zeus.Lint.v_name
+                  (Zeus.Etype.kind_to_string v.Zeus.Lint.v_kind)
+                  v.Zeus.Lint.v_producers
+                  (Zeus.Lint.classification_to_string v.Zeus.Lint.v_class)
+                  v.Zeus.Lint.v_detail)
+              report.Zeus.Lint.verdicts;
+            report_diags findings;
+            Fmt.pr "%s@." (Zeus.Lint.summary report));
+        let worst =
+          List.fold_left
+            (fun acc (d : Zeus.Diag.t) ->
+              match (acc, d.Zeus.Diag.severity) with
+              | `Error, _ | _, Zeus.Diag.Error -> `Error
+              | _, Zeus.Diag.Warning -> `Warning)
+            `None findings
+        in
+        let fail =
+          match (max_severity, worst) with
+          | `Error, _ -> false
+          | `Warning, w -> w = `Error
+          | `None, w -> w <> `None
+        in
+        if fail then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis: drive-conflict proofs, UNDEF reachability and \
+          dead hardware, with stable Zxxx diagnostic codes.")
+    Term.(const run $ file_arg $ format $ budget $ suppress $ max_severity)
 
 let layout_cmd =
   let top =
@@ -432,6 +519,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            check_cmd; pp_cmd; stats_cmd; tree_cmd; sim_cmd; layout_cmd;
+            check_cmd; pp_cmd; stats_cmd; tree_cmd; lint_cmd; sim_cmd; layout_cmd;
             place_cmd; optimize_cmd; dot_cmd; corpus_cmd;
           ]))

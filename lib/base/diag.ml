@@ -1,5 +1,5 @@
 (* Diagnostics: located errors and warnings, collected during every phase
-   (lexing, parsing, elaboration, static checking, simulation). *)
+   (lexing, parsing, elaboration, static checking, linting, simulation). *)
 
 type severity =
   | Error
@@ -18,10 +18,50 @@ type kind =
   | Runtime_error (* simulator checks: multiple drives, undefined reads *)
   | Order_error (* SEQUENTIAL/PARALLEL consistency, section 4.5 *)
   | Limit_error (* elaboration limits: runaway recursion etc. *)
+  | Lint_error (* the lint engine: drive conflicts, UNDEF, dead hardware *)
+
+(* Stable diagnostic codes.  The lint engine and the simulator's runtime
+   checks share these, so a static finding and the dynamic violation it
+   predicts carry the same code.  Z1xx: drive conflicts (section 4.7's
+   "burning transistors"); Z2xx: UNDEF reachability; Z3xx: dead
+   hardware.  Codes are append-only — never renumber. *)
+module Code = struct
+  let drive_conflict = "Z101"
+  let drive_unproven = "Z102"
+  let undriven_read = "Z201"
+  let undef_only = "Z202"
+  let dead_branch = "Z301"
+  let dead_instance = "Z302"
+
+  let all =
+    [
+      ( drive_conflict,
+        "two drivers of one net can be enabled in the same cycle (a \
+         power-ground short; reported statically with a witness, and at \
+         runtime by the simulator's multiple-drive check)" );
+      ( drive_unproven,
+        "driver exclusivity could not be proved within the solver budget — \
+         the net relies on the runtime multiple-drive check" );
+      ( undriven_read,
+        "net is read but never driven: it reads UNDEF forever" );
+      ( undef_only,
+        "net is driven, but every value it can ever carry is UNDEF (or \
+         high-impedance)" );
+      ( dead_branch,
+        "conditional branch guard is statically false: the driver can \
+         never fire (dead hardware surviving constant evaluation)" );
+      ( dead_instance,
+        "instance outputs reach no output port, register or probe: the \
+         hardware is dead" );
+    ]
+
+  let description c = List.assoc_opt c all
+end
 
 type t = {
   severity : severity;
   kind : kind;
+  code : string option; (* stable Zxxx code, for lint-style findings *)
   loc : Loc.t;
   message : string;
 }
@@ -39,15 +79,18 @@ let kind_to_string = function
   | Runtime_error -> "runtime"
   | Order_error -> "order"
   | Limit_error -> "limit"
+  | Lint_error -> "lint"
 
 let severity_to_string = function
   | Error -> "error"
   | Warning -> "warning"
 
 let pp ppf d =
-  Fmt.pf ppf "%a: %s(%s): %s" Loc.pp d.loc
+  Fmt.pf ppf "%a: %s(%s)%a: %s" Loc.pp d.loc
     (severity_to_string d.severity)
-    (kind_to_string d.kind) d.message
+    (kind_to_string d.kind)
+    Fmt.(option (fun ppf c -> pf ppf "[%s]" c))
+    d.code d.message
 
 let to_string d = Fmt.str "%a" pp d
 
@@ -66,14 +109,14 @@ module Bag = struct
     bag.diags <- d :: bag.diags;
     if d.severity = Error then bag.error_count <- bag.error_count + 1
 
-  let error bag kind loc fmt =
+  let error ?code bag kind loc fmt =
     Fmt.kstr
-      (fun message -> add bag { severity = Error; kind; loc; message })
+      (fun message -> add bag { severity = Error; kind; code; loc; message })
       fmt
 
-  let warning bag kind loc fmt =
+  let warning ?code bag kind loc fmt =
     Fmt.kstr
-      (fun message -> add bag { severity = Warning; kind; loc; message })
+      (fun message -> add bag { severity = Warning; kind; code; loc; message })
       fmt
 
   let has_errors bag = bag.error_count > 0

@@ -1,5 +1,6 @@
 (** Diagnostics: located errors and warnings, collected by every phase of
-    the pipeline (lexing, parsing, elaboration, static checking). *)
+    the pipeline (lexing, parsing, elaboration, static checking,
+    linting). *)
 
 type severity =
   | Error
@@ -19,10 +20,35 @@ type kind =
   | Runtime_error  (** simulator checks: multiple drives *)
   | Order_error  (** SEQUENTIAL/PARALLEL consistency, section 4.5 *)
   | Limit_error  (** elaboration limits: runaway recursion *)
+  | Lint_error  (** the lint engine: conflicts, UNDEF, dead hardware *)
+
+(** Stable diagnostic codes, shared between the static lint engine and
+    the simulator's runtime checks so that static findings and dynamic
+    violations correlate.  [Z1xx] drive conflicts, [Z2xx] UNDEF
+    reachability, [Z3xx] dead hardware.  Append-only. *)
+module Code : sig
+  val drive_conflict : string  (** Z101 *)
+
+  val drive_unproven : string  (** Z102 *)
+
+  val undriven_read : string  (** Z201 *)
+
+  val undef_only : string  (** Z202 *)
+
+  val dead_branch : string  (** Z301 *)
+
+  val dead_instance : string  (** Z302 *)
+
+  (** Every code with its one-line meaning, in code order. *)
+  val all : (string * string) list
+
+  val description : string -> string option
+end
 
 type t = {
   severity : severity;
   kind : kind;
+  code : string option;  (** stable Zxxx code, for lint-style findings *)
   loc : Loc.t;
   message : string;
 }
@@ -41,10 +67,21 @@ module Bag : sig
   val add : t -> diag -> unit
 
   (** [error bag kind loc fmt ...] formats and records an error. *)
-  val error : t -> kind -> Loc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+  val error :
+    ?code:string ->
+    t ->
+    kind ->
+    Loc.t ->
+    ('a, Format.formatter, unit, unit) format4 ->
+    'a
 
   val warning :
-    t -> kind -> Loc.t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+    ?code:string ->
+    t ->
+    kind ->
+    Loc.t ->
+    ('a, Format.formatter, unit, unit) format4 ->
+    'a
 
   val has_errors : t -> bool
 

@@ -225,13 +225,20 @@ let check_undriven bag nl tbl ~top_inputs =
             (fun id -> (Netlist.net nl id).Netlist.reads > 0)
             i.members
         in
-        match read_members with
-        | [] -> ()
-        | id :: _ ->
+        (* prefer a member with a real source location to report at *)
+        let located =
+          List.filter
+            (fun id -> not (Loc.is_dummy (Netlist.net nl id).Netlist.loc))
+            read_members
+        in
+        match (located, read_members) with
+        | id :: _, _ | [], id :: _ ->
             let net = Netlist.net nl id in
-            Diag.Bag.warning bag Diag.Assign_error net.Netlist.loc
+            Diag.Bag.warning bag ~code:Diag.Code.undriven_read
+              Diag.Assign_error net.Netlist.loc
               "'%s' is read but never assigned — it reads UNDEF"
-              net.Netlist.name)
+              net.Netlist.name
+        | [], [] -> ())
     tbl
 
 (* Top-level testbench inputs: IN/INOUT pins of root instances, plus CLK

@@ -1,0 +1,817 @@
+(* The lint engine: static proofs about the elaborated netlist.
+
+   The paper's central claim (section 4.7) is that Zeus's static rules
+   exist to rule out power-ground shorts, that deciding the residual
+   problem — "is every multiplex net driven at most once per cycle?" —
+   is NP-complete, and that the check therefore splits into a static
+   part plus a runtime fallback.  This module is that static part:
+
+   1. Drive-conflict prover (Z101/Z102).  For every net with more than
+      one producer, the guard of each conditional driver is expanded
+      into a boolean formula over *free* variables (testbench inputs,
+      register outputs, RANDOM sources) by walking the netlist
+      backwards through gates and unconditional forwarding drivers.
+      Each pair of producers is then checked for mutual exclusivity
+      with a DPLL-style case-splitting solver under a configurable
+      split budget (honouring the NP-completeness result: we buy
+      completeness up to the budget, never beyond).  A net is
+
+      - [safe]   every pair proved mutually exclusive;
+      - [conflict] some pair is satisfiable with a witness over free
+        variables only — the environment (or a power-up register
+        state, which is UNDEF and hence arbitrary) can realize it;
+      - [needs-runtime-check] the budget ran out, or exclusivity
+        depends on something the expansion cannot see (multi-driven
+        guard nets, UNDEF-capable guards, combinational cycles).
+
+      The prover works in the two-valued abstraction: guards are
+      assumed to evaluate to 0 or 1.  Guards that can read UNDEF are
+      never proved safe (they are demoted to needs-runtime-check, and
+      the UNDEF pass reports them separately).
+
+   2. UNDEF-reachability (Z201/Z202).  A value-set dataflow analysis
+      over the four-valued algebra of Logic: every net gets the set of
+      values it can ever carry, computed to a fixpoint from the inputs,
+      register power-up values and gate/driver transfer functions.
+      Nets that are read but can only ever read UNDEF are reported:
+      undriven (Z201) or driven-but-never-defined (Z202).
+
+   3. Dead hardware (Z301/Z302).  Drivers whose guard is statically
+      false after constant propagation (a conditional branch surviving
+      elaboration that can never fire), and instances none of whose
+      outputs can reach a register or a root output port.
+
+   Findings carry the stable codes of Diag.Code; the simulator's
+   runtime multiple-drive check reports Z101 for the violations this
+   prover could not exclude, so static and dynamic findings correlate. *)
+
+open Zeus_base
+
+type classification =
+  | Safe
+  | Conflict
+  | Needs_runtime_check
+
+let classification_to_string = function
+  | Safe -> "safe"
+  | Conflict -> "conflict"
+  | Needs_runtime_check -> "needs-runtime-check"
+
+type net_verdict = {
+  v_net : int; (* canonical net id *)
+  v_name : string;
+  v_kind : Etype.kind;
+  v_producers : int;
+  v_class : classification;
+  v_detail : string; (* witness / proof summary / reason *)
+}
+
+type report = {
+  verdicts : net_verdict list; (* every multi-driven class, by net id *)
+  findings : Diag.t list;
+  splits : int; (* total case splits spent by the solver *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Boolean formulas over netlist nets                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* [Bvar] is a free variable (testbench input, register output, RANDOM
+   source): a witness over free variables only is realizable.  [Bopq]
+   is an opaque variable — a net the expansion could not reduce.  The
+   solver may case-split on opaque variables (sound for UNSAT), but a
+   witness that assigns one proves nothing. *)
+type bexp =
+  | Btrue
+  | Bfalse
+  | Bvar of int
+  | Bopq of int
+  | Bnot of bexp
+  | Band of bexp list
+  | Bor of bexp list
+  | Bxor of bexp * bexp
+
+let bnot = function
+  | Btrue -> Bfalse
+  | Bfalse -> Btrue
+  | Bnot e -> e
+  | e -> Bnot e
+
+let band es =
+  let es =
+    List.concat_map
+      (function Band l -> l | Btrue -> [] | e -> [ e ])
+      es
+  in
+  if List.mem Bfalse es then Bfalse
+  else match es with [] -> Btrue | [ e ] -> e | es -> Band es
+
+let bor es =
+  let es =
+    List.concat_map (function Bor l -> l | Bfalse -> [] | e -> [ e ]) es
+  in
+  if List.mem Btrue es then Btrue
+  else match es with [] -> Bfalse | [ e ] -> e | es -> Bor es
+
+let bxor a b =
+  match (a, b) with
+  | Bfalse, e | e, Bfalse -> e
+  | Btrue, e | e, Btrue -> bnot e
+  | a, b -> Bxor (a, b)
+
+let rec exists_var p = function
+  | Btrue | Bfalse -> false
+  | Bvar v -> p v false
+  | Bopq v -> p v true
+  | Bnot e -> exists_var p e
+  | Band l | Bor l -> List.exists (exists_var p) l
+  | Bxor (a, b) -> exists_var p a || exists_var p b
+
+(* ------------------------------------------------------------------ *)
+(* Guard expansion                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type expander = {
+  nl : Netlist.t;
+  gates_of : int list array; (* canonical net -> gate indices *)
+  drivers_of : int list array; (* canonical net -> driver indices *)
+  gate_arr : Netlist.gate array;
+  driver_arr : Netlist.driver array;
+  free_root : bool array; (* canonical: input / reg out / RANDOM *)
+  undef_roots : (int, unit) Hashtbl.t; (* opaques that can read UNDEF *)
+  memo : (int, bexp) Hashtbl.t;
+  busy : (int, unit) Hashtbl.t;
+  mutable nodes : int; (* formula nodes built so far (size cap) *)
+  mutable fresh_opq : int; (* negative ids for constant-UNDEF leaves *)
+}
+
+(* keep formulas bounded: past this many nodes, leaves become opaque *)
+let expansion_cap = 50_000
+
+let make_expander design =
+  let nl = design.Elaborate.netlist in
+  let n = Netlist.net_count nl in
+  let canon id = Netlist.canonical nl id in
+  let gate_arr = Array.of_list (Netlist.gates nl) in
+  let driver_arr = Array.of_list (Netlist.drivers nl) in
+  let gates_of = Array.make n [] in
+  Array.iteri
+    (fun i (g : Netlist.gate) ->
+      let c = canon g.Netlist.output in
+      gates_of.(c) <- i :: gates_of.(c))
+    gate_arr;
+  let drivers_of = Array.make n [] in
+  Array.iteri
+    (fun i (d : Netlist.driver) ->
+      let c = canon d.Netlist.target in
+      drivers_of.(c) <- i :: drivers_of.(c))
+    driver_arr;
+  let free_root = Array.make n false in
+  List.iter (fun id -> free_root.(canon id) <- true) (Check.top_input_nets design);
+  List.iter
+    (fun (r : Netlist.reg) -> free_root.(canon r.Netlist.rout) <- true)
+    (Netlist.regs nl);
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      if g.Netlist.op = Netlist.Grandom then
+        free_root.(canon g.Netlist.output) <- true)
+    gate_arr;
+  {
+    nl;
+    gates_of;
+    drivers_of;
+    gate_arr;
+    driver_arr;
+    free_root;
+    undef_roots = Hashtbl.create 16;
+    memo = Hashtbl.create 256;
+    busy = Hashtbl.create 16;
+    nodes = 0;
+    fresh_opq = 0;
+  }
+
+let rec expand st id =
+  let c = Netlist.canonical st.nl id in
+  match Hashtbl.find_opt st.memo c with
+  | Some e -> e
+  | None ->
+      let e =
+        if Hashtbl.mem st.busy c then Bopq c (* combinational cycle *)
+        else if st.free_root.(c) then Bvar c
+        else begin
+          Hashtbl.add st.busy c ();
+          let e =
+            if st.nodes > expansion_cap then Bopq c
+            else
+              match (st.gates_of.(c), st.drivers_of.(c)) with
+              | [ gi ], [] -> expand_gate st st.gate_arr.(gi)
+              | [], [ di ] -> (
+                  let d = st.driver_arr.(di) in
+                  match d.Netlist.guard with
+                  | None -> expand_src st d.Netlist.source
+                  | Some _ -> Bopq c (* value can be NOINFL/UNDEF *))
+              | [], [] ->
+                  (* undriven: always reads UNDEF *)
+                  Hashtbl.replace st.undef_roots c ();
+                  Bopq c
+              | _ -> Bopq c (* multi-driven: resolution is not boolean *)
+          in
+          Hashtbl.remove st.busy c;
+          e
+        end
+      in
+      st.nodes <- st.nodes + 1;
+      Hashtbl.replace st.memo c e;
+      e
+
+and expand_src st = function
+  | Netlist.Sconst v -> (
+      match Logic.booleanize v with
+      | Logic.One -> Btrue
+      | Logic.Zero -> Bfalse
+      | _ ->
+          (* a literal UNDEF: never provable either way *)
+          st.fresh_opq <- st.fresh_opq - 1;
+          Hashtbl.replace st.undef_roots st.fresh_opq ();
+          Bopq st.fresh_opq)
+  | Netlist.Snet id -> expand st id
+
+and expand_gate st (g : Netlist.gate) =
+  let ins () = List.map (expand_src st) g.Netlist.inputs in
+  match g.Netlist.op with
+  | Netlist.Gand -> band (ins ())
+  | Netlist.Gor -> bor (ins ())
+  | Netlist.Gnand -> bnot (band (ins ()))
+  | Netlist.Gnor -> bnot (bor (ins ()))
+  | Netlist.Gnot -> (
+      match ins () with [ e ] -> bnot e | _ -> Bopq (Netlist.canonical st.nl g.Netlist.output))
+  | Netlist.Gxor -> (
+      match ins () with
+      | [] -> Bfalse
+      | e :: rest -> List.fold_left bxor e rest)
+  | Netlist.Gequal ->
+      let vs = ins () in
+      let len = List.length vs in
+      if len mod 2 <> 0 then Bopq (Netlist.canonical st.nl g.Netlist.output)
+      else
+        let a = List.filteri (fun i _ -> i < len / 2) vs
+        and b = List.filteri (fun i _ -> i >= len / 2) vs in
+        band (List.map2 (fun x y -> bnot (bxor x y)) a b)
+  | Netlist.Grandom -> Bvar (Netlist.canonical st.nl g.Netlist.output)
+
+(* ------------------------------------------------------------------ *)
+(* The bounded solver                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type sat_result =
+  | Unsat
+  | Sat of (int * bool) list (* the assigned variables at the leaf *)
+  | Budget_out
+
+exception Out_of_budget
+
+(* [budget] bounds the case splits of this one call (one driver pair);
+   [splits] accumulates the grand total for the report *)
+let solve ~budget ~splits e =
+  let spent = ref 0 in
+  let env : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+  let rec eval e =
+    match e with
+    | Btrue | Bfalse -> e
+    | Bvar v | Bopq v -> (
+        match Hashtbl.find_opt env v with
+        | Some true -> Btrue
+        | Some false -> Bfalse
+        | None -> e)
+    | Bnot a -> bnot (eval a)
+    | Band l -> band (List.map eval l)
+    | Bor l -> bor (List.map eval l)
+    | Bxor (a, b) -> bxor (eval a) (eval b)
+  in
+  (* split on a free variable when one is left, otherwise on an opaque *)
+  let pick e =
+    let first_free = ref None and first_opq = ref None in
+    let rec go e =
+      !first_free = None
+      &&
+      match e with
+      | Btrue | Bfalse -> true
+      | Bvar v ->
+          first_free := Some v;
+          false
+      | Bopq v ->
+          if !first_opq = None then first_opq := Some v;
+          true
+      | Bnot a -> go a
+      | Band l | Bor l -> List.for_all go l
+      | Bxor (a, b) -> go a && go b
+    in
+    ignore (go e);
+    match (!first_free, !first_opq) with
+    | Some v, _ -> v
+    | None, Some v -> v
+    | None, None -> invalid_arg "Lint.solve: no variable in open formula"
+  in
+  let rec go e =
+    match eval e with
+    | Btrue ->
+        Some (Hashtbl.fold (fun k v acc -> (k, v) :: acc) env [])
+    | Bfalse -> None
+    | e' ->
+        if !spent >= budget then raise Out_of_budget;
+        incr spent;
+        incr splits;
+        let v = pick e' in
+        Hashtbl.replace env v true;
+        let r =
+          match go e' with
+          | Some m -> Some m
+          | None ->
+              Hashtbl.replace env v false;
+              go e'
+        in
+        Hashtbl.remove env v;
+        r
+  in
+  try match go e with Some m -> Sat m | None -> Unsat
+  with Out_of_budget -> Budget_out
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: the drive-conflict prover                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* a producer of a net class: a driver (with its drive condition) or a
+   gate (which always drives) *)
+type producer = {
+  pr_cond : bexp;
+  pr_loc : Loc.t;
+}
+
+(* the condition under which a driver produces a driving (non-NOINFL)
+   value: its guard is 1 — or undefined, which also drives (UNDEF) *)
+let drive_cond st = function
+  | None -> Btrue
+  | Some (Netlist.Sconst v) -> (
+      match Logic.booleanize v with
+      | Logic.Zero -> Bfalse
+      | _ -> Btrue (* 1 drives the source; UNDEF drives UNDEF *))
+  | Some (Netlist.Snet id) -> expand st id
+
+let witness_to_string nl m =
+  let free =
+    List.filter_map
+      (fun (v, b) ->
+        if v >= 0 then Some ((Netlist.net nl v).Netlist.name, b) else None)
+      m
+  in
+  let free = List.sort (fun (a, _) (b, _) -> compare a b) free in
+  String.concat ", "
+    (List.map (fun (n, b) -> Printf.sprintf "%s=%d" n (if b then 1 else 0)) free)
+
+let prove_conflicts st bag ~budget ~splits nl =
+  let n = Netlist.net_count nl in
+  let canon id = Netlist.canonical nl id in
+  (* producers per canonical class, in creation order *)
+  let prods = Array.make n [] in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let c = canon g.Netlist.output in
+      prods.(c) <- { pr_cond = Btrue; pr_loc = g.Netlist.gloc } :: prods.(c))
+    st.gate_arr;
+  Array.iter
+    (fun (d : Netlist.driver) ->
+      let c = canon d.Netlist.target in
+      prods.(c) <-
+        { pr_cond = drive_cond st d.Netlist.guard; pr_loc = d.Netlist.dloc }
+        :: prods.(c))
+    st.driver_arr;
+  (* class kind: mux if any member is mux *)
+  let kind = Array.make n Etype.KBool in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      if net.Netlist.kind = Etype.KMux then kind.(canon net.Netlist.id) <- Etype.KMux)
+    (Netlist.nets_array nl);
+  let verdicts = ref [] in
+  for c = 0 to n - 1 do
+    match List.rev prods.(c) with
+    | [] | [ _ ] -> ()
+    | ps ->
+        let name = (Netlist.net nl c).Netlist.name in
+        let nps = List.length ps in
+        let parr = Array.of_list ps in
+        let conflict = ref None and unknown = ref None in
+        let pairs = ref 0 in
+        (try
+           for i = 0 to nps - 1 do
+             for j = i + 1 to nps - 1 do
+               if !conflict = None then begin
+                 incr pairs;
+                 let f = band [ parr.(i).pr_cond; parr.(j).pr_cond ] in
+                 let touches_undef =
+                   exists_var (fun v opq -> opq && Hashtbl.mem st.undef_roots v) f
+                 in
+                 if touches_undef then begin
+                   if !unknown = None then
+                     unknown :=
+                       Some
+                         ( "a guard can read UNDEF (an undefined guard \
+                            drives)",
+                           parr.(j).pr_loc )
+                 end
+                 else
+                   match solve ~budget ~splits f with
+                   | Unsat -> ()
+                   | Budget_out ->
+                       unknown :=
+                         Some
+                           ( Printf.sprintf
+                               "solver budget of %d case splits exhausted"
+                               budget,
+                             parr.(j).pr_loc );
+                       raise Exit
+                   | Sat m ->
+                       if List.exists (fun (v, _) -> not (v >= 0 && st.free_root.(v))) m
+                       then begin
+                         if !unknown = None then
+                           unknown :=
+                             Some
+                               ( "exclusivity depends on a net the prover \
+                                  cannot reduce",
+                                 parr.(j).pr_loc )
+                       end
+                       else
+                         conflict :=
+                           Some (witness_to_string nl m, parr.(i).pr_loc, parr.(j).pr_loc)
+               end
+             done
+           done
+         with Exit -> ());
+        let v_class, v_detail =
+          match (!conflict, !unknown) with
+          | Some (w, l1, l2), _ ->
+              let w = if w = "" then "any input" else w in
+              Diag.Bag.error bag ~code:Diag.Code.drive_conflict Diag.Lint_error l2
+                "'%s' can receive two driving values in one cycle (drivers \
+                 at %a and %a; witness: %s) — this would burn transistors"
+                name Loc.pp l1 Loc.pp l2 w;
+              (Conflict, Printf.sprintf "witness: %s" w)
+          | None, Some (why, loc) ->
+              Diag.Bag.warning bag ~code:Diag.Code.drive_unproven Diag.Lint_error
+                loc
+                "'%s': driver exclusivity not proved (%s) — the runtime \
+                 multiple-drive check [%s] guards this net"
+                name why Diag.Code.drive_conflict;
+              (Needs_runtime_check, why)
+          | None, None ->
+              ( Safe,
+                Printf.sprintf "proved exclusive (%d pair%s)" !pairs
+                  (if !pairs = 1 then "" else "s") )
+        in
+        verdicts :=
+          {
+            v_net = c;
+            v_name = name;
+            v_kind = kind.(c);
+            v_producers = nps;
+            v_class;
+            v_detail;
+          }
+          :: !verdicts
+  done;
+  List.rev !verdicts
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: UNDEF reachability                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* value sets as bitmasks *)
+let m_zero = 1
+and m_one = 2
+and m_undef = 4
+and m_noinfl = 8
+
+let mask_of = function
+  | Logic.Zero -> m_zero
+  | Logic.One -> m_one
+  | Logic.Undef -> m_undef
+  | Logic.Noinfl -> m_noinfl
+
+let values_of_mask m =
+  List.filter
+    (fun v -> m land mask_of v <> 0)
+    [ Logic.Zero; Logic.One; Logic.Undef; Logic.Noinfl ]
+
+let booleanize_mask m =
+  if m land m_noinfl <> 0 then (m land lnot m_noinfl) lor m_undef else m
+
+let apply1 f m =
+  List.fold_left (fun acc v -> acc lor mask_of (f v)) 0 (values_of_mask m)
+
+let apply2 f ma mb =
+  List.fold_left
+    (fun acc a ->
+      List.fold_left (fun acc b -> acc lor mask_of (f a b)) acc (values_of_mask mb))
+    0 (values_of_mask ma)
+
+let fold2 f = function
+  | [] -> 0
+  | m :: ms -> List.fold_left (apply2 f) (booleanize_mask m) ms
+
+let gate_mask op inputs =
+  let inputs = List.map booleanize_mask inputs in
+  match (op : Netlist.gate_op) with
+  | Netlist.Gand -> fold2 Logic.and2 inputs
+  | Netlist.Gor -> fold2 Logic.or2 inputs
+  | Netlist.Gnand -> apply1 Logic.not_ (fold2 Logic.and2 inputs)
+  | Netlist.Gnor -> apply1 Logic.not_ (fold2 Logic.or2 inputs)
+  | Netlist.Gxor -> fold2 Logic.xor2 inputs
+  | Netlist.Gnot -> (
+      match inputs with [ m ] -> apply1 Logic.not_ m | _ -> m_undef)
+  | Netlist.Gequal ->
+      let len = List.length inputs in
+      if len mod 2 <> 0 then m_undef
+      else
+        let a = List.filteri (fun i _ -> i < len / 2) inputs
+        and b = List.filteri (fun i _ -> i >= len / 2) inputs in
+        List.fold_left2
+          (fun acc x y -> apply2 Logic.and2 acc (apply2 Logic.equal2 x y))
+          m_one a b
+  | Netlist.Grandom -> m_zero lor m_one
+
+let undef_pass bag (design : Elaborate.design) =
+  let nl = design.Elaborate.netlist in
+  let n = Netlist.net_count nl in
+  let canon id = Netlist.canonical nl id in
+  let inputs = Array.make n false in
+  List.iter (fun id -> inputs.(canon id) <- true) (Check.top_input_nets design);
+  let gates_of = Array.make n [] and drivers_of = Array.make n [] in
+  List.iter
+    (fun (g : Netlist.gate) ->
+      let c = canon g.Netlist.output in
+      gates_of.(c) <- g :: gates_of.(c))
+    (Netlist.gates nl);
+  List.iter
+    (fun (d : Netlist.driver) ->
+      let c = canon d.Netlist.target in
+      drivers_of.(c) <- d :: drivers_of.(c))
+    (Netlist.drivers nl);
+  let reg_of_out = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Netlist.reg) -> Hashtbl.replace reg_of_out (canon r.Netlist.rout) r)
+    (Netlist.regs nl);
+  let sets = Array.make n 0 in
+  let mask_of_src = function
+    | Netlist.Sconst v -> mask_of v
+    | Netlist.Snet id -> sets.(canon id)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for c = 0 to n - 1 do
+      if canon c = c then begin
+        let contribs = ref [] in
+        List.iter
+          (fun (g : Netlist.gate) ->
+            contribs := gate_mask g.Netlist.op (List.map mask_of_src g.Netlist.inputs) :: !contribs)
+          gates_of.(c);
+        List.iter
+          (fun (d : Netlist.driver) ->
+            let src = mask_of_src d.Netlist.source in
+            let m =
+              match d.Netlist.guard with
+              | None -> src
+              | Some g ->
+                  let gm = booleanize_mask (mask_of_src g) in
+                  (if gm land m_one <> 0 then src else 0)
+                  lor (if gm land m_zero <> 0 then m_noinfl else 0)
+                  lor (if gm land m_undef <> 0 then m_undef else 0)
+            in
+            contribs := m :: !contribs)
+          drivers_of.(c);
+        let driving = List.filter (fun m -> m land lnot m_noinfl <> 0) !contribs in
+        let base =
+          if inputs.(c) then m_zero lor m_one
+          else
+            match Hashtbl.find_opt reg_of_out c with
+            | Some r ->
+                mask_of r.Netlist.rinit
+                lor booleanize_mask (sets.(canon r.Netlist.rin) land lnot m_noinfl)
+            | None ->
+                if !contribs = [] then m_undef (* producer-less: reads UNDEF *)
+                else 0
+        in
+        let m =
+          List.fold_left ( lor ) base !contribs
+          lor (if List.length driving >= 2 then m_undef else 0)
+        in
+        let m = sets.(c) lor m in
+        if m <> sets.(c) then begin
+          sets.(c) <- m;
+          changed := true
+        end
+      end
+    done
+  done;
+  (* report per class, through a representative read, user-visible net *)
+  let members = Array.make n [] in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      let c = canon net.Netlist.id in
+      members.(c) <- net :: members.(c))
+    (Netlist.nets_array nl);
+  for c = 0 to n - 1 do
+    if canon c = c then begin
+      let read =
+        List.filter
+          (fun (net : Netlist.net) ->
+            net.Netlist.reads > 0 && not (String.contains net.Netlist.name '#'))
+          members.(c)
+      in
+      let rep =
+        match
+          List.filter (fun (n : Netlist.net) -> not (Loc.is_dummy n.Netlist.loc)) read
+        with
+        | net :: _ -> Some net
+        | [] -> ( match read with net :: _ -> Some net | [] -> None)
+      in
+      match rep with
+      | None -> ()
+      | Some net ->
+          let undriven =
+            gates_of.(c) = [] && drivers_of.(c) = []
+            && (not inputs.(c))
+            && not (Hashtbl.mem reg_of_out c)
+          in
+          if undriven then
+            Diag.Bag.warning bag ~code:Diag.Code.undriven_read Diag.Lint_error
+              net.Netlist.loc "'%s' is read but never driven — it reads UNDEF \
+                               forever"
+              net.Netlist.name
+          else if sets.(c) land (m_zero lor m_one) = 0 then
+            Diag.Bag.warning bag ~code:Diag.Code.undef_only Diag.Lint_error
+              net.Netlist.loc
+              "'%s' can never carry a defined value — every read yields UNDEF"
+              net.Netlist.name
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: dead hardware                                                *)
+(* ------------------------------------------------------------------ *)
+
+let dead_pass bag (design : Elaborate.design) =
+  let nl = design.Elaborate.netlist in
+  let canon id = Netlist.canonical nl id in
+  let known = Optimize.known_constants design in
+  let guard_value = function
+    | Netlist.Sconst v -> Some v
+    | Netlist.Snet id -> known.(canon id)
+  in
+  (* one report per source location: an IF arm over a wide signal makes
+     one driver per bit, all at the same loc *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Netlist.driver) ->
+      match d.Netlist.guard with
+      | None -> ()
+      | Some g -> (
+          match Option.map Logic.booleanize (guard_value g) with
+          | Some Logic.Zero ->
+              let key =
+                (d.Netlist.dloc.Loc.start.Loc.offset, d.Netlist.dloc.Loc.stop.Loc.offset)
+              in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.replace seen key ();
+                Diag.Bag.warning bag ~code:Diag.Code.dead_branch Diag.Lint_error
+                  d.Netlist.dloc
+                  "branch guard is statically false — the conditional \
+                   assignment to '%s' can never fire (dead hardware)"
+                  (Netlist.net nl d.Netlist.target).Netlist.name
+              end
+          | _ -> ()))
+    (Netlist.drivers nl);
+  let live = Optimize.observable design in
+  List.iter
+    (fun (i : Netlist.instance) ->
+      if String.contains i.Netlist.ipath '.' && not i.Netlist.is_function_call
+      then begin
+        let out_nets =
+          List.concat_map
+            (fun (_, mode, nets) ->
+              match mode with
+              | Etype.Out | Etype.Inout -> nets
+              | Etype.In -> [])
+            i.Netlist.iports
+        in
+        if out_nets <> [] && not (List.exists (fun id -> live.(canon id)) out_nets)
+        then
+          Diag.Bag.warning bag ~code:Diag.Code.dead_instance Diag.Lint_error
+            i.Netlist.iloc
+            "instance '%s' of '%s': no output reaches a register or an \
+             output port — the hardware is dead"
+            i.Netlist.ipath i.Netlist.itype
+      end)
+    (Netlist.instances nl)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let default_budget = 4096
+
+let run ?(budget = default_budget) (design : Elaborate.design) =
+  let nl = design.Elaborate.netlist in
+  let bag = Diag.Bag.create () in
+  let st = make_expander design in
+  let splits = ref 0 in
+  (* expansion must precede the conflict pass so undef_roots is filled
+     before pairs are scanned — drive_cond runs inside the pass, so
+     scan pairs only after all conditions are expanded (prove_conflicts
+     builds every producer's condition before solving any pair) *)
+  let verdicts = prove_conflicts st bag ~budget ~splits nl in
+  undef_pass bag design;
+  dead_pass bag design;
+  { verdicts; findings = Diag.Bag.all bag; splits = !splits }
+
+let count cls report =
+  List.length (List.filter (fun v -> v.v_class = cls) report.verdicts)
+
+let summary report =
+  Printf.sprintf
+    "%d multi-driven net%s: %d safe, %d conflict, %d needs-runtime-check; %d \
+     finding%s (%d case splits)"
+    (List.length report.verdicts)
+    (if List.length report.verdicts = 1 then "" else "s")
+    (count Safe report) (count Conflict report)
+    (count Needs_runtime_check report)
+    (List.length report.findings)
+    (if List.length report.findings = 1 then "" else "s")
+    report.splits
+
+(* ------------------------------------------------------------------ *)
+(* JSON output                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_loc (loc : Loc.t) =
+  if Loc.is_dummy loc then "null"
+  else
+    Printf.sprintf
+      "{\"line\":%d,\"col\":%d,\"end_line\":%d,\"end_col\":%d}"
+      loc.Loc.start.Loc.line loc.Loc.start.Loc.col loc.Loc.stop.Loc.line
+      loc.Loc.stop.Loc.col
+
+let json_of_report report =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"nets\": [";
+  List.iteri
+    (fun i v ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    {\"net\":\"%s\",\"kind\":\"%s\",\"producers\":%d,\"class\":\"%s\",\"detail\":\"%s\"}"
+           (json_escape v.v_name)
+           (Etype.kind_to_string v.v_kind)
+           v.v_producers
+           (classification_to_string v.v_class)
+           (json_escape v.v_detail)))
+    report.verdicts;
+  Buffer.add_string b "\n  ],\n  \"findings\": [";
+  List.iteri
+    (fun i (d : Diag.t) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    {\"code\":%s,\"severity\":\"%s\",\"kind\":\"%s\",\"loc\":%s,\"message\":\"%s\"}"
+           (match d.Diag.code with
+           | Some c -> Printf.sprintf "\"%s\"" (json_escape c)
+           | None -> "null")
+           (Diag.severity_to_string d.Diag.severity)
+           (Diag.kind_to_string d.Diag.kind)
+           (json_loc d.Diag.loc)
+           (json_escape d.Diag.message)))
+    report.findings;
+  Buffer.add_string b
+    (Printf.sprintf
+       "\n  ],\n  \"summary\": {\"nets\":%d,\"safe\":%d,\"conflict\":%d,\"needs_runtime_check\":%d,\"findings\":%d,\"splits\":%d}\n}"
+       (List.length report.verdicts)
+       (count Safe report) (count Conflict report)
+       (count Needs_runtime_check report)
+       (List.length report.findings)
+       report.splits);
+  Buffer.contents b

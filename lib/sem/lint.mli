@@ -1,0 +1,57 @@
+(** The lint engine: static proofs about the elaborated netlist.
+
+    Three passes over an elaborated design, all reporting through the
+    stable diagnostic codes of {!Zeus_base.Diag.Code}:
+
+    - a {b drive-conflict prover} (Z101/Z102) that collects the guard
+      expressions of every producer of each multi-driven net and
+      decides their pairwise mutual exclusivity with a bounded
+      DPLL-style solver — the static half of the paper's
+      (NP-complete, section 4.7) multiplex single-drive check, with
+      the simulator's runtime multiple-drive check as the fallback;
+    - an {b UNDEF-reachability} dataflow pass (Z201/Z202) over the
+      four-valued algebra, flagging nets that can only ever read
+      UNDEF;
+    - a {b dead-hardware} pass (Z301/Z302) for statically-false branch
+      guards surviving constant evaluation and instances whose
+      outputs reach no register or output port. *)
+
+type classification =
+  | Safe  (** every pair of drivers proved mutually exclusive *)
+  | Conflict  (** two drivers can fire in one cycle; witness attached *)
+  | Needs_runtime_check
+      (** not decided within budget, or exclusivity depends on values
+          the prover cannot see — the runtime check guards this net *)
+
+val classification_to_string : classification -> string
+
+(** One multi-driven net (canonical alias class). *)
+type net_verdict = {
+  v_net : int;  (** canonical net id *)
+  v_name : string;
+  v_kind : Etype.kind;
+  v_producers : int;  (** drivers + gates on the class *)
+  v_class : classification;
+  v_detail : string;  (** witness, proof summary or reason *)
+}
+
+type report = {
+  verdicts : net_verdict list;  (** every multi-driven class, by net id *)
+  findings : Zeus_base.Diag.t list;
+  splits : int;  (** total case splits spent by the solver *)
+}
+
+val default_budget : int
+
+(** Run all three passes.  [budget] bounds the number of case splits
+    the conflict prover may spend per net pair (default
+    {!default_budget}); exhausting it demotes the net to
+    [Needs_runtime_check] rather than guessing. *)
+val run : ?budget:int -> Elaborate.design -> report
+
+(** "N multi-driven nets: ... ; M findings (S case splits)" *)
+val summary : report -> string
+
+(** The whole report as a JSON object with [nets], [findings] and
+    [summary] members.  Hand-rolled, schema-stable output. *)
+val json_of_report : report -> string

@@ -49,7 +49,11 @@ let eval_gate_const op (vals : Logic.t option list) =
         vals
   | Netlist.Grandom -> None
 
-let run (design : Elaborate.design) =
+(* Conservative constant propagation to a fixpoint over canonical nets:
+   a net is known constant only when its single producer forces the same
+   value under all inputs.  Exposed for the lint engine's dead-branch
+   pass (Z301). *)
+let known_constants (design : Elaborate.design) =
   let nl = design.Elaborate.netlist in
   let n = Netlist.net_count nl in
   let canon id = Netlist.canonical nl id in
@@ -69,7 +73,6 @@ let run (design : Elaborate.design) =
   List.iter
     (fun (r : Netlist.reg) -> pinned.(canon r.Netlist.rout) <- true)
     (Netlist.regs nl);
-  (* iterate constant propagation to a fixpoint *)
   let known : Logic.t option array = Array.make n None in
   let value_of_src = function
     | Netlist.Sconst v -> Some v
@@ -110,7 +113,15 @@ let run (design : Elaborate.design) =
             | None -> ()))
       (Netlist.drivers nl)
   done;
-  (* liveness: ancestors of register inputs and root output pins *)
+  known
+
+(* Observability (liveness): the canonical ancestors of register inputs
+   and root OUT/INOUT pins.  Exposed for the lint engine's
+   dead-instance pass (Z302). *)
+let observable (design : Elaborate.design) =
+  let nl = design.Elaborate.netlist in
+  let n = Netlist.net_count nl in
+  let canon id = Netlist.canonical nl id in
   let adj = Check.dependency_graph nl in
   let preds = Array.make n [] in
   Array.iteri
@@ -134,6 +145,18 @@ let run (design : Elaborate.design) =
             | Etype.In -> ())
           i.Netlist.iports)
     (Netlist.instances nl);
+  live
+
+let run (design : Elaborate.design) =
+  let nl = design.Elaborate.netlist in
+  let n = Netlist.net_count nl in
+  let canon id = Netlist.canonical nl id in
+  let known = known_constants design in
+  let value_of_src = function
+    | Netlist.Sconst v -> Some v
+    | Netlist.Snet s -> known.(canon s)
+  in
+  let live = observable design in
   (* rebuild: known-constant or dead outputs lose their gates; a known
      net keeps a single constant driver so downstream readers (and
      peeks) still see its value *)

@@ -13,6 +13,17 @@ type report = {
 
 val pp_report : report Fmt.t
 
+(** Conservative constant propagation: per {e original} net id (look up
+    through {!Netlist.canonical}), the value the net is forced to under
+    all inputs, or [None].  Testbench inputs and register outputs are
+    never constant.  Shared with the lint engine's dead-branch pass. *)
+val known_constants : Elaborate.design -> Zeus_base.Logic.t option array
+
+(** Liveness per canonical net: [true] iff the net (transitively) feeds
+    a register input or an OUT/INOUT pin of a root instance.  Shared
+    with the lint engine's dead-instance pass. *)
+val observable : Elaborate.design -> bool array
+
 (** Returns a design sharing nets/instances with the input but with
     simplified gates and drivers, plus the reduction report. *)
 val run : Elaborate.design -> Elaborate.design * report

@@ -45,6 +45,7 @@ let engine_name = function
 type runtime_error = {
   err_cycle : int;
   err_net : string;
+  err_code : string; (* stable Diag.Code, shared with the lint engine *)
   err_message : string;
 }
 
@@ -106,12 +107,12 @@ let set_trace t b = t.trace_enabled <- b
 
 let trace_last_cycle t = List.rev t.trace
 
-let error t net_id fmt =
+let error t ~code net_id fmt =
   Fmt.kstr
     (fun message ->
       t.errors <-
         { err_cycle = t.cycle; err_net = t.g.Graph.names.(net_id);
-          err_message = message }
+          err_code = code; err_message = message }
         :: t.errors)
     fmt
 
@@ -274,7 +275,7 @@ let step t =
       if not (Logic.equal v Logic.Noinfl) then begin
         t.drives_seen.(net) <- t.drives_seen.(net) + 1;
         if t.drives_seen.(net) = 2 then begin
-          error t net
+          error t ~code:Diag.Code.drive_conflict net
             "more than one driving assignment in cycle %d — burning \
              transistors (value forced to UNDEF)"
             t.cycle;

@@ -36,6 +36,9 @@ val engine_name : engine -> string
 type runtime_error = {
   err_cycle : int;
   err_net : string;
+  err_code : string;
+      (** stable diagnostic code ({!Zeus_base.Diag.Code}) — the same
+          code the lint engine reports for this class of violation *)
   err_message : string;
 }
 

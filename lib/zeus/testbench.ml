@@ -105,6 +105,6 @@ let report ppf t =
       List.iter (fun f -> Fmt.pf ppf "FAIL %a@." pp_failure f) fs;
       List.iter
         (fun (e : Sim.runtime_error) ->
-          Fmt.pf ppf "RUNTIME (cycle %d) %s: %s@." e.Sim.err_cycle
-            e.Sim.err_net e.Sim.err_message)
+          Fmt.pf ppf "RUNTIME (cycle %d) [%s] %s: %s@." e.Sim.err_cycle
+            e.Sim.err_code e.Sim.err_net e.Sim.err_message)
         res

@@ -26,6 +26,7 @@ module Elaborate = Zeus_sem.Elaborate
 module Check = Zeus_sem.Check
 module Stats = Zeus_sem.Stats
 module Optimize = Zeus_sem.Optimize
+module Lint = Zeus_sem.Lint
 module Layout_ir = Zeus_sem.Layout_ir
 module Graph = Zeus_sim.Graph
 module Sim = Zeus_sim.Sim

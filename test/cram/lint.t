@@ -1,0 +1,106 @@
+The lint engine: drive-conflict proofs, UNDEF reachability and dead
+hardware, with stable Zxxx diagnostic codes.
+
+A clean design — the one-hot decoder guards of mux4 are provably
+exclusive, so its multiplex net is classified safe and lint exits 0:
+
+  $ zeusc corpus mux4 > mux4.zeus
+  $ zeusc lint mux4.zeus
+  net 'm.mux4#1.h' (multiplex, 4 producers): safe — proved exclusive (6 pairs)
+  1 multi-driven net: 1 safe, 0 conflict, 0 needs-runtime-check; 0 findings (8 case splits)
+
+The section 8 example drives 'out' under two independent inputs x and y:
+the prover finds the conflicting assignment (a Z101 error, exit 1) with
+a concrete witness:
+
+  $ zeusc corpus section8 > section8.zeus
+  $ zeusc lint section8.zeus
+  net 'top.out' (multiplex, 2 producers): conflict — witness: top.x=1, top.y=1
+  7:13-22: error(lint)[Z101]: 'top.out' can receive two driving values in one cycle (drivers at 6:13-28 and 7:13-22; witness: top.x=1, top.y=1) — this would burn transistors
+  1 multi-driven net: 0 safe, 1 conflict, 0 needs-runtime-check; 1 finding (2 case splits)
+  [1]
+
+The same report as JSON, carrying the stable codes:
+
+  $ zeusc lint section8.zeus --format json
+  {
+    "nets": [
+      {"net":"top.out","kind":"multiplex","producers":2,"class":"conflict","detail":"witness: top.x=1, top.y=1"}
+    ],
+    "findings": [
+      {"code":"Z101","severity":"error","kind":"lint","loc":{"line":7,"col":13,"end_line":7,"end_col":22},"message":"'top.out' can receive two driving values in one cycle (drivers at 6:13-28 and 7:13-22; witness: top.x=1, top.y=1) — this would burn transistors"}
+    ],
+    "summary": {"nets":1,"safe":0,"conflict":1,"needs_runtime_check":0,"findings":1,"splits":2}
+  }
+  [1]
+
+Per-code suppression drops the finding (and with it the failing exit):
+
+  $ zeusc lint section8.zeus --suppress Z101
+  net 'top.out' (multiplex, 2 producers): conflict — witness: top.x=1, top.y=1
+  1 multi-driven net: 0 safe, 1 conflict, 0 needs-runtime-check; 0 findings (2 case splits)
+
+A strangled solver budget degrades soundly: the net is handed to the
+simulator's runtime multiple-drive check (Z102) instead of guessing:
+
+  $ zeusc lint section8.zeus --budget 0
+  net 'top.out' (multiplex, 2 producers): needs-runtime-check — solver budget of 0 case splits exhausted
+  7:13-22: warning(lint)[Z102]: 'top.out': driver exclusivity not proved (solver budget of 0 case splits exhausted) — the runtime multiple-drive check [Z101] guards this net
+  1 multi-driven net: 0 safe, 0 conflict, 1 needs-runtime-check; 1 finding (0 case splits)
+
+And the simulator reports the violation the prover predicted, under the
+same Z101 code:
+
+  $ zeusc sim section8.zeus -n 1 -p top.x=1 -p top.y=1 -p top.a=1 -p top.b=1 -p top.cc=0
+  runtime error (cycle 0) [Z101] top.out: more than one driving assignment in cycle 0 — burning transistors (value forced to UNDEF)
+
+UNDEF reachability (Z201 undriven, Z202 driven-but-never-defined) and a
+statically false branch guard (Z301):
+
+  $ cat > undef.zeus <<'EOF'
+  > TYPE top = COMPONENT (IN a: boolean; OUT z: boolean) IS
+  > SIGNAL u, v: boolean;
+  >        r: REG;
+  > BEGIN
+  >   v := NOT u;
+  >   IF AND(a,0) THEN r.in := v END;
+  >   z := OR(v,r.out);
+  > END;
+  > 
+  > SIGNAL t: top;
+  > EOF
+  $ zeusc lint undef.zeus
+  2:8-9: warning(lint)[Z201]: 't.u' is read but never driven — it reads UNDEF forever
+  2:11-12: warning(lint)[Z202]: 't.v' can never carry a defined value — every read yields UNDEF
+  3:8-9: warning(lint)[Z202]: 't.r.out' can never carry a defined value — every read yields UNDEF
+  6:20-29: warning(lint)[Z301]: branch guard is statically false — the conditional assignment to 't.r.in' can never fire (dead hardware)
+  0 multi-driven nets: 0 safe, 0 conflict, 0 needs-runtime-check; 4 findings (0 case splits)
+
+An instance whose outputs reach nothing observable (Z302):
+
+  $ cat > dead.zeus <<'EOF'
+  > TYPE inv = COMPONENT (IN a: boolean; OUT z: boolean) IS
+  > BEGIN
+  >   z := NOT a;
+  > END;
+  > 
+  > TYPE top = COMPONENT (IN a: boolean; OUT z: boolean) IS
+  > SIGNAL i: inv;
+  >        w: boolean;
+  > BEGIN
+  >   i(a,w);
+  >   z := NOT a;
+  > END;
+  > 
+  > SIGNAL t: top;
+  > EOF
+  $ zeusc lint dead.zeus
+  7:8-9: warning(lint)[Z302]: instance 't.i' of 'inv': no output reaches a register or an output port — the hardware is dead
+  0 multi-driven nets: 0 safe, 0 conflict, 0 needs-runtime-check; 1 finding (0 case splits)
+
+'--max-severity none' turns any finding into a failing exit:
+
+  $ zeusc lint dead.zeus --max-severity none
+  7:8-9: warning(lint)[Z302]: instance 't.i' of 'inv': no output reaches a register or an output port — the hardware is dead
+  0 multi-driven nets: 0 safe, 0 conflict, 0 needs-runtime-check; 1 finding (0 case splits)
+  [1]
