@@ -12,9 +12,12 @@
      E7  typerules          section 4.7 type rule tables (1), (2), (3)
      E8  simcmp             firing vs fixpoint vs relaxation scheduling
      E9  runtime-checks     the NP-completeness-motivated runtime check
+     E13 incremental        cross-cycle incremental engine vs firing
 
    `dune exec bench/main.exe` prints all report tables and then runs the
-   timing benchmarks (pass --no-timing to skip them). *)
+   timing benchmarks (pass --no-timing to skip them).  E13 also writes
+   machine-readable results to BENCH_sim.json.  Pass --smoke to run only
+   the (shortened) simulator benches and the JSON dump — the CI mode. *)
 
 open Zeus
 
@@ -601,6 +604,123 @@ let a1_machines () =
     (List.length (Sim.runtime_errors sim))
 
 (* ------------------------------------------------------------------ *)
+(* E13: the cross-cycle incremental engine                              *)
+(* ------------------------------------------------------------------ *)
+
+type e13_row = {
+  r_design : string;
+  r_cycles : int;
+  r_firing_visits : int;
+  r_firing_secs : float;
+  r_incr_visits : int;
+  r_incr_secs : float;
+  r_quiescent_visits : int; (* total over 10 stimulus-free cycles *)
+  r_agree : bool; (* snapshots identical after the workload *)
+}
+
+(* Low-activity workloads: a handful of input bits change per cycle
+   while the bulk of the design is quiet — the regime the cross-cycle
+   incremental engine exists for.  Each workload is
+   (name, source, warm-up pokes, per-cycle stimulus). *)
+let e13_workloads =
+  [
+    ( "routing(128)/1-header",
+      Corpus.routing_network 128,
+      (fun sim ->
+        for i = 0 to 127 do
+          Sim.poke_int sim (Printf.sprintf "net.input[%d]" i) i
+        done),
+      fun sim c -> Sim.poke_int sim "net.input[0]" (c land 1) );
+    ( "ram(256x16)/1-bit-write",
+      Corpus.ram ~abits:8 ~wbits:16,
+      (fun sim ->
+        Sim.poke_int sim "m.addr" 42;
+        Sim.poke_int sim "m.data" 0;
+        Sim.poke_bool sim "m.we" true),
+      fun sim c -> Sim.poke_int sim "m.data" (c land 1) );
+    ( "adder(64)/cin-toggle",
+      Corpus.adder_n 64,
+      (fun sim ->
+        Sim.poke_int_lsb sim "adder.a" 0;
+        Sim.poke_int_lsb sim "adder.b" 0;
+        Sim.poke_bool sim "adder.cin" false),
+      fun sim c -> Sim.poke_bool sim "adder.cin" (c land 1 = 1) );
+  ]
+
+let e13_write_json rows path =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiments\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"design\": %S, \"cycles\": %d,\n\
+           \     \"firing\": {\"node_visits\": %d, \"seconds\": %.6f},\n\
+           \     \"incremental\": {\"node_visits\": %d, \"seconds\": %.6f},\n\
+           \     \"visit_ratio\": %.2f, \"quiescent_visits_per_cycle\": %d,\n\
+           \     \"snapshots_agree\": %b}"
+           r.r_design r.r_cycles r.r_firing_visits r.r_firing_secs
+           r.r_incr_visits r.r_incr_secs
+           (float_of_int r.r_firing_visits
+           /. float_of_int (max 1 r.r_incr_visits))
+           (r.r_quiescent_visits / 10)
+           r.r_agree))
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
+let e13_incremental ~cycles () =
+  section "E13"
+    "cross-cycle incremental engine: node visits and wall clock vs \
+     per-cycle firing (low-activity workloads)";
+  let bench (name, src, warm, stim) =
+    let d = compile src in
+    let run engine =
+      let sim = Sim.create ~engine d in
+      warm sim;
+      Sim.step sim;
+      (* cold-start cycle excluded from the counts *)
+      let v0 = Sim.node_visits sim in
+      let t0 = Sys.time () in
+      for c = 1 to cycles do
+        stim sim c;
+        Sim.step sim
+      done;
+      (Sim.node_visits sim - v0, Sys.time () -. t0, sim)
+    in
+    let fv, fs, fsim = run Sim.Firing in
+    let iv, is_, isim = run Sim.Incremental in
+    let agree = Sim.snapshot fsim = Sim.snapshot isim in
+    (* a fully quiescent tail: the incremental engine must do no work *)
+    let q0 = Sim.node_visits isim in
+    Sim.step_n isim 10;
+    let qv = Sim.node_visits isim - q0 in
+    { r_design = name; r_cycles = cycles; r_firing_visits = fv;
+      r_firing_secs = fs; r_incr_visits = iv; r_incr_secs = is_;
+      r_quiescent_visits = qv; r_agree = agree }
+  in
+  let rows = List.map bench e13_workloads in
+  Fmt.pr "  %-24s %6s %10s %9s %10s %9s %7s %6s %6s@." "workload" "cycles"
+    "fire-vis" "fire-s" "incr-vis" "incr-s" "ratio" "quiet" "agree";
+  List.iter
+    (fun r ->
+      Fmt.pr "  %-24s %6d %10d %9.4f %10d %9.4f %6.1fx %6d %6s@." r.r_design
+        r.r_cycles r.r_firing_visits r.r_firing_secs r.r_incr_visits
+        r.r_incr_secs
+        (float_of_int r.r_firing_visits
+        /. float_of_int (max 1 r.r_incr_visits))
+        (r.r_quiescent_visits / 10)
+        (if r.r_agree then "yes" else "NO"))
+    rows;
+  Fmt.pr "(\"quiet\" = incremental node visits per fully quiescent cycle — \
+          must be 0)@.";
+  e13_write_json rows "BENCH_sim.json"
+
+(* ------------------------------------------------------------------ *)
 (* Timing benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -640,6 +760,8 @@ let bechamel_tests () =
         (Corpus.adder_n 64);
       sim_cycle_test ~engine:Sim.Relaxation "e8/relaxation/adder64"
         (Corpus.adder_n 64);
+      sim_cycle_test ~engine:Sim.Incremental "e8/incremental/adder64"
+        (Corpus.adder_n 64);
       (* A1: the abstract's machines *)
       sim_cycle_test "a1/cycle/am2901" Corpus.am2901;
       sim_cycle_test "a1/cycle/stack32" (Corpus.stack ~depth:32 ~width:8);
@@ -672,20 +794,32 @@ let run_timing () =
     (List.sort compare rows)
 
 let () =
-  let timing = not (Array.exists (( = ) "--no-timing") Sys.argv) in
-  Fmt.pr "Zeus reproduction benchmark suite (every table/figure of the \
-          report's examples)@.";
-  e1_adders ();
-  e2_blackjack ();
-  e3_htree ();
-  e4_patternmatch ();
-  e5_evalseq ();
-  e6_routing ();
-  e7_typerules ();
-  e8_simcmp ();
-  e9_runtime_checks ();
-  e10_lazy_ablation ();
-  e11_autoplace ();
-  e12_optimize ();
-  a1_machines ();
-  if timing then run_timing ()
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let timing =
+    (not (Array.exists (( = ) "--no-timing") Sys.argv)) && not smoke
+  in
+  if smoke then begin
+    (* CI mode: only the simulator benches, shortened, plus the JSON dump *)
+    Fmt.pr "Zeus benchmark suite (smoke mode: simulator benches only)@.";
+    e8_simcmp ();
+    e13_incremental ~cycles:50 ()
+  end
+  else begin
+    Fmt.pr "Zeus reproduction benchmark suite (every table/figure of the \
+            report's examples)@.";
+    e1_adders ();
+    e2_blackjack ();
+    e3_htree ();
+    e4_patternmatch ();
+    e5_evalseq ();
+    e6_routing ();
+    e7_typerules ();
+    e8_simcmp ();
+    e9_runtime_checks ();
+    e10_lazy_ablation ();
+    e11_autoplace ();
+    e12_optimize ();
+    a1_machines ();
+    e13_incremental ~cycles:200 ();
+    if timing then run_timing ()
+  end

@@ -151,13 +151,27 @@ let sim_cmd =
       & info [ "vcd" ] ~docv:"FILE"
           ~doc:"Dump the watched signals as a VCD waveform to FILE.")
   in
-  let run file cycles pokes peeks do_reset trace wave explain activity vcd_out =
+  let engine =
+    let engines =
+      List.map (fun e -> (Zeus.Sim.engine_name e, e)) Zeus.Sim.all_engines
+    in
+    Arg.(
+      value
+      & opt (enum engines) Zeus.Sim.Firing
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Scheduling engine: $(b,firing) (default), \
+             $(b,firing-strict), $(b,fixpoint), $(b,relaxation) or \
+             $(b,incremental).  All engines compute identical values.")
+  in
+  let run file cycles pokes peeks do_reset trace wave explain activity vcd_out
+      engine =
     match Zeus.compile (load file) with
     | Error diags ->
         report_diags diags;
         1
     | Ok design ->
-        let sim = Zeus.Sim.create design in
+        let sim = Zeus.Sim.create ~engine design in
         List.iter (fun (p, v) ->
             if v <= 1 then Zeus.Sim.poke sim p [ (if v = 1 then Zeus.Logic.One else Zeus.Logic.Zero) ]
             else Zeus.Sim.poke_int sim p v)
@@ -219,7 +233,7 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Simulate a design for N cycles.")
     Term.(
       const run $ file_arg $ cycles $ pokes $ peeks $ do_reset $ trace $ wave
-      $ explain $ activity $ vcd_out)
+      $ explain $ activity $ vcd_out $ engine)
 
 let lint_cmd =
   let format =
@@ -472,10 +486,9 @@ let dot_cmd =
                 | Zeus.Netlist.Sconst _ -> ())
               (Zeus.Graph.node_inputs node))
           g.Zeus.Graph.nodes;
+        (* names are per dense class id — exactly the ids the edges use *)
         Array.iteri
-          (fun i name ->
-            if Zeus.Netlist.canonical g.Zeus.Graph.nl i = i then
-              Fmt.pr "  s%d [shape=box,label=%S];@." i name)
+          (fun c name -> Fmt.pr "  s%d [shape=box,label=%S];@." c name)
           g.Zeus.Graph.names;
         Fmt.pr "}@.";
         0

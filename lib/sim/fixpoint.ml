@@ -3,7 +3,10 @@
    Identical semantics to the firing simulator — only the scheduling
    differs: all nodes are re-examined in creation order until a full
    sweep produces no change.  Work grows with circuit depth, which is
-   precisely the cost the firing-rule evaluator of section 8 avoids. *)
+   precisely the cost the firing-rule evaluator of section 8 avoids.
+   Like every engine it shares the drive-conflict re-propagation pass,
+   so values downstream of a "burning transistors" conflict do not
+   depend on the sweep order. *)
 
 type t = Sim.t
 

@@ -1,9 +1,22 @@
-(* The semantics graph of section 8, in executable form.
+(* The semantics graph of section 8, in executable form — compacted.
 
-   All net references are canonicalized through the alias union-find.
-   Producer nodes are gates and drivers; a net fires when its producers
-   allow (see Sim).  Registers connect cycles without introducing
-   combinational edges. *)
+   At build time the alias union-find is resolved ONCE into dense
+   canonical-net ids ("classes"): [canon] maps every original net id to
+   its class, [rep] maps a class back to the union-find root that
+   represents it.  All node inputs/outputs, adjacency and per-net
+   bookkeeping are indexed by class id, so the simulator engines never
+   call [Netlist.canonical] on a hot path.
+
+   Adjacency is CSR-style: flat [int array] consumer and producer lists
+   with offset tables, one entry per source occurrence (a node reading
+   the same net twice appears twice — the firing engine's worklist
+   discipline relies on that).
+
+   Registers connect cycles without introducing combinational edges;
+   [reg_of_out]/[regs_of_in] give O(1) access from a class to the
+   registers that feed or latch it (hoisted out of the per-cycle path —
+   the simulator used to rebuild a hashtable of register outputs every
+   cycle). *)
 
 open Zeus_sem
 
@@ -23,94 +36,28 @@ type t = {
   design : Elaborate.design;
   nl : Netlist.t;
   n_nets : int;
+  n_classes : int;
+  canon : int array;
+  rep : int array;
   nodes : node array;
-  (* net -> nodes that consume it (need re-evaluation when it fires) *)
-  consumers : int list array;
-  (* canonical net -> number of producer nodes *)
+  cons_off : int array;
+  cons_nodes : int array;
+  prod_off : int array;
+  prod_nodes : int array;
   producer_count : int array;
-  (* canonical net -> kind of the class (mux if any member is mux) *)
   class_kind : Etype.kind array;
-  (* kind as declared per original net id (for booleanizing reads) *)
   net_kind : Etype.kind array;
   names : string array;
   regs : Netlist.reg array;
-  reg_out_class : bool array; (* canonical net is a register output *)
-  input_class : bool array; (* canonical net is a testbench input *)
+  reg_in : int array;
+  reg_out : int array;
+  reg_of_out : int array;
+  regs_of_in : int list array;
+  reg_out_class : bool array;
+  input_class : bool array;
+  clk : int;
+  rset : int;
 }
-
-let canon nl id = Netlist.canonical nl id
-
-let canon_src nl = function
-  | Netlist.Snet id -> Netlist.Snet (canon nl id)
-  | Netlist.Sconst v -> Netlist.Sconst v
-
-let build (design : Elaborate.design) =
-  let nl = design.Elaborate.netlist in
-  let n = Netlist.net_count nl in
-  let nodes = ref [] in
-  let n_nodes = ref 0 in
-  let consumers = Array.make n [] in
-  let producer_count = Array.make n 0 in
-  let add_node node srcs out =
-    let id = !n_nodes in
-    nodes := node :: !nodes;
-    incr n_nodes;
-    List.iter
-      (function
-        | Netlist.Snet s -> consumers.(s) <- id :: consumers.(s)
-        | Netlist.Sconst _ -> ())
-      srcs;
-    producer_count.(out) <- producer_count.(out) + 1
-  in
-  List.iter
-    (fun (g : Netlist.gate) ->
-      let inputs = List.map (canon_src nl) g.Netlist.inputs in
-      let output = canon nl g.Netlist.output in
-      add_node
-        (Ngate { op = g.Netlist.op; inputs = Array.of_list inputs; output })
-        inputs output)
-    (Netlist.gates nl);
-  List.iter
-    (fun (d : Netlist.driver) ->
-      let guard = Option.map (canon_src nl) d.Netlist.guard in
-      let source = canon_src nl d.Netlist.source in
-      let target = canon nl d.Netlist.target in
-      let srcs = source :: Option.to_list guard in
-      add_node (Ndriver { guard; source; target }) srcs target)
-    (Netlist.drivers nl);
-  let class_kind = Array.make n Etype.KBool in
-  let net_kind = Array.make n Etype.KBool in
-  let names = Array.make n "" in
-  Array.iter
-    (fun (net : Netlist.net) ->
-      let c = canon nl net.Netlist.id in
-      net_kind.(net.Netlist.id) <- net.Netlist.kind;
-      names.(net.Netlist.id) <- net.Netlist.name;
-      if net.Netlist.kind = Etype.KMux then class_kind.(c) <- Etype.KMux)
-    (Netlist.nets_array nl);
-  let regs = Array.of_list (Netlist.regs nl) in
-  let reg_out_class = Array.make n false in
-  Array.iter
-    (fun (r : Netlist.reg) -> reg_out_class.(canon nl r.Netlist.rout) <- true)
-    regs;
-  let input_class = Array.make n false in
-  List.iter
-    (fun id -> input_class.(canon nl id) <- true)
-    (Check.top_input_nets design);
-  {
-    design;
-    nl;
-    n_nets = n;
-    nodes = Array.of_list (List.rev !nodes);
-    consumers;
-    producer_count;
-    class_kind;
-    net_kind;
-    names;
-    regs;
-    reg_out_class;
-    input_class;
-  }
 
 let node_inputs = function
   | Ngate { inputs; _ } -> Array.to_list inputs
@@ -119,3 +66,152 @@ let node_inputs = function
 let node_output = function
   | Ngate { output; _ } -> output
   | Ndriver { target; _ } -> target
+
+let build (design : Elaborate.design) =
+  let nl = design.Elaborate.netlist in
+  let n = Netlist.net_count nl in
+  (* resolve the union-find once: original id -> dense class id *)
+  let canon = Array.make n (-1) in
+  let rep_rev = ref [] in
+  let n_classes = ref 0 in
+  for id = 0 to n - 1 do
+    let root = Netlist.canonical nl id in
+    if canon.(root) < 0 then begin
+      canon.(root) <- !n_classes;
+      rep_rev := root :: !rep_rev;
+      incr n_classes
+    end;
+    canon.(id) <- canon.(root)
+  done;
+  let n_classes = !n_classes in
+  let rep = Array.make n_classes 0 in
+  List.iteri (fun i root -> rep.(n_classes - 1 - i) <- root) !rep_rev;
+  let canon_src = function
+    | Netlist.Snet id -> Netlist.Snet canon.(id)
+    | Netlist.Sconst v -> Netlist.Sconst v
+  in
+  (* nodes, with class ids baked in *)
+  let nodes = ref [] in
+  let n_nodes = ref 0 in
+  List.iter
+    (fun (g : Netlist.gate) ->
+      let inputs = List.map canon_src g.Netlist.inputs in
+      let output = canon.(g.Netlist.output) in
+      nodes := Ngate { op = g.Netlist.op; inputs = Array.of_list inputs; output }
+               :: !nodes;
+      incr n_nodes)
+    (Netlist.gates nl);
+  List.iter
+    (fun (d : Netlist.driver) ->
+      let guard = Option.map canon_src d.Netlist.guard in
+      let source = canon_src d.Netlist.source in
+      let target = canon.(d.Netlist.target) in
+      nodes := Ndriver { guard; source; target } :: !nodes;
+      incr n_nodes)
+    (Netlist.drivers nl);
+  let nodes = Array.of_list (List.rev !nodes) in
+  (* CSR adjacency: count, prefix-sum, fill *)
+  let cons_cnt = Array.make n_classes 0 in
+  let prod_cnt = Array.make n_classes 0 in
+  Array.iter
+    (fun node ->
+      List.iter
+        (function
+          | Netlist.Snet s -> cons_cnt.(s) <- cons_cnt.(s) + 1
+          | Netlist.Sconst _ -> ())
+        (node_inputs node);
+      let out = node_output node in
+      prod_cnt.(out) <- prod_cnt.(out) + 1)
+    nodes;
+  let prefix cnt =
+    let off = Array.make (n_classes + 1) 0 in
+    for c = 0 to n_classes - 1 do
+      off.(c + 1) <- off.(c) + cnt.(c)
+    done;
+    off
+  in
+  let cons_off = prefix cons_cnt and prod_off = prefix prod_cnt in
+  let cons_nodes = Array.make cons_off.(n_classes) 0 in
+  let prod_nodes = Array.make prod_off.(n_classes) 0 in
+  let cons_fill = Array.copy cons_off and prod_fill = Array.copy prod_off in
+  Array.iteri
+    (fun id node ->
+      List.iter
+        (function
+          | Netlist.Snet s ->
+              cons_nodes.(cons_fill.(s)) <- id;
+              cons_fill.(s) <- cons_fill.(s) + 1
+          | Netlist.Sconst _ -> ())
+        (node_inputs node);
+      let out = node_output node in
+      prod_nodes.(prod_fill.(out)) <- id;
+      prod_fill.(out) <- prod_fill.(out) + 1)
+    nodes;
+  let producer_count = prod_cnt in
+  (* per-class kind (mux if any member is mux), representative names,
+     per-original declared kind *)
+  let class_kind = Array.make n_classes Etype.KBool in
+  let net_kind = Array.make n Etype.KBool in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      net_kind.(net.Netlist.id) <- net.Netlist.kind;
+      if net.Netlist.kind = Etype.KMux then
+        class_kind.(canon.(net.Netlist.id)) <- Etype.KMux)
+    (Netlist.nets_array nl);
+  let names =
+    Array.map (fun root -> (Netlist.net nl root).Netlist.name) rep
+  in
+  (* registers *)
+  let regs = Array.of_list (Netlist.regs nl) in
+  let reg_in = Array.map (fun (r : Netlist.reg) -> canon.(r.Netlist.rin)) regs in
+  let reg_out =
+    Array.map (fun (r : Netlist.reg) -> canon.(r.Netlist.rout)) regs
+  in
+  let reg_of_out = Array.make n_classes (-1) in
+  Array.iteri (fun i c -> reg_of_out.(c) <- i) reg_out;
+  let regs_of_in = Array.make n_classes [] in
+  Array.iteri (fun i c -> regs_of_in.(c) <- i :: regs_of_in.(c)) reg_in;
+  let reg_out_class = Array.make n_classes false in
+  Array.iter (fun c -> reg_out_class.(c) <- true) reg_out;
+  let input_class = Array.make n_classes false in
+  List.iter
+    (fun id -> input_class.(canon.(id)) <- true)
+    (Check.top_input_nets design);
+  {
+    design;
+    nl;
+    n_nets = n;
+    n_classes;
+    canon;
+    rep;
+    nodes;
+    cons_off;
+    cons_nodes;
+    prod_off;
+    prod_nodes;
+    producer_count;
+    class_kind;
+    net_kind;
+    names;
+    regs;
+    reg_in;
+    reg_out;
+    reg_of_out;
+    regs_of_in;
+    reg_out_class;
+    input_class;
+    clk = canon.(design.Elaborate.clk_net);
+    rset = canon.(design.Elaborate.rset_net);
+  }
+
+let iter_consumers g c f =
+  for k = g.cons_off.(c) to g.cons_off.(c + 1) - 1 do
+    f g.cons_nodes.(k)
+  done
+
+let iter_producers g c f =
+  for k = g.prod_off.(c) to g.prod_off.(c + 1) - 1 do
+    f g.prod_nodes.(k)
+  done
+
+let consumer_count g c = g.cons_off.(c + 1) - g.cons_off.(c)

@@ -1,6 +1,9 @@
-(** The semantics graph of report section 8, in executable form: gates
-    and drivers as producer nodes over canonicalized nets, with consumer
-    lists for event-driven evaluation.  Registers contribute no
+(** The semantics graph of report section 8, in executable, compacted
+    form: gates and drivers as producer nodes over {e dense
+    canonical-net ids} ("classes"), with CSR-style flat consumer and
+    producer lists for event-driven evaluation.  The alias union-find is
+    resolved once at build time — engines index arrays, they never call
+    {!Zeus_sem.Netlist.canonical}.  Registers contribute no
     combinational edges (they are the legal cycle breakers). *)
 
 open Zeus_sem
@@ -8,30 +11,49 @@ open Zeus_sem
 type node =
   | Ngate of {
       op : Netlist.gate_op;
-      inputs : Netlist.src array;
-      output : int;
+      inputs : Netlist.src array;  (** [Snet] ids are class ids *)
+      output : int;  (** class id *)
     }
   | Ndriver of {
       guard : Netlist.src option;
       source : Netlist.src;
-      target : int;
+      target : int;  (** class id *)
     }
 
 type t = {
   design : Elaborate.design;
   nl : Netlist.t;
-  n_nets : int;
+  n_nets : int;  (** original (pre-compaction) net count *)
+  n_classes : int;  (** dense canonical-net count *)
+  canon : int array;  (** original net id -> class id *)
+  rep : int array;  (** class id -> union-find root (original id) *)
   nodes : node array;
-  consumers : int list array; (** net -> nodes consuming it *)
-  producer_count : int array; (** per canonical net *)
-  class_kind : Etype.kind array; (** mux if any class member is mux *)
-  net_kind : Etype.kind array; (** declared kind per original net *)
-  names : string array;
+  cons_off : int array;  (** CSR offsets into [cons_nodes], per class *)
+  cons_nodes : int array;  (** consumer node ids, one per occurrence *)
+  prod_off : int array;  (** CSR offsets into [prod_nodes], per class *)
+  prod_nodes : int array;  (** producer node ids *)
+  producer_count : int array;  (** per class; [= prod_off.(c+1)-prod_off.(c)] *)
+  class_kind : Etype.kind array;  (** mux if any class member is mux *)
+  net_kind : Etype.kind array;  (** declared kind per original net *)
+  names : string array;  (** per class: the representative's name *)
   regs : Netlist.reg array;
+  reg_in : int array;  (** per register: input class *)
+  reg_out : int array;  (** per register: output class *)
+  reg_of_out : int array;  (** class -> register index, or -1 *)
+  regs_of_in : int list array;  (** class -> registers latching from it *)
   reg_out_class : bool array;
-  input_class : bool array; (** testbench inputs *)
+  input_class : bool array;  (** testbench inputs *)
+  clk : int;  (** class of the predefined CLK net *)
+  rset : int;  (** class of the predefined RSET net *)
 }
 
 val build : Elaborate.design -> t
 val node_inputs : node -> Netlist.src list
 val node_output : node -> int
+
+(** [iter_consumers g c f] applies [f] to every node consuming class
+    [c], once per source occurrence. *)
+val iter_consumers : t -> int -> (int -> unit) -> unit
+
+val iter_producers : t -> int -> (int -> unit) -> unit
+val consumer_count : t -> int -> int

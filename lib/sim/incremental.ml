@@ -1,0 +1,39 @@
+(* The cross-cycle incremental simulator.
+
+   Identical semantics to the firing simulator — only the cross-cycle
+   scheduling differs: the first cycle runs the full event-driven
+   evaluation, and every later cycle re-evaluates only the cone of
+   *changed* seeds (pokes that differ from the previous cycle, registers
+   that latched a new value, RANDOM sources), walked in the levelized
+   static order of {!Sched}.  Untouched nets keep their previous-cycle
+   values, so a quiescent cycle costs O(dirty) — zero node visits when
+   nothing changed — instead of O(nets).  On designs with combinational
+   cycles (check errors) every cycle falls back to full evaluation. *)
+
+type t = Sim.t
+
+let create ?seed design = Sim.create ~engine:Sim.Incremental ?seed design
+
+let step = Sim.step
+
+let step_n = Sim.step_n
+
+let reset = Sim.reset
+
+let poke = Sim.poke
+
+let poke_bool = Sim.poke_bool
+
+let poke_int = Sim.poke_int
+
+let peek = Sim.peek
+
+let peek_bit = Sim.peek_bit
+
+let peek_int = Sim.peek_int
+
+let node_visits = Sim.node_visits
+
+let runtime_errors = Sim.runtime_errors
+
+let snapshot = Sim.snapshot

@@ -1,0 +1,22 @@
+(** The cross-cycle incremental simulator: {!Sim} under
+    [Sim.Incremental] scheduling — after a full first cycle, only the
+    cone of changed seeds (pokes differing from the previous cycle,
+    registers that latched a new value, RANDOM sources) is re-evaluated,
+    in the levelized static order of {!Sched}; a quiescent cycle costs
+    zero node visits.  All functions are those of {!Sim}. *)
+
+type t = Sim.t
+
+val create : ?seed:int -> Zeus_sem.Elaborate.design -> t
+val step : t -> unit
+val step_n : t -> int -> unit
+val reset : t -> unit
+val poke : t -> string -> Zeus_base.Logic.t list -> unit
+val poke_bool : t -> string -> bool -> unit
+val poke_int : t -> string -> int -> unit
+val peek : t -> string -> Zeus_base.Logic.t list
+val peek_bit : t -> string -> Zeus_base.Logic.t
+val peek_int : t -> string -> int option
+val node_visits : t -> int
+val runtime_errors : t -> Sim.runtime_error list
+val snapshot : t -> Zeus_base.Logic.t option array

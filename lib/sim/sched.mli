@@ -1,0 +1,21 @@
+(** Levelized static schedule of the semantics graph.
+
+    Levels order a forward pass so that every producer node is visited
+    before the class it drives, and every class before the nodes that
+    consume it: [level(node) = 1 + max level(input classes)] (0 with no
+    net inputs), [level(class) = max level(producer nodes)] (0 with no
+    producers).  The incremental engine propagates dirty cones in level
+    order; the drive-conflict re-propagation pass of the other engines
+    reuses the same order. *)
+
+type t = {
+  node_level : int array;
+      (** per node; -1 when the node sits in (or downstream of) a
+          combinational cycle — only on designs that failed the static
+          checks *)
+  net_level : int array;  (** per class; -1 when cyclic *)
+  max_level : int;
+  acyclic : bool;  (** every node and class received a level *)
+}
+
+val build : Graph.t -> t

@@ -1,28 +1,42 @@
 (* Cycle-based simulation of elaborated Zeus designs.
 
-   Three scheduling engines over the same semantics graph, values and
+   Five scheduling engines over the same semantics graph, values and
    resolution rules (so their results are identical — the paper's claim
    in section 8 that every legal propagation order gives the same result
    is a tested invariant here):
 
-   - [Firing]     the event-driven firing-rule evaluator of section 8:
-                  each node fires at most once, as soon as its output is
-                  determined ("as soon as" semantics, e.g. AND fires 0 on
-                  the first 0 input);
-   - [Fixpoint]   a naive baseline: sweep all nodes in creation order
-                  until nothing changes;
-   - [Relaxation] a switch-level-style baseline: sweep in reverse order
-                  (pessimal information flow), standing in for the
-                  iterate-to-stability relaxation of switch-level
-                  simulators (Bryant 1981) that section 1 compares
-                  against.
+   - [Firing]      the event-driven firing-rule evaluator of section 8:
+                   each node fires at most once, as soon as its output is
+                   determined ("as soon as" semantics, e.g. AND fires 0 on
+                   the first 0 input);
+   - [Firing_strict] an ablation that waits for every input;
+   - [Fixpoint]    a naive baseline: sweep all nodes in creation order
+                   until nothing changes;
+   - [Relaxation]  a switch-level-style baseline: sweep in reverse order
+                   (pessimal information flow), standing in for the
+                   iterate-to-stability relaxation of switch-level
+                   simulators (Bryant 1981) that section 1 compares
+                   against;
+   - [Incremental] cross-cycle event-driven evaluation: between cycles
+                   only the cone of *changed* seeds (pokes that differ
+                   from last cycle, register outputs that latched a new
+                   value, RANDOM sources) is re-evaluated along the
+                   levelized static schedule ({!Sched}); untouched nets
+                   keep their previous-cycle values, so quiescent cycles
+                   cost O(dirty), not O(nets) — the "work proportional
+                   to activity" property section 8 claims for the
+                   firing evaluator, made true across cycles.
 
-   Per cycle, every net is re-evaluated.  Net values:
+   Per cycle, a net's value:
    - a boolean net fires on its first driving value;
    - a multiplex net fires once all its producers have produced, with
      NOINFL overruled by any driving value;
    - two driving values on one net are a runtime error (the "burning
-     transistors" check of section 4.7) and force UNDEF.
+     transistors" check of section 4.7) and force UNDEF.  A conflict
+     discovered after consumers already fired on the first driving value
+     triggers a re-propagation pass (strict re-evaluation of the
+     downstream cone in schedule order), so the final values are
+     schedule-independent in every engine.
 
    Registers latch at the end of the cycle: a NOINFL/unassigned input
    keeps the stored value (section 5.1). *)
@@ -35,12 +49,16 @@ type engine =
   | Firing_strict
   | Fixpoint
   | Relaxation
+  | Incremental
 
 let engine_name = function
   | Firing -> "firing"
   | Firing_strict -> "firing-strict"
   | Fixpoint -> "fixpoint"
   | Relaxation -> "relaxation"
+  | Incremental -> "incremental"
+
+let all_engines = [ Firing; Firing_strict; Fixpoint; Relaxation; Incremental ]
 
 type runtime_error = {
   err_cycle : int;
@@ -51,15 +69,16 @@ type runtime_error = {
 
 type t = {
   g : Graph.t;
+  sched : Sched.t;
   engine : engine;
-  values : Logic.t option array; (* per canonical net, this cycle *)
+  values : Logic.t option array; (* per class, this cycle *)
   produced : Logic.t option array; (* per node *)
-  remaining : int array; (* producers still to fire, per canonical net *)
-  drives_seen : int array; (* driving (non-NOINFL) values seen per net *)
-  mux_value : Logic.t array; (* resolved-so-far value per net *)
+  remaining : int array; (* producers still to fire, per class *)
+  drives_seen : int array; (* driving (non-NOINFL) values seen per class *)
+  mux_value : Logic.t array; (* resolved-so-far value per class *)
   fired : bool array;
   reg_state : Logic.t array; (* per register *)
-  poked : Logic.t option array; (* testbench values, persistent *)
+  poked : Logic.t option array; (* testbench values, persistent; per class *)
   mutable cycle : int;
   mutable rng : Random.State.t;
   mutable errors : runtime_error list;
@@ -67,17 +86,49 @@ type t = {
   mutable trace : (string * Logic.t) list; (* firing order, last cycle *)
   mutable trace_enabled : bool;
   prev_values : Logic.t option array; (* last cycle, for toggle counting *)
-  toggles : int array; (* value changes per canonical net *)
+  toggles : int array; (* value changes per class *)
+  const_nodes : int array; (* nodes with only constant inputs *)
+  random_nodes : int array; (* RANDOM sources, creation order *)
+  (* --- incremental / re-propagation machinery --- *)
+  mutable started : bool; (* a full (cold-start) cycle has run *)
+  mutable epoch : int; (* stamps instead of Array.fill *)
+  node_mark : int array; (* epoch when the node was scheduled *)
+  net_mark : int array; (* epoch when the class was scheduled *)
+  node_buckets : int list array; (* per level; last slot = cyclic overflow *)
+  net_buckets : int list array;
+  mutable any_scheduled : bool;
+  seed_dirty : bool array; (* per class: seed may differ next cycle *)
+  mutable seed_dirty_list : int list;
+  in_conflict : bool array; (* per class: >=2 driving values right now *)
+  mutable conflict_list : int list;
+  reg_dirty : bool array; (* per register: input resolution changed *)
+  mutable reg_dirty_list : int list;
 }
 
 let create ?(engine = Firing) ?(seed = 0x5eed) (design : Elaborate.design) =
   let g = Graph.build design in
-  let n = g.Graph.n_nets in
+  let sched = Sched.build g in
+  let n = g.Graph.n_classes in
+  let n_nodes = Array.length g.Graph.nodes in
+  let const_nodes = ref [] and random_nodes = ref [] in
+  for node = n_nodes - 1 downto 0 do
+    let const_only =
+      List.for_all
+        (function Netlist.Sconst _ -> true | Netlist.Snet _ -> false)
+        (Graph.node_inputs g.Graph.nodes.(node))
+    in
+    if const_only then const_nodes := node :: !const_nodes;
+    match g.Graph.nodes.(node) with
+    | Graph.Ngate { op = Netlist.Grandom; _ } ->
+        random_nodes := node :: !random_nodes
+    | _ -> ()
+  done;
   {
     g;
+    sched;
     engine;
     values = Array.make n None;
-    produced = Array.make (Array.length g.Graph.nodes) None;
+    produced = Array.make n_nodes None;
     remaining = Array.make n 0;
     drives_seen = Array.make n 0;
     mux_value = Array.make n Logic.Noinfl;
@@ -93,6 +144,21 @@ let create ?(engine = Firing) ?(seed = 0x5eed) (design : Elaborate.design) =
     trace_enabled = false;
     prev_values = Array.make n None;
     toggles = Array.make n 0;
+    const_nodes = Array.of_list !const_nodes;
+    random_nodes = Array.of_list !random_nodes;
+    started = false;
+    epoch = 0;
+    node_mark = Array.make n_nodes 0;
+    net_mark = Array.make n 0;
+    node_buckets = Array.make (sched.Sched.max_level + 2) [];
+    net_buckets = Array.make (sched.Sched.max_level + 2) [];
+    any_scheduled = false;
+    seed_dirty = Array.make n false;
+    seed_dirty_list = [];
+    in_conflict = Array.make n false;
+    conflict_list = [];
+    reg_dirty = Array.make (Array.length g.Graph.regs) false;
+    reg_dirty_list = [];
   }
 
 let design t = t.g.Graph.design
@@ -116,11 +182,24 @@ let error t ~code net_id fmt =
         :: t.errors)
     fmt
 
+let conflict_error t net =
+  error t ~code:Diag.Code.drive_conflict net
+    "more than one driving assignment in cycle %d — burning transistors \
+     (value forced to UNDEF)"
+    t.cycle
+
 (* ------------------------------------------------------------------ *)
 (* Poking and peeking                                                   *)
 (* ------------------------------------------------------------------ *)
 
-let canon t id = Netlist.canonical t.g.Graph.nl id
+(* the union-find is resolved at graph-build time: one array read *)
+let canon t id = t.g.Graph.canon.(id)
+
+let mark_seed t c =
+  if not t.seed_dirty.(c) then begin
+    t.seed_dirty.(c) <- true;
+    t.seed_dirty_list <- c :: t.seed_dirty_list
+  end
 
 let resolve_nets t path =
   match Elaborate.resolve_path (design t) path with
@@ -130,7 +209,12 @@ let resolve_nets t path =
 let poke_nets t nets values =
   if List.length nets <> List.length values then
     invalid_arg "Sim.poke: width mismatch";
-  List.iter2 (fun id v -> t.poked.(canon t id) <- Some v) nets values
+  List.iter2
+    (fun id v ->
+      let c = canon t id in
+      t.poked.(c) <- Some v;
+      mark_seed t c)
+    nets values
 
 let poke t path values = poke_nets t (resolve_nets t path) values
 
@@ -152,7 +236,12 @@ let poke_int_lsb t path v =
   poke_nets t nets bits
 
 let unpoke t path =
-  List.iter (fun id -> t.poked.(canon t id) <- None) (resolve_nets t path)
+  List.iter
+    (fun id ->
+      let c = canon t id in
+      t.poked.(c) <- None;
+      mark_seed t c)
+    (resolve_nets t path)
 
 let value_of_net t id =
   let v = Option.value ~default:Logic.Undef t.values.(canon t id) in
@@ -190,6 +279,15 @@ let src_value t = function
 (* guard reads go through the implicit amplifier *)
 let guard_value t s = Option.map Logic.booleanize (src_value t s)
 
+(* EQUAL compares the two operands' concatenated bit lists *)
+let equal_fold vs =
+  let n = List.length vs / 2 in
+  let a = List.filteri (fun i _ -> i < n) vs
+  and b = List.filteri (fun i _ -> i >= n) vs in
+  List.fold_left2
+    (fun acc x y -> Logic.and2 acc (Logic.equal2 x y))
+    Logic.One a b
+
 let eval_gate t op (inputs : Netlist.src array) =
   let vals = Array.to_list (Array.map (src_value t) inputs) in
   (* the Firing_strict ablation waits for every input before firing,
@@ -211,16 +309,7 @@ let eval_gate t op (inputs : Netlist.src array) =
       else Logic.nor_partial vals
   | Netlist.Gxor -> Logic.xor_partial vals
   | Netlist.Gnot -> Logic.not_partial vals
-  | Netlist.Gequal ->
-      Logic.map_all
-        (fun vs ->
-          let n = List.length vs / 2 in
-          let a = List.filteri (fun i _ -> i < n) vs
-          and b = List.filteri (fun i _ -> i >= n) vs in
-          List.fold_left2
-            (fun acc x y -> Logic.and2 acc (Logic.equal2 x y))
-            Logic.One a b)
-        vals
+  | Netlist.Gequal -> Logic.map_all equal_fold vals
   | Netlist.Grandom -> Some (Logic.of_bool (Random.State.bool t.rng))
 
 let eval_driver t guard source =
@@ -239,20 +328,245 @@ let eval_driver t guard source =
           if t.engine = Firing_strict && src_value t source = None then None
           else Some Logic.Undef)
 
+(* Strict re-evaluation with full information, used by the dirty-cone
+   pass: by the section 8 invariant it computes the same value the
+   partial ("as soon as") rules converge to once every input is known. *)
+
+let strict_src t = function
+  | Netlist.Sconst v -> v
+  | Netlist.Snet id -> Option.value ~default:Logic.Undef t.values.(id)
+
+let strict_eval_node t node_id =
+  match t.g.Graph.nodes.(node_id) with
+  | Graph.Ngate { op = Netlist.Grandom; _ } -> (
+      (* RANDOM is re-drawn exactly once per cycle (by the incremental
+         pre-pass or the full engines' const-node sweep); a cone
+         re-evaluation must not advance the rng stream *)
+      match t.produced.(node_id) with
+      | Some v -> v
+      | None -> Logic.of_bool (Random.State.bool t.rng))
+  | Graph.Ngate { op; inputs; _ } -> (
+      let vals = Array.to_list (Array.map (strict_src t) inputs) in
+      match op with
+      | Netlist.Gand -> Logic.and_list vals
+      | Netlist.Gor -> Logic.or_list vals
+      | Netlist.Gnand -> Logic.nand_list vals
+      | Netlist.Gnor -> Logic.nor_list vals
+      | Netlist.Gxor -> Logic.xor_list vals
+      | Netlist.Gnot -> Logic.not_ (List.hd vals)
+      | Netlist.Gequal -> equal_fold vals
+      | Netlist.Grandom -> assert false)
+  | Graph.Ndriver { guard; source; _ } -> (
+      match guard with
+      | None -> strict_src t source
+      | Some gs -> (
+          match Logic.booleanize (strict_src t gs) with
+          | Logic.Zero -> Logic.Noinfl
+          | Logic.One -> strict_src t source
+          | Logic.Undef | Logic.Noinfl -> Logic.Undef))
+
+(* the value a producer-less class reads this cycle *)
+let seed_value t c =
+  let g = t.g in
+  match t.poked.(c) with
+  | Some v -> v
+  | None ->
+      if c = g.Graph.clk then Logic.One
+      else if c = g.Graph.rset then Logic.Zero
+      else
+        let r = g.Graph.reg_of_out.(c) in
+        if r >= 0 then t.reg_state.(r) else Logic.Undef
+
 (* ------------------------------------------------------------------ *)
-(* One clock cycle                                                      *)
+(* Dirty-cone propagation (incremental engine + conflict re-fire)       *)
 (* ------------------------------------------------------------------ *)
 
-let step t =
+let overflow_slot t = Array.length t.node_buckets - 1
+
+let schedule_node t node =
+  if t.node_mark.(node) <> t.epoch then begin
+    t.node_mark.(node) <- t.epoch;
+    let l = t.sched.Sched.node_level.(node) in
+    let b = if l < 0 then overflow_slot t else l in
+    t.node_buckets.(b) <- node :: t.node_buckets.(b);
+    t.any_scheduled <- true
+  end
+
+let schedule_net t net =
+  if t.net_mark.(net) <> t.epoch then begin
+    t.net_mark.(net) <- t.epoch;
+    let l = t.sched.Sched.net_level.(net) in
+    let b = if l < 0 then overflow_slot t else l in
+    t.net_buckets.(b) <- net :: t.net_buckets.(b);
+    t.any_scheduled <- true
+  end
+
+let mark_reg_dirty t i =
+  if not t.reg_dirty.(i) then begin
+    t.reg_dirty.(i) <- true;
+    t.reg_dirty_list <- i :: t.reg_dirty_list
+  end
+
+(* Recompute a class's resolution from its producers' produced values
+   (or, for producer-less classes, its seed).  Returns
+   (value_changed, driven_flag_changed).  [emit_conflict] reports
+   newly-entered conflicts; the incremental engine instead reports every
+   standing conflict once per cycle, after its pass. *)
+let finalize_net t ~emit_conflict net =
+  let g = t.g in
+  let old_value = t.values.(net) in
+  let old_driven = t.drives_seen.(net) > 0 in
+  if g.Graph.producer_count.(net) = 0 then
+    t.values.(net) <- Some (seed_value t net)
+  else begin
+    let drives = ref 0 and dval = ref Logic.Noinfl in
+    Graph.iter_producers g net (fun node ->
+        match t.produced.(node) with
+        | Some v when not (Logic.equal v Logic.Noinfl) ->
+            incr drives;
+            dval := (if !drives = 1 then v else Logic.Undef)
+        | _ -> ());
+    t.drives_seen.(net) <- !drives;
+    t.mux_value.(net) <- !dval;
+    let v =
+      match g.Graph.class_kind.(net) with
+      | Etype.KBool ->
+          if !drives = 0 then Logic.Undef else Logic.booleanize !dval
+      | Etype.KMux -> !dval
+    in
+    t.values.(net) <- Some v;
+    if !drives >= 2 then begin
+      if not t.in_conflict.(net) then begin
+        t.in_conflict.(net) <- true;
+        t.conflict_list <- net :: t.conflict_list;
+        if emit_conflict then conflict_error t net
+      end
+    end
+    else if t.in_conflict.(net) then t.in_conflict.(net) <- false
+    (* stale entries are filtered from conflict_list lazily *)
+  end;
+  (t.values.(net) <> old_value, (t.drives_seen.(net) > 0) <> old_driven)
+
+(* Forward pass over the level buckets: nodes of level l, then classes
+   of level l.  Classes caught in combinational cycles live in the
+   overflow slot and are relaxed to a bounded fixpoint. *)
+let run_pass t ~emit_conflict ~incremental =
+  if t.any_scheduled then begin
+    t.any_scheduled <- false;
+    let g = t.g in
+    let nb = t.node_buckets and sb = t.net_buckets in
+    let levels = overflow_slot t in
+    let process_node node =
+      t.node_visits <- t.node_visits + 1;
+      let v = strict_eval_node t node in
+      if t.produced.(node) <> Some v then begin
+        t.produced.(node) <- Some v;
+        schedule_net t (Graph.node_output g.Graph.nodes.(node))
+      end
+    in
+    let process_net net =
+      let changed, driven_changed = finalize_net t ~emit_conflict net in
+      if changed then begin
+        if incremental then begin
+          (match (t.prev_values.(net), t.values.(net)) with
+          | Some a, Some b when not (Logic.equal a b) ->
+              t.toggles.(net) <- t.toggles.(net) + 1
+          | _ -> ());
+          t.prev_values.(net) <- t.values.(net);
+          if t.trace_enabled then
+            match t.values.(net) with
+            | Some v -> t.trace <- (g.Graph.names.(net), v) :: t.trace
+            | None -> ()
+        end;
+        Graph.iter_consumers g net (fun node -> schedule_node t node)
+      end;
+      if incremental && (changed || driven_changed) then
+        List.iter (mark_reg_dirty t) g.Graph.regs_of_in.(net)
+    in
+    for l = 0 to levels - 1 do
+      (match nb.(l) with
+      | [] -> ()
+      | ns ->
+          nb.(l) <- [];
+          List.iter process_node (List.rev ns));
+      match sb.(l) with
+      | [] -> ()
+      | ss ->
+          sb.(l) <- [];
+          List.iter process_net (List.rev ss)
+    done;
+    (* overflow: combinational cycles (designs with check errors only) —
+       iterate to a bounded fixpoint; unmark before processing so items
+       can be re-scheduled by later changes *)
+    if nb.(levels) <> [] || sb.(levels) <> [] then begin
+      let budget = ref 1000 in
+      let continue_ = ref true in
+      while !continue_ && !budget > 0 do
+        continue_ := false;
+        decr budget;
+        (match sb.(levels) with
+        | [] -> ()
+        | ss ->
+            sb.(levels) <- [];
+            continue_ := true;
+            List.iter
+              (fun net ->
+                t.net_mark.(net) <- t.epoch - 1;
+                process_net net)
+              (List.rev ss));
+        match nb.(levels) with
+        | [] -> ()
+        | ns ->
+            nb.(levels) <- [];
+            continue_ := true;
+            List.iter
+              (fun node ->
+                t.node_mark.(node) <- t.epoch - 1;
+                process_node node)
+              (List.rev ns)
+      done
+    end
+  end
+
+(* end-of-cycle register latch: "If in is not changed during a clock
+   cycle, it keeps its value" (section 5.1) — a register input whose
+   drivers all produced NOINFL was not changed, even though a boolean
+   *read* of that net sees UNDEF; hence we look at the driving count,
+   not the fired value. *)
+let latch_reg t i =
+  let g = t.g in
+  let c = g.Graph.reg_in.(i) in
+  let old = t.reg_state.(i) in
+  (if g.Graph.producer_count.(c) = 0 then (
+     (* producer-less: a testbench input or a floating pin *)
+     match t.values.(c) with
+     | None | Some Logic.Noinfl -> ()
+     | Some v -> t.reg_state.(i) <- Logic.booleanize v)
+   else if t.drives_seen.(c) > 0 then
+     t.reg_state.(i) <- Logic.booleanize t.mux_value.(c));
+  (* a changed stored value is a changed seed for the next cycle *)
+  if not (Logic.equal old t.reg_state.(i)) then mark_seed t g.Graph.reg_out.(i)
+
+(* ------------------------------------------------------------------ *)
+(* One full clock cycle (all engines; Incremental cold start)           *)
+(* ------------------------------------------------------------------ *)
+
+let event_driven = function
+  | Firing | Firing_strict | Incremental -> true
+  | Fixpoint | Relaxation -> false
+
+let step_full t =
   let g = t.g in
   let n_nodes = Array.length g.Graph.nodes in
-  let n_nets = Array.length t.values in
-  Array.fill t.values 0 n_nets None;
+  let n = g.Graph.n_classes in
+  Array.fill t.values 0 n None;
   Array.fill t.produced 0 n_nodes None;
-  Array.fill t.drives_seen 0 n_nets 0;
-  Array.fill t.mux_value 0 n_nets Logic.Noinfl;
-  Array.fill t.fired 0 n_nets false;
-  Array.blit g.Graph.producer_count 0 t.remaining 0 n_nets;
+  Array.fill t.drives_seen 0 n 0;
+  Array.fill t.mux_value 0 n Logic.Noinfl;
+  Array.fill t.fired 0 n false;
+  Array.blit g.Graph.producer_count 0 t.remaining 0 n;
+  List.iter (fun c -> t.in_conflict.(c) <- false) t.conflict_list;
+  t.conflict_list <- [];
   t.trace <- [];
   let worklist = Queue.create () in
   let fire net v =
@@ -260,8 +574,8 @@ let step t =
       t.fired.(net) <- true;
       t.values.(net) <- Some v;
       if t.trace_enabled then t.trace <- (g.Graph.names.(net), v) :: t.trace;
-      if t.engine = Firing || t.engine = Firing_strict then
-        List.iter (fun nid -> Queue.add nid worklist) g.Graph.consumers.(net)
+      if event_driven t.engine then
+        Graph.iter_consumers g net (fun nid -> Queue.add nid worklist)
     end
   in
   (* Incremental resolution: [mux_value] keeps the single driving value
@@ -275,11 +589,12 @@ let step t =
       if not (Logic.equal v Logic.Noinfl) then begin
         t.drives_seen.(net) <- t.drives_seen.(net) + 1;
         if t.drives_seen.(net) = 2 then begin
-          error t ~code:Diag.Code.drive_conflict net
-            "more than one driving assignment in cycle %d — burning \
-             transistors (value forced to UNDEF)"
-            t.cycle;
-          t.values.(net) <- Some Logic.Undef
+          conflict_error t net;
+          t.values.(net) <- Some Logic.Undef;
+          if not t.in_conflict.(net) then begin
+            t.in_conflict.(net) <- true;
+            t.conflict_list <- net :: t.conflict_list
+          end
         end;
         t.mux_value.(net) <-
           (if t.drives_seen.(net) > 1 then Logic.Undef else v)
@@ -313,44 +628,16 @@ let step t =
     end
     else false
   in
-  (* seed producer-less nets: testbench inputs, register outputs, CLK,
-     RSET, and undriven nets (which read UNDEF) *)
-  let reg_out_value = Hashtbl.create 16 in
-  Array.iteri
-    (fun i (r : Netlist.reg) ->
-      Hashtbl.replace reg_out_value
-        (Netlist.canonical g.Graph.nl r.Netlist.rout)
-        t.reg_state.(i))
-    g.Graph.regs;
-  let clk = Netlist.canonical g.Graph.nl g.Graph.design.Elaborate.clk_net in
-  let rset = Netlist.canonical g.Graph.nl g.Graph.design.Elaborate.rset_net in
-  for net = 0 to n_nets - 1 do
-    if Netlist.canonical g.Graph.nl net = net && t.remaining.(net) = 0 then begin
-      let v =
-        match t.poked.(net) with
-        | Some v -> v
-        | None ->
-            if net = clk then Logic.One
-            else if net = rset then Logic.Zero
-            else (
-              match Hashtbl.find_opt reg_out_value net with
-              | Some v -> v
-              | None -> Logic.Undef)
-      in
-      fire net v
-    end
+  (* seed producer-less classes: testbench inputs, register outputs, CLK,
+     RSET, and undriven nets (which read UNDEF) — register outputs via
+     the create-time class -> register map, not a per-cycle hashtable *)
+  for net = 0 to n - 1 do
+    if t.remaining.(net) = 0 then fire net (seed_value t net)
   done;
   (match t.engine with
-  | Firing | Firing_strict ->
+  | Firing | Firing_strict | Incremental ->
       (* nodes with only constant inputs fire without stimulus *)
-      for node_id = 0 to n_nodes - 1 do
-        let const_only =
-          List.for_all
-            (function Netlist.Sconst _ -> true | Netlist.Snet _ -> false)
-            (Graph.node_inputs g.Graph.nodes.(node_id))
-        in
-        if const_only then ignore (try_node node_id)
-      done;
+      Array.iter (fun node_id -> ignore (try_node node_id)) t.const_nodes;
       let rec drain () =
         match Queue.take_opt worklist with
         | Some node_id ->
@@ -380,19 +667,15 @@ let step t =
   let rec mop_up budget =
     if budget > 0 then begin
       let stuck = ref false in
-      for net = 0 to n_nets - 1 do
-        if
-          Netlist.canonical g.Graph.nl net = net
-          && (not t.fired.(net))
-          && g.Graph.consumers.(net) <> []
-        then begin
+      for net = 0 to n - 1 do
+        if (not t.fired.(net)) && Graph.consumer_count g net > 0 then begin
           stuck := true;
           fire net Logic.Undef
         end
       done;
       if !stuck then begin
         (match t.engine with
-        | Firing | Firing_strict ->
+        | Firing | Firing_strict | Incremental ->
             let rec drain () =
               match Queue.take_opt worklist with
               | Some node_id ->
@@ -401,11 +684,21 @@ let step t =
               | None -> ()
             in
             drain ()
-        | Fixpoint | Relaxation ->
+        | Fixpoint ->
             let changed = ref true in
             while !changed do
               changed := false;
               for node_id = 0 to n_nodes - 1 do
+                if try_node node_id then changed := true
+              done
+            done
+        | Relaxation ->
+            (* sweep against creation order here too: the fallback must
+               keep the pessimal information flow the engine models *)
+            let changed = ref true in
+            while !changed do
+              changed := false;
+              for node_id = n_nodes - 1 downto 0 do
                 if try_node node_id then changed := true
               done
             done);
@@ -414,34 +707,86 @@ let step t =
     end
   in
   mop_up 1000;
-  (* Latch the registers.  "If in is not changed during a clock cycle,
-     it keeps its value" (section 5.1): a register input whose drivers
-     all produced NOINFL was not changed — even though a boolean *read*
-     of that net sees UNDEF.  Hence we look at the driving count, not the
-     fired value. *)
-  Array.iteri
-    (fun i (r : Netlist.reg) ->
-      let c = Netlist.canonical g.Graph.nl r.Netlist.rin in
-      if g.Graph.producer_count.(c) = 0 then (
-        (* producer-less: a testbench input or a floating pin *)
-        match t.values.(c) with
-        | None | Some Logic.Noinfl -> ()
-        | Some v -> t.reg_state.(i) <- Logic.booleanize v)
-      else if t.drives_seen.(c) > 0 then
-        t.reg_state.(i) <- Logic.booleanize t.mux_value.(c))
-    g.Graph.regs;
+  (* Conflict re-propagation: a second driving value forces a net to
+     UNDEF *after* consumers may already have fired on the first value,
+     which would make downstream values depend on the engine's schedule.
+     Strictly re-evaluate the downstream cone of every conflicted net so
+     the cycle's final values are schedule-independent. *)
+  if t.conflict_list <> [] then begin
+    t.epoch <- t.epoch + 1;
+    List.iter
+      (fun c -> Graph.iter_consumers g c (fun node -> schedule_node t node))
+      t.conflict_list;
+    run_pass t ~emit_conflict:true ~incremental:false
+  end;
+  (* latch the registers *)
+  for i = 0 to Array.length g.Graph.regs - 1 do
+    latch_reg t i
+  done;
   (* switching-activity accounting: count value changes between
      consecutive cycles (the classic dynamic-power proxy) *)
-  for net = 0 to n_nets - 1 do
-    if Netlist.canonical g.Graph.nl net = net then begin
-      (match (t.prev_values.(net), t.values.(net)) with
-      | Some a, Some b when not (Logic.equal a b) ->
-          t.toggles.(net) <- t.toggles.(net) + 1
-      | _ -> ());
-      t.prev_values.(net) <- t.values.(net)
-    end
+  for net = 0 to n - 1 do
+    (match (t.prev_values.(net), t.values.(net)) with
+    | Some a, Some b when not (Logic.equal a b) ->
+        t.toggles.(net) <- t.toggles.(net) + 1
+    | _ -> ());
+    t.prev_values.(net) <- t.values.(net)
   done;
+  t.started <- true;
   t.cycle <- t.cycle + 1
+
+(* ------------------------------------------------------------------ *)
+(* One incremental clock cycle                                          *)
+(* ------------------------------------------------------------------ *)
+
+let step_incremental t =
+  let g = t.g in
+  t.epoch <- t.epoch + 1;
+  t.trace <- [];
+  (* RANDOM sources re-draw every cycle, in node-creation order — the
+     same order, and hence the same rng stream, as the firing engines *)
+  Array.iter
+    (fun node ->
+      t.node_visits <- t.node_visits + 1;
+      let v = Logic.of_bool (Random.State.bool t.rng) in
+      if t.produced.(node) <> Some v then begin
+        t.produced.(node) <- Some v;
+        schedule_net t (Graph.node_output g.Graph.nodes.(node))
+      end)
+    t.random_nodes;
+  (* seeds that may have changed: pokes/unpokes since last cycle and
+     register outputs that latched a new value *)
+  let dirty = t.seed_dirty_list in
+  t.seed_dirty_list <- [];
+  List.iter
+    (fun c ->
+      t.seed_dirty.(c) <- false;
+      if
+        g.Graph.producer_count.(c) = 0
+        && t.values.(c) <> Some (seed_value t c)
+      then schedule_net t c)
+    dirty;
+  run_pass t ~emit_conflict:false ~incremental:true;
+  (* the runtime multiple-drive check re-reports a standing conflict
+     every cycle, exactly like the re-firing engines *)
+  if t.conflict_list <> [] then begin
+    t.conflict_list <- List.filter (fun c -> t.in_conflict.(c)) t.conflict_list;
+    List.iter (fun c -> conflict_error t c) t.conflict_list
+  end;
+  (* latch only the registers whose input resolution changed *)
+  let regs = t.reg_dirty_list in
+  t.reg_dirty_list <- [];
+  List.iter
+    (fun i ->
+      t.reg_dirty.(i) <- false;
+      latch_reg t i)
+    regs;
+  t.cycle <- t.cycle + 1
+
+let step t =
+  match t.engine with
+  | Incremental when t.started && t.sched.Sched.acyclic -> step_incremental t
+  | _ -> step_full t
 
 let step_n t n =
   for _ = 1 to n do
@@ -460,11 +805,16 @@ let run_until t ~max pred =
   in
   go 0
 
-(* pulse RSET for one cycle *)
+(* pulse RSET for one cycle, restoring whatever the testbench had poked
+   (or not poked) on RSET before the pulse *)
 let reset t =
-  t.poked.(canon t (design t).Elaborate.rset_net) <- Some Logic.One;
+  let rset = t.g.Graph.rset in
+  let saved = t.poked.(rset) in
+  t.poked.(rset) <- Some Logic.One;
+  mark_seed t rset;
   step t;
-  t.poked.(canon t (design t).Elaborate.rset_net) <- Some Logic.Zero
+  t.poked.(rset) <- saved;
+  mark_seed t rset
 
 (* switching activity: nets with the most value changes so far,
    descending; gate temporaries (names containing '#') are skipped *)
@@ -480,10 +830,12 @@ let activity ?(top = 10) t =
 
 let total_toggles t = Array.fold_left ( + ) 0 t.toggles
 
-(* snapshot of all net values by canonical id — used by tests asserting
-   engine equivalence *)
+(* snapshot of all net values, indexed by original net id with the value
+   stored at each alias class's union-find root — the representation
+   predates compaction, and the engine-equivalence tests compare these
+   arrays structurally *)
 let snapshot t =
-  Array.mapi
-    (fun i v ->
-      if Netlist.canonical t.g.Graph.nl i = i then v else None)
-    t.values
+  let g = t.g in
+  Array.init g.Graph.n_nets (fun i ->
+      let c = g.Graph.canon.(i) in
+      if g.Graph.rep.(c) = i then t.values.(c) else None)

@@ -18,7 +18,7 @@
 open Zeus_base
 open Zeus_sem
 
-(** The three scheduling engines compute identical values (a tested
+(** The five scheduling engines compute identical values (a tested
     invariant — section 8's "all orders lead to the same result"); they
     differ only in how much work they do. *)
 type engine =
@@ -30,8 +30,18 @@ type engine =
   | Relaxation
       (** sweep against creation order — a stand-in for switch-level
           iterate-to-stability relaxation (Bryant 1981) *)
+  | Incremental
+      (** cross-cycle event-driven: after a full first cycle, only the
+          cone of changed seeds (pokes that differ from the previous
+          cycle, registers that latched a new value, RANDOM sources) is
+          re-evaluated, in levelized schedule order ({!Sched});
+          quiescent cycles cost O(dirty).  With {!set_trace} on, the
+          per-cycle trace lists only the nets whose value {e changed}. *)
 
 val engine_name : engine -> string
+
+(** All engines, in declaration order — for tests and CLI enumeration. *)
+val all_engines : engine list
 
 type runtime_error = {
   err_cycle : int;

@@ -29,9 +29,11 @@ module Optimize = Zeus_sem.Optimize
 module Lint = Zeus_sem.Lint
 module Layout_ir = Zeus_sem.Layout_ir
 module Graph = Zeus_sim.Graph
+module Sched = Zeus_sim.Sched
 module Sim = Zeus_sim.Sim
 module Fixpoint = Zeus_sim.Fixpoint
 module Switchlevel = Zeus_sim.Switchlevel
+module Incremental = Zeus_sim.Incremental
 module Vcd = Zeus_sim.Vcd
 module Wave = Zeus_sim.Wave
 module Explain = Zeus_sim.Explain

@@ -152,7 +152,7 @@ let prop_random_circuits =
                       (Sim.engine_name engine) Logic.pp expected Logic.pp got
                       src
                   else true)
-                [ Sim.Firing; Sim.Fixpoint; Sim.Relaxation ])
+                Sim.all_engines)
             vectors)
 
 (* pretty-print round trip on random programs *)

@@ -1,6 +1,7 @@
 (* The firing simulator of section 8: gate evaluation, registers,
    multiplex resolution, runtime checks, the evaluation-sequence trace,
-   and the equivalence of all three scheduling engines. *)
+   and the equivalence of all five scheduling engines (including the
+   cross-cycle incremental engine). *)
 
 open Zeus
 
@@ -273,8 +274,9 @@ let engines_agree_on src ~inputs ~cycles =
     Sim.step_n sim cycles;
     Sim.snapshot sim
   in
-  let a = run Sim.Firing and b = run Sim.Fixpoint and c = run Sim.Relaxation in
-  a = b && b = c
+  match List.map run Sim.all_engines with
+  | [] -> true
+  | a :: rest -> List.for_all (( = ) a) rest
 
 let test_engines_agree_adder () =
   Alcotest.(check bool) "adder" true
@@ -307,13 +309,14 @@ let test_engines_agree_corpus () =
             Sim.snapshot sim)
           stimulus
       in
-      let f = run Sim.Firing
-      and fs = run Sim.Firing_strict
-      and fx = run Sim.Fixpoint
-      and rx = run Sim.Relaxation in
-      Alcotest.(check bool) (name ^ ": firing = strict") true (f = fs);
-      Alcotest.(check bool) (name ^ ": firing = fixpoint") true (f = fx);
-      Alcotest.(check bool) (name ^ ": fixpoint = relaxation") true (fx = rx))
+      let f = run Sim.Firing in
+      List.iter
+        (fun engine ->
+          Alcotest.(check bool)
+            (name ^ ": firing = " ^ Sim.engine_name engine)
+            true
+            (run engine = f))
+        [ Sim.Firing_strict; Sim.Fixpoint; Sim.Relaxation; Sim.Incremental ])
     Corpus.all_named
 
 let test_engines_agree_blackjack () =
@@ -335,9 +338,193 @@ let prop_engines_agree_random_inputs =
         Sim.step sim;
         (Sim.peek_int_lsb sim "adder.s", Sim.peek_bit sim "adder.cout")
       in
-      let r1 = run Sim.Firing and r2 = run Sim.Fixpoint and r3 = run Sim.Relaxation in
-      r1 = r2 && r2 = r3
+      let r1 = run Sim.Firing in
+      List.for_all (fun e -> run e = r1) Sim.all_engines
       && fst r1 = Some ((a + b + if cin then 1 else 0) land 255))
+
+(* Drive-conflict re-propagation: the section 8 example one gate deeper.
+   The first driving value (x=1) lets NOT and AND consumers fire before
+   the second driver turns m into UNDEF — without the re-propagation
+   pass, z and w would keep the stale values of the first drive, and
+   differ between engines. *)
+let test_conflict_repropagates_downstream () =
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN b,c,x,y: boolean; OUT z,w: boolean) IS SIGNAL \
+       m: multiplex; BEGIN IF b THEN m := x END; IF c THEN m := y END; z := \
+       NOT(m); w := AND(z,z) END; SIGNAL s: t;"
+  in
+  List.iter
+    (fun engine ->
+      let sim = Sim.create ~engine d in
+      Sim.poke_bool sim "s.b" true;
+      Sim.poke_bool sim "s.c" true;
+      Sim.poke_bool sim "s.x" true;
+      Sim.poke_bool sim "s.y" false;
+      Sim.step sim;
+      let n = Sim.engine_name engine in
+      Alcotest.check logic (n ^ ": z re-fired") Logic.Undef
+        (Sim.peek_bit sim "s.z");
+      Alcotest.check logic (n ^ ": w re-fired") Logic.Undef
+        (Sim.peek_bit sim "s.w");
+      Alcotest.(check bool) (n ^ ": conflict reported") true
+        (Sim.runtime_errors sim <> []))
+    Sim.all_engines
+
+(* Standing conflicts are re-reported every cycle by every engine,
+   including the incremental one (which otherwise does no work on a
+   quiescent cycle). *)
+let test_conflict_reported_each_cycle () =
+  let d = compile mux_design in
+  List.iter
+    (fun engine ->
+      let sim = Sim.create ~engine d in
+      Sim.poke_bool sim "s.b" true;
+      Sim.poke_bool sim "s.c" true;
+      Sim.poke_bool sim "s.x" true;
+      Sim.poke_bool sim "s.y" false;
+      Sim.step_n sim 3;
+      Alcotest.(check int)
+        (Sim.engine_name engine ^ ": one error per cycle")
+        3
+        (List.length (Sim.runtime_errors sim)))
+    Sim.all_engines
+
+(* The Relaxation mop-up fallback must sweep against creation order like
+   the engine's main loop: on a design with a combinational cycle (a
+   check error, but still simulatable) the outputs fed by the forced
+   nets fire in reverse creation order — and all engines still agree. *)
+let test_mop_up_respects_relaxation_order () =
+  let src =
+    "TYPE t = COMPONENT (IN a: boolean; OUT z1,z2: boolean) IS SIGNAL p,q: \
+     boolean; BEGIN p := AND(a,q); q := OR(p,a); z1 := p; z2 := q END; \
+     SIGNAL s: t;"
+  in
+  let d =
+    match Zeus.elaborate_with_diags src with
+    | Some d, _ -> d
+    | None, diags -> Alcotest.failf "parse: %a" Fmt.(list Diag.pp) diags
+  in
+  let trace engine =
+    let sim = Sim.create ~engine d in
+    Sim.set_trace sim true;
+    (* a stays UNDEF so the p/q cycle never resolves and mop-up runs *)
+    Sim.step sim;
+    (List.map fst (Sim.trace_last_cycle sim), Sim.snapshot sim)
+  in
+  let idx names n =
+    match List.find_index (( = ) n) names with
+    | Some i -> i
+    | None -> Alcotest.failf "%s did not fire" n
+  in
+  let fx_names, fx_snap = trace Sim.Fixpoint in
+  let rx_names, rx_snap = trace Sim.Relaxation in
+  Alcotest.(check bool) "fixpoint mop-up fires z1 before z2" true
+    (idx fx_names "s.z1" < idx fx_names "s.z2");
+  Alcotest.(check bool) "relaxation mop-up fires z2 before z1" true
+    (idx rx_names "s.z2" < idx rx_names "s.z1");
+  Alcotest.(check bool) "cyclic design: engines still agree" true
+    (fx_snap = rx_snap)
+
+(* Sim.reset must not clobber the testbench's poke of RSET: holding the
+   design in reset by poking RSET=1 survives a reset pulse. *)
+let test_reset_restores_rset_poke () =
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN a: boolean; OUT q: boolean) IS SIGNAL r: REG; \
+       BEGIN IF RSET THEN r.in := 0 ELSE r.in := XOR(r.out,a) END; q := \
+       r.out END; SIGNAL s: t;"
+  in
+  List.iter
+    (fun engine ->
+      let n = Sim.engine_name engine in
+      let sim = Sim.create ~engine d in
+      Sim.poke_bool sim "s.a" true;
+      Sim.poke sim "RSET" [ Logic.One ];
+      Sim.step_n sim 2;
+      Alcotest.check logic (n ^ ": held in reset") Logic.Zero
+        (Sim.peek_bit sim "s.q");
+      Sim.reset sim;
+      (* the explicit One poke is restored, not overwritten with Zero *)
+      Sim.step_n sim 2;
+      Alcotest.check logic (n ^ ": still held after reset pulse") Logic.Zero
+        (Sim.peek_bit sim "s.q");
+      Sim.unpoke sim "RSET";
+      Sim.step_n sim 2;
+      Alcotest.check logic (n ^ ": toggles once released") Logic.One
+        (Sim.peek_bit sim "s.q"))
+    Sim.all_engines
+
+(* The incremental engine does zero work on fully quiescent cycles and
+   still reports the right values. *)
+let test_incremental_quiescent_zero_visits () =
+  let d = compile (Corpus.adder_n 16) in
+  let sim = Sim.create ~engine:Sim.Incremental d in
+  Sim.poke_int_lsb sim "adder.a" 1234;
+  Sim.poke_int_lsb sim "adder.b" 4321;
+  Sim.poke_bool sim "adder.cin" false;
+  Sim.step sim;
+  (* cold start: full evaluation *)
+  Sim.step sim;
+  (* first warm cycle: consumes the stale seed marks *)
+  let v = Sim.node_visits sim in
+  Sim.step_n sim 5;
+  Alcotest.(check int) "quiescent cycles visit no nodes" v
+    (Sim.node_visits sim);
+  Alcotest.(check (option int)) "sum still right" (Some 5555)
+    (Sim.peek_int_lsb sim "adder.s");
+  (* a one-bit change wakes only a small cone *)
+  Sim.poke_bool sim "adder.cin" true;
+  Sim.step sim;
+  Alcotest.(check (option int)) "incremental update" (Some 5556)
+    (Sim.peek_int_lsb sim "adder.s")
+
+(* The new qcheck property of this PR: snapshots are identical across
+   all five engines on random multi-cycle poke sequences over designs
+   that include drive conflicts, registers and aliasing — with UNDEF in
+   the stimulus alphabet, and runtime-error counts agreeing too. *)
+let prop_snapshot_identity =
+  let pool =
+    [|
+      mux_design;
+      reg_design;
+      Corpus.section8_example;
+      Corpus.adder_n 4;
+      Corpus.blackjack;
+    |]
+  in
+  QCheck.Test.make ~count:40 ~name:"snapshot_identity_all_engines"
+    QCheck.(
+      pair
+        (int_bound (Array.length pool - 1))
+        (list_of_size Gen.(1 -- 6) (list_of_size Gen.(0 -- 8) (int_bound 2))))
+    (fun (di, stimulus) ->
+      let d = compile pool.(di) in
+      let inputs = Check.top_input_nets d in
+      let lv = function
+        | 0 -> Logic.Zero
+        | 1 -> Logic.One
+        | _ -> Logic.Undef
+      in
+      let run engine =
+        let sim = Sim.create ~engine d in
+        let snaps =
+          List.map
+            (fun vec ->
+              List.iteri
+                (fun i id ->
+                  match List.nth_opt vec (i mod max 1 (List.length vec)) with
+                  | Some v -> Sim.poke_nets sim [ id ] [ lv v ]
+                  | None -> ())
+                inputs;
+              Sim.step sim;
+              Sim.snapshot sim)
+            stimulus
+        in
+        (snaps, List.length (Sim.runtime_errors sim))
+      in
+      let r0 = run Sim.Firing in
+      List.for_all (fun e -> run e = r0) Sim.all_engines)
 
 (* firing does strictly less work than the sweeping baselines (E8) *)
 let test_firing_fewer_visits () =
@@ -422,7 +609,27 @@ let () =
           Alcotest.test_case "blackjack" `Quick test_engines_agree_blackjack;
           Alcotest.test_case "whole corpus" `Quick test_engines_agree_corpus;
           QCheck_alcotest.to_alcotest prop_engines_agree_random_inputs;
+          QCheck_alcotest.to_alcotest prop_snapshot_identity;
           Alcotest.test_case "work comparison" `Quick test_firing_fewer_visits;
+        ] );
+      ( "conflict-repropagation",
+        [
+          Alcotest.test_case "downstream re-fire" `Quick
+            test_conflict_repropagates_downstream;
+          Alcotest.test_case "reported each cycle" `Quick
+            test_conflict_reported_each_cycle;
+        ] );
+      ( "scheduling-fixes",
+        [
+          Alcotest.test_case "relaxation mop-up order" `Quick
+            test_mop_up_respects_relaxation_order;
+          Alcotest.test_case "reset restores RSET poke" `Quick
+            test_reset_restores_rset_poke;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "quiescent cycles are free" `Quick
+            test_incremental_quiescent_zero_visits;
         ] );
       ("vcd", [ Alcotest.test_case "format" `Quick test_vcd' ]);
     ]

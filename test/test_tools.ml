@@ -203,12 +203,52 @@ let test_graph_shape () =
     (List.length (Netlist.gates d.Elaborate.netlist)
     + List.length (Netlist.drivers d.Elaborate.netlist))
     (Array.length g.Graph.nodes);
-  (* every node's output is a valid canonical net *)
+  (* every node's output is a valid class id *)
   Array.iter
     (fun node ->
       let out = Graph.node_output node in
       Alcotest.(check bool) "output in range" true
-        (out >= 0 && out < g.Graph.n_nets))
+        (out >= 0 && out < g.Graph.n_classes))
+    g.Graph.nodes;
+  (* compaction invariants: canon maps into the dense range, rep inverts
+     it, and the CSR producer table matches producer_count *)
+  Alcotest.(check bool) "classes <= nets" true (g.Graph.n_classes <= g.Graph.n_nets);
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "canon in range" true
+        (c >= 0 && c < g.Graph.n_classes))
+    g.Graph.canon;
+  Array.iteri
+    (fun c root ->
+      Alcotest.(check int) "rep is a section of canon" c g.Graph.canon.(root))
+    g.Graph.rep;
+  for c = 0 to g.Graph.n_classes - 1 do
+    Alcotest.(check int) "producer_count matches CSR"
+      (g.Graph.prod_off.(c + 1) - g.Graph.prod_off.(c))
+      g.Graph.producer_count.(c)
+  done;
+  (* consumer lists point back at nodes that really read the class *)
+  for c = 0 to g.Graph.n_classes - 1 do
+    Graph.iter_consumers g c (fun node ->
+        let reads =
+          List.exists
+            (function Netlist.Snet s -> s = c | Netlist.Sconst _ -> false)
+            (Graph.node_inputs g.Graph.nodes.(node))
+        in
+        Alcotest.(check bool) "consumer reads class" true reads)
+  done;
+  (* the static schedule levelizes an acyclic design completely *)
+  let sched = Sched.build g in
+  Alcotest.(check bool) "adder schedule is acyclic" true sched.Sched.acyclic;
+  Array.iteri
+    (fun i node ->
+      List.iter
+        (function
+          | Netlist.Snet s ->
+              Alcotest.(check bool) "net level < node level" true
+                (sched.Sched.net_level.(s) < sched.Sched.node_level.(i))
+          | Netlist.Sconst _ -> ())
+        (Graph.node_inputs node))
     g.Graph.nodes
 
 let () =
