@@ -497,6 +497,86 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Semantics graph in Graphviz format.")
     Term.(const run $ file_arg)
 
+let fuzz_cmd =
+  let count =
+    Arg.(
+      value
+      & opt int 100
+      & info [ "n"; "count" ] ~docv:"N" ~doc:"Number of random programs to test.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Base seed.  Case $(i,i) of a run is derived from (SEED, $(i,i)) \
+             alone, so a reported failure replays with the same seed and a \
+             count that covers its index.")
+  in
+  let corpus_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "corpus-dir" ] ~docv:"DIR"
+          ~doc:
+            "Write shrunk reproducers (repro_<seed>_<index>.zeus plus a .pokes \
+             script) into $(docv).")
+  in
+  let shrink_budget =
+    Arg.(
+      value
+      & opt int 600
+      & info [ "shrink-budget" ] ~docv:"N"
+          ~doc:"Maximum oracle evaluations spent shrinking one failure.")
+  in
+  let comb_only =
+    Arg.(
+      value & flag
+      & info [ "comb" ]
+          ~doc:
+            "Restrict to the combinational subset (no registers, chains, \
+             multiplex drivers or RSET).")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output.")
+  in
+  let run count seed corpus_dir shrink_budget comb_only quiet =
+    let profile = if comb_only then Zeus.Gen.comb else Zeus.Gen.full in
+    let log = if quiet then ignore else fun s -> Fmt.epr "%s@." s in
+    let summary =
+      Zeus.Fuzz.run ~profile ~shrink_budget ~log ~count ~seed ~corpus_dir ()
+    in
+    match summary.Zeus.Fuzz.failures with
+    | [] ->
+        if not quiet then
+          Fmt.pr "fuzz: %d cases, 0 divergences (seed %d)@."
+            summary.Zeus.Fuzz.tested seed;
+        0
+    | failures ->
+        List.iter
+          (fun (f : Zeus.Fuzz.failure) ->
+            Fmt.pr "case %d (seed %d): %a@." f.Zeus.Fuzz.index f.Zeus.Fuzz.seed
+              Zeus.Oracle.pp_divergence f.Zeus.Fuzz.divergence;
+            (match f.Zeus.Fuzz.zeus_file with
+            | Some path -> Fmt.pr "  repro: %s@." path
+            | None ->
+                Fmt.pr "%s"
+                  (Zeus.Gen.print_case (f.Zeus.Fuzz.prog, f.Zeus.Fuzz.stim))))
+          failures;
+        Fmt.pr "fuzz: %d cases, %d divergences (seed %d)@."
+          summary.Zeus.Fuzz.tested (List.length failures) seed;
+        1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: random full-language programs checked against \
+          the oracle matrix (pretty-print round trip, re-elaboration, all \
+          simulator engines, lint vs runtime conflicts), with shrinking.")
+    Term.(
+      const run $ count $ seed $ corpus_dir $ shrink_budget $ comb_only $ quiet)
+
 let corpus_cmd =
   let name_arg =
     Arg.(
@@ -533,5 +613,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; pp_cmd; stats_cmd; tree_cmd; lint_cmd; sim_cmd; layout_cmd;
-            place_cmd; optimize_cmd; dot_cmd; corpus_cmd;
+            place_cmd; optimize_cmd; dot_cmd; fuzz_cmd; corpus_cmd;
           ]))

@@ -1,0 +1,50 @@
+(** The [zeusc fuzz] driver: deterministic differential fuzzing with
+    greedy IR-level shrinking.
+
+    Case [i] of a run with base seed [s] is generated from
+    [Random.State.make [| 0x5eed; s; i |]], so any failure replays from
+    the (seed, index) pair alone — both are embedded in the repro file
+    header. *)
+
+type failure = {
+  seed : int;
+  index : int;
+  divergence : Oracle.divergence;
+  prog : Gen_prog.prog;  (** already shrunk *)
+  stim : Gen_prog.stimulus;
+  zeus_file : string option;  (** repro path, when a corpus dir was given *)
+}
+
+type summary = {
+  tested : int;
+  failures : failure list;
+}
+
+val gen_case :
+  profile:Gen_prog.profile -> seed:int -> index:int ->
+  Gen_prog.prog * Gen_prog.stimulus
+
+val first_divergence :
+  Gen_prog.prog * Gen_prog.stimulus -> Oracle.divergence option
+
+val shrink :
+  budget:int ->
+  oracle:string ->
+  (Gen_prog.prog * Gen_prog.stimulus) * Oracle.divergence ->
+  (Gen_prog.prog * Gen_prog.stimulus) * Oracle.divergence
+(** Greedy loop over {!Gen_prog.shrink_steps}: keep any one-step
+    reduction that still fails the same oracle row; [budget] bounds the
+    total number of oracle evaluations. *)
+
+val run :
+  ?profile:Gen_prog.profile ->
+  ?shrink_budget:int ->
+  ?log:(string -> unit) ->
+  count:int ->
+  seed:int ->
+  corpus_dir:string option ->
+  unit ->
+  summary
+(** Run [count] cases; shrink each failure and, when [corpus_dir] is
+    given, write [repro_<seed>_<index>.zeus] (divergence + replay
+    instructions in the header comment) and a matching [.pokes] file. *)

@@ -1,0 +1,795 @@
+(* Full-language random Zeus program generator.
+
+   Programs are generated as a small typed IR and rendered to concrete
+   Zeus source text, so that every fuzz case exercises the lexer, the
+   parser, the elaborator and the static checks before it ever reaches a
+   simulator.  The IR covers, by construction legally:
+
+   - plain boolean wires assigned once, unconditionally;
+   - multiplex nets with guarded drivers in three deliberate flavours
+     that straddle the lint prover's verdict classes: [If_else] and
+     [Complement] are provably exclusive (lint: safe), [Overlap] uses
+     two independent guards (lint: conflict or needs-runtime-check,
+     runtime conflicts possible and expected);
+   - registers with optionally guarded inputs, readable through
+     [r.out] from anywhere (REG is the legal cycle breaker, so forward
+     references are allowed);
+   - ARRAY OF boolean signals filled by a FOR replication over the
+     loop variable (exercises constant evaluation of index arithmetic);
+   - a nested subcomponent instance and a function-component call;
+   - a parameterized recursive component ([fzchain(n)]) whose body
+     chooses between WHEN and OTHERWISE branches — a register delay
+     line of its depth.
+
+   Combinational-only programs (profile {!comb}) additionally have a
+   direct OCaml-side reference evaluator ({!eval_comb}), the oracle of
+   the original whole-pipeline fuzzer.  Everything else is checked
+   differentially (see {!Oracle}).
+
+   Shrinking works on the IR, not the text: {!shrink_steps} proposes
+   stimulus reductions, whole-item removals (references into a removed
+   item are patched to a constant), structural reductions (array
+   length, chain depth) and one-step expression simplifications.  A
+   greedy loop over these steps converges to a small reproducing
+   program (see {!Fuzz.shrink}). *)
+
+open Zeus_base
+
+module G = struct
+  include QCheck.Gen
+
+  (* qcheck-core exposes bind only as an operator *)
+  let bind g f = g >>= f
+end
+
+type gate =
+  | Gand
+  | Gor
+  | Gnand
+  | Gnor
+  | Gxor
+  | Gequal
+  | Gnot
+
+let gate_name = function
+  | Gand -> "AND"
+  | Gor -> "OR"
+  | Gnand -> "NAND"
+  | Gnor -> "NOR"
+  | Gxor -> "XOR"
+  | Gequal -> "EQUAL"
+  | Gnot -> "NOT"
+
+type bexp =
+  | Ref of string (* any readable signal path, relative to the top body *)
+  | Lit of bool
+  | Gate of gate * bexp list
+  | Call of bexp * bexp (* fzfn(a,b): a function component, RESULT XOR *)
+
+type mux_style =
+  | If_else (* IF g THEN m := a ELSE m := b END            — lint: safe *)
+  | Complement (* IF g THEN m := a END; IF NOT g THEN m := b — lint: safe *)
+  | Overlap (* IF g1 THEN m := a END; IF g2 THEN m := b   — may conflict *)
+
+type item =
+  | Wire of { name : string; exp : bexp }
+  | Mux of {
+      name : string;
+      style : mux_style;
+      g1 : bexp;
+      g2 : bexp; (* ignored by If_else and Complement *)
+      a : bexp;
+      b : bexp;
+    }
+  | Reg of { name : string; guard : bexp option; next : bexp }
+  | Arr of { name : string; len : int; init : bexp; step : gate; extra : bexp }
+      (* a[1] := init; FOR i := 2 TO len DO a[i] := step(a[i-1],extra) END *)
+  | Inst of { name : string; a : bexp; b : bexp } (* fzsub: z := NAND(p,q) *)
+  | Chain of { name : string; depth : int; input : bexp }
+      (* fzchain(depth): a recursive register delay line *)
+
+type prog = {
+  n_in : int;
+  items : item list;
+  outs : string list; (* observed readables, wired to OUT ports o0.. *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Readables                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let item_readables = function
+  | Wire { name; _ } | Mux { name; _ } -> [ name ]
+  | Reg { name; _ } -> [ name ^ ".out" ]
+  | Arr { name; len; _ } ->
+      List.init len (fun k -> Printf.sprintf "%s[%d]" name (k + 1))
+  | Inst { name; _ } -> [ name ^ ".z" ]
+  | Chain { name; _ } -> [ name ^ ".q" ]
+
+(* Instance-port readables: the unused-port rule of section 4.1 demands
+   that they are read somewhere once a sibling port is assigned. *)
+let item_port_readables = function
+  | Reg { name; _ } -> [ name ^ ".out" ]
+  | Inst { name; _ } -> [ name ^ ".z" ]
+  | Chain { name; _ } -> [ name ^ ".q" ]
+  | Wire _ | Mux _ | Arr _ -> []
+
+let input_names p = List.init p.n_in (fun i -> Printf.sprintf "x%d" i)
+
+let rec exp_refs acc = function
+  | Ref n -> n :: acc
+  | Lit _ -> acc
+  | Gate (_, args) -> List.fold_left exp_refs acc args
+  | Call (a, b) -> exp_refs (exp_refs acc a) b
+
+let item_exps = function
+  | Wire { exp; _ } -> [ exp ]
+  | Mux { g1; g2; style; a; b; _ } ->
+      (match style with Overlap -> [ g1; g2 ] | _ -> [ g1 ]) @ [ a; b ]
+  | Reg { guard; next; _ } -> Option.to_list guard @ [ next ]
+  | Arr { len; init; extra; _ } ->
+      (* the FOR step (and with it [extra]) is only rendered for len > 1 *)
+      if len > 1 then [ init; extra ] else [ init ]
+  | Inst { a; b; _ } -> [ a; b ]
+  | Chain { input; _ } -> [ input ]
+
+let referenced p =
+  let refs =
+    List.fold_left
+      (fun acc it -> List.fold_left exp_refs acc (item_exps it))
+      [] p.items
+  in
+  List.fold_left (fun acc o -> o :: acc) refs p.outs
+
+(* OUT ports, in declaration order: the chosen observations plus every
+   instance-port readable nobody referenced (closing the port legally
+   and making it observable to the testbench at the same time). *)
+let resolved_outs p =
+  let seen = referenced p in
+  let auto =
+    List.concat_map
+      (fun it ->
+        List.filter (fun r -> not (List.mem r seen)) (item_port_readables it))
+      p.items
+  in
+  match p.outs @ auto with [] -> [ "x0" ] | outs -> outs
+
+let out_ports p =
+  List.mapi (fun k r -> (Printf.sprintf "o%d" k, r)) (resolved_outs p)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering to Zeus source                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec render_exp = function
+  | Ref n -> n
+  | Lit b -> if b then "1" else "0"
+  | Gate (Gnot, [ (Gate (Gnot, _) as e) ]) ->
+      (* NOT's operand must be a primary; group a nested NOT *)
+      "NOT (" ^ render_exp e ^ ")"
+  | Gate (Gnot, [ e ]) -> "NOT " ^ render_exp e
+  | Gate (g, args) ->
+      Printf.sprintf "%s(%s)" (gate_name g)
+        (String.concat "," (List.map render_exp args))
+  | Call (a, b) -> Printf.sprintf "fzfn(%s,%s)" (render_exp a) (render_exp b)
+
+let uses_call p =
+  let rec go = function
+    | Call _ -> true
+    | Gate (_, args) -> List.exists go args
+    | Ref _ | Lit _ -> false
+  in
+  List.exists (fun it -> List.exists go (item_exps it)) p.items
+
+let uses_inst p = List.exists (function Inst _ -> true | _ -> false) p.items
+let uses_chain p = List.exists (function Chain _ -> true | _ -> false) p.items
+
+let sub_decl =
+  "fzsub = COMPONENT (IN p,q: boolean; OUT z: boolean) IS\n\
+   BEGIN\n\
+  \  z := NAND(p,q)\n\
+   END;\n"
+
+let fn_decl =
+  "fzfn = COMPONENT (IN p,q: boolean) : boolean IS\n\
+   BEGIN\n\
+  \  RESULT XOR(p,q)\n\
+   END;\n"
+
+let chain_decl =
+  "fzchain(n) = COMPONENT (IN d: boolean; OUT q: boolean) IS\n\
+   SIGNAL rest: fzchain(n-1);\n\
+  \       r: REG;\n\
+   BEGIN\n\
+  \  WHEN n > 1 THEN\n\
+  \    r.in := d;\n\
+  \    rest.d := r.out;\n\
+  \    q := rest.q\n\
+  \  OTHERWISE\n\
+  \    r.in := d;\n\
+  \    q := r.out\n\
+  \  END\n\
+   END;\n"
+
+let decl_of_item = function
+  | Wire { name; _ } -> Printf.sprintf "%s: boolean" name
+  | Mux { name; _ } -> Printf.sprintf "%s: multiplex" name
+  | Reg { name; _ } -> Printf.sprintf "%s: REG" name
+  | Arr { name; len; _ } ->
+      Printf.sprintf "%s: ARRAY[1..%d] OF boolean" name len
+  | Inst { name; _ } -> Printf.sprintf "%s: fzsub" name
+  | Chain { name; depth; _ } -> Printf.sprintf "%s: fzchain(%d)" name depth
+
+let stmts_of_item buf = function
+  | Wire { name; exp } ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s := %s;\n" name (render_exp exp))
+  | Mux { name; style; g1; g2; a; b } -> (
+      let e1 = render_exp a and e2 = render_exp b in
+      match style with
+      | If_else ->
+          Buffer.add_string buf
+            (Printf.sprintf "  IF %s THEN %s := %s ELSE %s := %s END;\n"
+               (render_exp g1) name e1 name e2)
+      | Complement ->
+          Buffer.add_string buf
+            (Printf.sprintf "  IF %s THEN %s := %s END;\n" (render_exp g1)
+               name e1);
+          Buffer.add_string buf
+            (Printf.sprintf "  IF %s THEN %s := %s END;\n"
+               (render_exp (Gate (Gnot, [ g1 ]))) name e2)
+      | Overlap ->
+          Buffer.add_string buf
+            (Printf.sprintf "  IF %s THEN %s := %s END;\n" (render_exp g1)
+               name e1);
+          Buffer.add_string buf
+            (Printf.sprintf "  IF %s THEN %s := %s END;\n" (render_exp g2)
+               name e2))
+  | Reg { name; guard; next } -> (
+      match guard with
+      | None ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %s.in := %s;\n" name (render_exp next))
+      | Some g ->
+          Buffer.add_string buf
+            (Printf.sprintf "  IF %s THEN %s.in := %s END;\n" (render_exp g)
+               name (render_exp next)))
+  | Arr { name; len; init; step; extra } ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s[1] := %s;\n" name (render_exp init));
+      if len > 1 then
+        Buffer.add_string buf
+          (Printf.sprintf "  FOR i := 2 TO %d DO %s[i] := %s(%s[i-1],%s) END;\n"
+             len name (gate_name step) name (render_exp extra))
+  | Inst { name; a; b } ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s.p := %s;\n" name (render_exp a));
+      Buffer.add_string buf
+        (Printf.sprintf "  %s.q := %s;\n" name (render_exp b))
+  | Chain { name; input; _ } ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s.d := %s;\n" name (render_exp input))
+
+let to_zeus p =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "TYPE ";
+  let first = ref true in
+  let add_decl d =
+    if not !first then Buffer.add_char buf '\n';
+    first := false;
+    Buffer.add_string buf d
+  in
+  if uses_inst p then add_decl sub_decl;
+  if uses_call p then add_decl fn_decl;
+  if uses_chain p then add_decl chain_decl;
+  if not !first then Buffer.add_char buf '\n';
+  let ins = String.concat "," (input_names p) in
+  let outs = out_ports p in
+  Buffer.add_string buf
+    (Printf.sprintf "fzt = COMPONENT (IN %s: boolean; OUT %s: boolean) IS\n"
+       ins
+       (String.concat "," (List.map fst outs)));
+  (match p.items with
+  | [] -> ()
+  | items ->
+      Buffer.add_string buf "SIGNAL ";
+      List.iteri
+        (fun i it ->
+          if i > 0 then Buffer.add_string buf ";\n       ";
+          Buffer.add_string buf (decl_of_item it))
+        items;
+      Buffer.add_string buf ";\n");
+  Buffer.add_string buf "BEGIN\n";
+  List.iter (stmts_of_item buf) p.items;
+  List.iter
+    (fun (port, src) ->
+      Buffer.add_string buf (Printf.sprintf "  %s := %s;\n" port src))
+    outs;
+  (* strip the trailing ';' of the last statement: statement lists are
+     ';'-separated, and an empty body is legal *)
+  let s = Buffer.contents buf in
+  let s =
+    match String.rindex_opt s ';' with
+    | Some i when i = String.length s - 2 ->
+        String.sub s 0 i ^ "\n"
+    | _ -> s
+  in
+  s ^ "END;\nSIGNAL s: fzt;\n"
+
+(* ------------------------------------------------------------------ *)
+(* Direct evaluation of the combinational subset                        *)
+(* ------------------------------------------------------------------ *)
+
+let gate_eval g vs =
+  match (g, vs) with
+  | Gand, _ -> Logic.and_list vs
+  | Gor, _ -> Logic.or_list vs
+  | Gnand, _ -> Logic.nand_list vs
+  | Gnor, _ -> Logic.nor_list vs
+  | Gxor, _ -> Logic.xor_list vs
+  | Gequal, [ a; b ] -> Logic.equal2 a b
+  | Gnot, [ a ] -> Logic.not_ a
+  | (Gequal | Gnot), _ -> invalid_arg "Gen_prog.gate_eval: arity"
+
+let is_combinational p =
+  List.for_all
+    (function Wire _ | Arr _ | Inst _ -> true | Mux _ | Reg _ | Chain _ -> false)
+    p.items
+  && not (List.mem "RSET" (referenced p))
+
+(* [eval_comb p inputs] evaluates a combinational program directly over
+   the four-valued domain and returns the value of each OUT port.  This
+   is the independent oracle for the combinational subset: it never
+   touches the parser, elaborator or any simulator engine. *)
+let eval_comb p (inputs : Logic.t array) : (string * Logic.t) list =
+  if not (is_combinational p) then
+    invalid_arg "Gen_prog.eval_comb: program is not combinational";
+  let env : (string, Logic.t) Hashtbl.t = Hashtbl.create 64 in
+  let value n = match Hashtbl.find_opt env n with Some v -> v | None -> Logic.Undef in
+  let rec eval = function
+    | Ref n -> value n
+    | Lit b -> Logic.of_bool b
+    | Gate (g, args) -> gate_eval g (List.map eval args)
+    | Call (a, b) -> Logic.xor2 (eval a) (eval b)
+  in
+  Array.iteri (fun i v -> Hashtbl.replace env (Printf.sprintf "x%d" i) v) inputs;
+  List.iter
+    (function
+      | Wire { name; exp } -> Hashtbl.replace env name (eval exp)
+      | Arr { name; len; init; step; extra } ->
+          let prev = ref (eval init) in
+          Hashtbl.replace env (name ^ "[1]") !prev;
+          for k = 2 to len do
+            let v = gate_eval step [ !prev; eval extra ] in
+            Hashtbl.replace env (Printf.sprintf "%s[%d]" name k) v;
+            prev := v
+          done
+      | Inst { name; a; b } ->
+          Hashtbl.replace env (name ^ ".z") (Logic.nand_list [ eval a; eval b ])
+      | Mux _ | Reg _ | Chain _ -> assert false)
+    p.items;
+  List.map (fun (port, src) -> (port, value src)) (out_ports p)
+
+(* ------------------------------------------------------------------ *)
+(* Stimulus                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* One cycle of pokes: hierarchical path -> value, applied before the
+   step.  Inputs not poked in a cycle keep their previous value (UNDEF
+   initially) — exactly what drives the incremental engine's dirty-seed
+   logic.  RSET may be poked like any other input. *)
+type stimulus = (string * Logic.t) list list
+
+let poke_paths p = List.map (fun n -> "s." ^ n) (input_names p)
+
+let stimulus_to_string (stim : stimulus) =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun c pokes ->
+      Buffer.add_string buf (Printf.sprintf "cycle %d:" (c + 1));
+      List.iter
+        (fun (path, v) ->
+          Buffer.add_string buf
+            (Printf.sprintf " %s=%c" path (Logic.to_char v)))
+        pokes;
+      Buffer.add_char buf '\n')
+    stim;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Feature switches.  [comb] generates only directly-evaluable
+   programs; [full] exercises the whole language. *)
+type profile = {
+  seq : bool; (* registers and recursive chains *)
+  mux : bool; (* guarded multiplex drivers *)
+  inst : bool; (* subcomponent instances *)
+  call : bool; (* function-component calls *)
+  rset : bool; (* RSET in guards and stimulus *)
+  undef : bool; (* UNDEF in the stimulus alphabet *)
+}
+
+let full = { seq = true; mux = true; inst = true; call = true; rset = true; undef = true }
+let comb = { seq = false; mux = false; inst = true; call = true; rset = false; undef = true }
+
+let gen_exp ~env ~call ~depth =
+  let leaf =
+    G.frequency
+      [ (8, G.map (fun n -> Ref n) (G.oneofl env)); (1, G.map (fun b -> Lit b) G.bool) ]
+  in
+  let rec go d =
+    if d <= 0 then leaf
+    else
+      G.frequency
+        ([ (2, leaf); (5, go_gate (d - 1)) ]
+        @ if call then [ (1, go_call (d - 1)) ] else [])
+  and go_gate d =
+    G.bind (G.oneofl [ Gand; Gor; Gnand; Gnor; Gxor; Gequal; Gnot ]) (fun g ->
+        match g with
+        | Gnot -> G.map (fun e -> Gate (Gnot, [ e ])) (go d)
+        | Gequal -> G.map2 (fun a b -> Gate (Gequal, [ a; b ])) (go d) (go d)
+        | _ ->
+            G.bind (G.int_range 2 3) (fun ar ->
+                G.map (fun l -> Gate (g, l)) (G.list_repeat ar (go d))))
+  and go_call d = G.map2 (fun a b -> Call (a, b)) (go d) (go d)
+  in
+  go depth
+
+(* Skeletons: pick item kinds, names and structure first, so that the
+   delayed readables (register and chain outputs) are known before any
+   expression references them. *)
+type skel =
+  | Kwire
+  | Kmux of mux_style
+  | Kreg
+  | Karr of int
+  | Kinst
+  | Kchain of int
+
+let gen_skel profile =
+  G.frequency
+    ([ (4, G.return Kwire);
+       (2, G.map (fun n -> Karr n) (G.int_range 1 4));
+     ]
+    @ (if profile.mux then
+         [
+           ( 3,
+             G.map
+               (fun s -> Kmux s)
+               (G.oneofl [ If_else; Complement; Overlap; Overlap ]) );
+         ]
+       else [])
+    @ (if profile.seq then
+         [ (3, G.return Kreg); (1, G.map (fun d -> Kchain d) (G.int_range 1 4)) ]
+       else [])
+    @ if profile.inst then [ (1, G.return Kinst) ] else [])
+
+let name_skels skels =
+  let counters = Hashtbl.create 8 in
+  let fresh prefix =
+    let n = Option.value ~default:0 (Hashtbl.find_opt counters prefix) in
+    Hashtbl.replace counters prefix (n + 1);
+    Printf.sprintf "%s%d" prefix n
+  in
+  List.map
+    (fun k ->
+      match k with
+      | Kwire -> (k, fresh "w")
+      | Kmux _ -> (k, fresh "m")
+      | Kreg -> (k, fresh "r")
+      | Karr _ -> (k, fresh "a")
+      | Kinst -> (k, fresh "i")
+      | Kchain _ -> (k, fresh "c"))
+    skels
+
+let gen ?(profile = full) () : prog G.t =
+  G.bind (G.int_range 1 5) (fun n_in ->
+      G.bind (G.int_range 1 10) (fun n_items ->
+          G.bind (G.list_repeat n_items (gen_skel profile)) (fun skels ->
+              let named = name_skels skels in
+              let inputs = List.init n_in (fun i -> Printf.sprintf "x%d" i) in
+              let delayed =
+                List.concat_map
+                  (fun (k, name) ->
+                    match k with
+                    | Kreg -> [ name ^ ".out" ]
+                    | Kchain _ -> [ name ^ ".q" ]
+                    | _ -> [])
+                  named
+              in
+              let exp env = gen_exp ~env ~call:profile.call ~depth:2 in
+              let guard env =
+                gen_exp
+                  ~env:(if profile.rset then "RSET" :: env else env)
+                  ~call:profile.call ~depth:1
+              in
+              let rec fill acc avail = function
+                | [] -> G.return (List.rev acc)
+                | (k, name) :: rest ->
+                    let env = inputs @ delayed @ avail in
+                    let item =
+                      match k with
+                      | Kwire -> G.map (fun exp -> Wire { name; exp }) (exp env)
+                      | Kmux style ->
+                          G.bind (guard env) (fun g1 ->
+                              G.bind (guard env) (fun g2 ->
+                                  G.map2
+                                    (fun a b -> Mux { name; style; g1; g2; a; b })
+                                    (exp env) (exp env)))
+                      | Kreg ->
+                          G.bind
+                            (G.frequency
+                               [ (1, G.return None);
+                                 (2, G.map Option.some (guard env)) ])
+                            (fun g ->
+                              G.map (fun next -> Reg { name; guard = g; next })
+                                (exp env))
+                      | Karr len ->
+                          G.bind (exp env) (fun init ->
+                              G.bind
+                                (G.oneofl [ Gand; Gor; Gnand; Gnor; Gxor; Gequal ])
+                                (fun step ->
+                                  G.map
+                                    (fun extra ->
+                                      Arr { name; len; init; step; extra })
+                                    (exp env)))
+                      | Kinst ->
+                          G.map2 (fun a b -> Inst { name; a; b }) (exp env)
+                            (exp env)
+                      | Kchain depth ->
+                          G.map (fun input -> Chain { name; depth; input })
+                            (exp env)
+                    in
+                    G.bind item (fun it ->
+                        let avail' =
+                          avail
+                          @ List.filter
+                              (fun r -> not (List.mem r delayed))
+                              (item_readables it)
+                        in
+                        fill (it :: acc) avail' rest)
+              in
+              G.bind (fill [] [] named) (fun items ->
+                  let readables =
+                    inputs @ List.concat_map item_readables items
+                  in
+                  G.bind (G.int_range 1 3) (fun n_outs ->
+                      G.map
+                        (fun outs -> { n_in; items; outs })
+                        (G.list_repeat n_outs (G.oneofl readables)))))))
+
+let gen_cycle ~profile paths =
+  let value =
+    G.frequency
+      ([ (4, G.return Logic.Zero); (4, G.return Logic.One) ]
+      @ if profile.undef then [ (2, G.return Logic.Undef) ] else [])
+  in
+  let one path =
+    G.bind (G.int_range 0 9) (fun k ->
+        if k < 3 then G.return None
+        else G.map (fun v -> Some (path, v)) value)
+  in
+  G.bind
+    (G.flatten_l (List.map one paths))
+    (fun pokes ->
+      let pokes = List.filter_map Fun.id pokes in
+      if not profile.rset then G.return pokes
+      else
+        G.bind (G.int_range 0 9) (fun k ->
+            if k = 0 then G.return (("RSET", Logic.One) :: pokes)
+            else if k = 1 then G.return (("RSET", Logic.Zero) :: pokes)
+            else G.return pokes))
+
+let gen_stimulus ?(profile = full) ?(max_cycles = 8) p : stimulus G.t =
+  G.bind (G.int_range 1 max_cycles) (fun n ->
+      G.list_repeat n (gen_cycle ~profile (poke_paths p)))
+
+(* ------------------------------------------------------------------ *)
+(* Shrinking                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let rec map_exp f = function
+  | Ref n -> f (Ref n)
+  | Lit b -> f (Lit b)
+  | Gate (g, args) -> f (Gate (g, List.map (map_exp f) args))
+  | Call (a, b) -> f (Call (map_exp f a, map_exp f b))
+
+let map_item_exps f = function
+  | Wire w -> Wire { w with exp = f w.exp }
+  | Mux m -> Mux { m with g1 = f m.g1; g2 = f m.g2; a = f m.a; b = f m.b }
+  | Reg r -> Reg { r with guard = Option.map f r.guard; next = f r.next }
+  | Arr a -> Arr { a with init = f a.init; extra = f a.extra }
+  | Inst i -> Inst { i with a = f i.a; b = f i.b }
+  | Chain c -> Chain { c with input = f c.input }
+
+let patch_item removed =
+  map_item_exps
+    (map_exp (function Ref n when List.mem n removed -> Lit false | e -> e))
+
+(* remove item [idx]; dangling references collapse to constant 0 *)
+let remove_item p idx =
+  let removed = item_readables (List.nth p.items idx) in
+  let items =
+    List.filteri (fun i _ -> i <> idx) p.items |> List.map (patch_item removed)
+  in
+  let outs = List.filter (fun o -> not (List.mem o removed)) p.outs in
+  { p with items; outs }
+
+let shrink_exp = function
+  | Gate (_, args) -> args @ [ Lit false ]
+  | Call (a, b) -> [ a; b; Lit false ]
+  | Ref _ -> [ Lit false ]
+  | Lit true -> [ Lit false ]
+  | Lit false -> []
+
+let item_variants it =
+  let with_exps mk exps shrink_at =
+    List.concat_map
+      (fun i ->
+        List.map
+          (fun e' -> mk (List.mapi (fun j e -> if i = j then e' else e) exps))
+          (shrink_exp (List.nth exps i)))
+      shrink_at
+  in
+  match it with
+  | Wire { name; exp } ->
+      List.map (fun e -> Wire { name; exp = e }) (shrink_exp exp)
+  | Mux ({ g1; g2; a; b; _ } as m) ->
+      (match m.style with
+      | Overlap -> [ Mux { m with style = If_else } ]
+      | _ -> [])
+      @ with_exps
+          (function
+            | [ g1'; g2'; a'; b' ] -> Mux { m with g1 = g1'; g2 = g2'; a = a'; b = b' }
+            | _ -> assert false)
+          [ g1; g2; a; b ] [ 0; 1; 2; 3 ]
+  | Reg ({ guard = Some g; _ } as r) ->
+      Reg { r with guard = None }
+      :: List.map (fun g' -> Reg { r with guard = Some g' }) (shrink_exp g)
+      @ List.map (fun n' -> Reg { r with next = n' }) (shrink_exp r.next)
+  | Reg ({ guard = None; _ } as r) ->
+      List.map (fun n' -> Reg { r with next = n' }) (shrink_exp r.next)
+  | Arr ({ init; extra; _ } as a) ->
+      List.map (fun i' -> Arr { a with init = i' }) (shrink_exp init)
+      @ List.map (fun e' -> Arr { a with extra = e' }) (shrink_exp extra)
+  | Inst ({ a; b; _ } as i) ->
+      List.map (fun a' -> Inst { i with a = a' }) (shrink_exp a)
+      @ List.map (fun b' -> Inst { i with b = b' }) (shrink_exp b)
+  | Chain ({ input; depth; _ } as c) ->
+      (if depth > 1 then [ Chain { c with depth = depth - 1 } ] else [])
+      @ List.map (fun e' -> Chain { c with input = e' }) (shrink_exp input)
+
+(* shorten an array in place: references to the dropped elements
+   collapse to constant 0 *)
+let shorten_arr p idx =
+  match List.nth p.items idx with
+  | Arr ({ len; name; _ } as a) when len > 1 ->
+      let removed = [ Printf.sprintf "%s[%d]" name len ] in
+      let items =
+        List.mapi
+          (fun i it -> if i = idx then Arr { a with len = len - 1 } else it)
+          p.items
+        |> List.map (patch_item removed)
+      in
+      let outs = List.filter (fun o -> not (List.mem o removed)) p.outs in
+      Some { p with items; outs }
+  | _ -> None
+
+(* drop testbench input [k] (which nothing references): higher inputs
+   shift down one slot — in the items, the observations, and the poke
+   paths *)
+let drop_input ((p, stim) : prog * stimulus) k =
+  let rename n =
+    if String.length n > 1 && n.[0] = 'x' then
+      match int_of_string_opt (String.sub n 1 (String.length n - 1)) with
+      | Some j when j > k -> Printf.sprintf "x%d" (j - 1)
+      | _ -> n
+    else n
+  in
+  let items =
+    List.map
+      (map_item_exps (map_exp (function Ref n -> Ref (rename n) | e -> e)))
+      p.items
+  in
+  let outs = List.map rename p.outs in
+  let dropped = Printf.sprintf "s.x%d" k in
+  let stim =
+    List.map
+      (List.filter_map (fun (path, v) ->
+           if path = dropped then None
+           else if String.length path > 2 && String.sub path 0 2 = "s." then
+             Some ("s." ^ rename (String.sub path 2 (String.length path - 2)), v)
+           else Some (path, v)))
+      stim
+  in
+  ({ n_in = p.n_in - 1; items; outs }, stim)
+
+(* All one-step reductions of a failing case, most aggressive first.
+   The greedy loop in {!Fuzz.shrink} (and QCheck's shrinker in the
+   tests) keeps a reduction whenever the failure persists. *)
+let shrink_steps ((p, stim) : prog * stimulus) : (prog * stimulus) list =
+  let n = List.length p.items in
+  let drop_cycle =
+    List.init (List.length stim) (fun k ->
+        (p, List.filteri (fun i _ -> i <> k) stim))
+  in
+  let drop_item = List.init n (fun k -> (remove_item p k, stim)) in
+  let drop_inputs =
+    if p.n_in <= 1 then []
+    else
+      let used = referenced p in
+      List.filter_map
+        (fun k ->
+          if List.mem (Printf.sprintf "x%d" k) used then None
+          else Some (drop_input (p, stim) k))
+        (List.init p.n_in Fun.id)
+  in
+  let shorten =
+    List.filter_map (fun k -> Option.map (fun p' -> (p', stim)) (shorten_arr p k))
+      (List.init n Fun.id)
+  in
+  let drop_out =
+    if List.length p.outs > 1 then
+      List.init (List.length p.outs) (fun k ->
+          ({ p with outs = List.filteri (fun i _ -> i <> k) p.outs }, stim))
+    else []
+  in
+  let variants =
+    List.concat (List.init n (fun k ->
+        List.map
+          (fun it' ->
+            ({ p with items = List.mapi (fun i it -> if i = k then it' else it) p.items },
+             stim))
+          (item_variants (List.nth p.items k))))
+  in
+  let drop_poke =
+    List.concat (List.mapi
+        (fun c pokes ->
+          List.init (List.length pokes) (fun j ->
+              ( p,
+                List.mapi
+                  (fun c' ps -> if c' = c then List.filteri (fun i _ -> i <> j) ps else ps)
+                  stim )))
+        stim)
+  in
+  let simplify_poke =
+    List.concat (List.mapi
+        (fun c pokes ->
+          List.filter_map
+            (fun (j, (path, v)) ->
+              let v' =
+                match v with
+                | Logic.Undef -> Some Logic.Zero
+                | Logic.One -> Some Logic.Zero
+                | _ -> None
+              in
+              Option.map
+                (fun v' ->
+                  ( p,
+                    List.mapi
+                      (fun c' ps ->
+                        if c' = c then
+                          List.mapi (fun i pk -> if i = j then (path, v') else pk) ps
+                        else ps)
+                      stim ))
+                v')
+            (List.mapi (fun j pk -> (j, pk)) pokes))
+        stim)
+  in
+  drop_cycle @ drop_item @ drop_inputs @ shorten @ drop_out @ variants
+  @ drop_poke @ simplify_poke
+
+let shrink_iter case yield = List.iter yield (shrink_steps case)
+
+let print_case (p, stim) = to_zeus p ^ "---- pokes ----\n" ^ stimulus_to_string stim
+
+(* A ready-made QCheck arbitrary: program + stimulus, with IR-level
+   shrinking and a printer that shows the Zeus source and poke script. *)
+let arbitrary ?(profile = full) ?(max_cycles = 8) () =
+  let g =
+    G.bind (gen ~profile ()) (fun p ->
+        G.map (fun stim -> (p, stim)) (gen_stimulus ~profile ~max_cycles p))
+  in
+  QCheck.make ~print:print_case ~shrink:shrink_iter g

@@ -1,0 +1,127 @@
+(** Full-language random Zeus program generator with IR-level
+    shrinking.
+
+    Programs are generated as a typed IR and rendered to concrete Zeus
+    source, covering — by construction legally — boolean wires, guarded
+    multiplex drivers that deliberately straddle the lint prover's
+    safe/conflict/needs-runtime-check classes, registers (with forward
+    references through [r.out]), FOR-replicated arrays, nested
+    subcomponent instances, function-component calls, and a
+    parameterized recursive component with WHEN/OTHERWISE.
+
+    Combinational programs additionally have a direct reference
+    evaluator ({!eval_comb}) that never touches the compilation
+    pipeline — the independent oracle of the original fuzzer.  The rest
+    is checked differentially by {!Oracle}. *)
+
+open Zeus_base
+
+type gate =
+  | Gand
+  | Gor
+  | Gnand
+  | Gnor
+  | Gxor
+  | Gequal
+  | Gnot
+
+type bexp =
+  | Ref of string  (** readable signal path relative to the top body *)
+  | Lit of bool
+  | Gate of gate * bexp list
+  | Call of bexp * bexp  (** [fzfn(a,b)], a function component (XOR) *)
+
+(** How a multiplex net's two drivers are guarded — the three lint
+    verdict classes, deliberately. *)
+type mux_style =
+  | If_else  (** [IF g THEN m := a ELSE m := b END] — provably safe *)
+  | Complement  (** two IFs with guards [g] and [NOT g] — provably safe *)
+  | Overlap  (** two independent guards — conflict / runtime check *)
+
+type item =
+  | Wire of { name : string; exp : bexp }
+  | Mux of {
+      name : string;
+      style : mux_style;
+      g1 : bexp;
+      g2 : bexp;  (** ignored unless [style = Overlap] *)
+      a : bexp;
+      b : bexp;
+    }
+  | Reg of { name : string; guard : bexp option; next : bexp }
+  | Arr of { name : string; len : int; init : bexp; step : gate; extra : bexp }
+  | Inst of { name : string; a : bexp; b : bexp }
+  | Chain of { name : string; depth : int; input : bexp }
+
+type prog = {
+  n_in : int;
+  items : item list;
+  outs : string list;  (** observed readables, wired to OUT ports *)
+}
+
+(** {1 Structure} *)
+
+val input_names : prog -> string list
+(** [x0; x1; ...] *)
+
+val poke_paths : prog -> string list
+(** Hierarchical testbench paths of the inputs: ["s.x0"; ...]. *)
+
+val out_ports : prog -> (string * string) list
+(** OUT port name -> observed readable, in declaration order (includes
+    the automatic ports closing otherwise-unused instance outputs). *)
+
+val item_readables : item -> string list
+
+(** {1 Rendering and direct evaluation} *)
+
+val to_zeus : prog -> string
+(** Concrete Zeus source; always a legal program. *)
+
+val is_combinational : prog -> bool
+
+val eval_comb : prog -> Logic.t array -> (string * Logic.t) list
+(** Direct four-valued evaluation of a combinational program: OUT port
+    name -> value.  @raise Invalid_argument on sequential programs. *)
+
+(** {1 Stimulus} *)
+
+type stimulus = (string * Logic.t) list list
+(** Per cycle: pokes applied before the step.  Unpoked inputs keep
+    their previous value; UNDEF is part of the alphabet; RSET may be
+    poked like any input. *)
+
+val stimulus_to_string : stimulus -> string
+
+(** {1 Generators} *)
+
+type profile = {
+  seq : bool;
+  mux : bool;
+  inst : bool;
+  call : bool;
+  rset : bool;
+  undef : bool;
+}
+
+val full : profile
+val comb : profile
+(** Only directly-evaluable programs ({!eval_comb} works). *)
+
+val gen : ?profile:profile -> unit -> prog QCheck.Gen.t
+val gen_stimulus : ?profile:profile -> ?max_cycles:int -> prog -> stimulus QCheck.Gen.t
+
+(** {1 Shrinking} *)
+
+val shrink_steps : prog * stimulus -> (prog * stimulus) list
+(** All one-step reductions of a failing case, most aggressive first:
+    dropped stimulus cycles, removed items (dangling references are
+    patched to constants), shortened arrays and chains, simplified
+    expressions, dropped and simplified pokes. *)
+
+val print_case : prog * stimulus -> string
+
+val arbitrary :
+  ?profile:profile -> ?max_cycles:int -> unit -> (prog * stimulus) QCheck.arbitrary
+(** Program + stimulus with IR-level shrinking and a source-level
+    printer, ready for [QCheck.Test.make]. *)

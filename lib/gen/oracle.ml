@@ -1,0 +1,212 @@
+(* The differential oracle matrix for whole-pipeline fuzzing.
+
+   Given one Zeus source program and one poke sequence, [check] decides
+   whether the implementation agrees with itself everywhere the paper
+   says it must:
+
+   O1 "pp-fixpoint"    pretty-print → reparse → pretty-print reaches a
+                       fixpoint after one round trip;
+   O2 "reelaborate"    the pretty-printed source compiles, and its
+                       Firing-engine run is bit-identical to the
+                       original's (print/parse/elaborate preserve
+                       semantics, not just syntax);
+   O3 "engine:<name>"  all five scheduling engines produce identical
+                       snapshots *per cycle* and identical runtime-error
+                       sets (cycle, net, code) over the poke sequence —
+                       the cycle-by-cycle comparison subsumes the
+                       "Incremental agrees with Fixpoint" requirement;
+   O4 "lint-vs-runtime" a net the lint prover classified [Safe] never
+                       raises the runtime multiple-drive check (the two
+                       halves of the NP-complete section 4.7 check must
+                       not contradict each other).  Lint's safety
+                       contract assumes a defined environment — inputs
+                       evaluate to 0 or 1 — so this row only applies to
+                       stimuli that poke every input to a defined value
+                       in the first cycle and never poke UNDEF later.
+                       (Sequential state needs no such carve-out: a
+                       guard over a register that can power up UNDEF is
+                       never classified safe in the first place.)
+
+   A generated program failing to parse or compile is also a finding
+   ("parse" / "compile"): the generator only emits legal programs, so
+   a rejection is a front-end bug (or a generator bug — either way a
+   human should look). *)
+
+open Zeus_base
+open Zeus_lang
+open Zeus_sem
+module Sim = Zeus_sim.Sim
+
+type divergence = {
+  oracle : string; (* which row of the matrix failed *)
+  detail : string;
+}
+
+let pp_divergence ppf d = Fmt.pf ppf "[%s] %s" d.oracle d.detail
+
+(* parse + elaborate + static checks, as Zeus.compile does (the umbrella
+   library depends on this one, so spell it out here) *)
+let compile src =
+  let bag = Diag.Bag.create () in
+  match Parser.program ~bag src with
+  | None, _ -> Error (Diag.Bag.errors bag)
+  | Some prog, _ ->
+      let design = Elaborate.program ~bag prog in
+      if Diag.Bag.has_errors bag then Error (Diag.Bag.errors bag)
+      else if Check.run design then Ok design
+      else Error (Diag.Bag.errors bag)
+
+let diags_to_string diags =
+  String.concat "; " (List.map Diag.to_string diags)
+
+(* One engine's observable behaviour: the snapshot after every cycle,
+   and the full runtime-error set as comparable triples. *)
+type run = {
+  snaps : Logic.t option array list;
+  errors : (int * string * string) list; (* cycle, net, code; sorted *)
+}
+
+let run_engine design engine (stim : Gen_prog.stimulus) =
+  let sim = Sim.create ~engine design in
+  let snaps =
+    List.map
+      (fun pokes ->
+        List.iter (fun (path, v) -> Sim.poke sim path [ v ]) pokes;
+        Sim.step sim;
+        Sim.snapshot sim)
+      stim
+  in
+  let errors =
+    List.sort compare
+      (List.map
+         (fun (e : Sim.runtime_error) ->
+           (e.Sim.err_cycle, e.Sim.err_net, e.Sim.err_code))
+         (Sim.runtime_errors sim))
+  in
+  { snaps; errors }
+
+let first_snap_mismatch a b =
+  let rec go cycle sa sb =
+    match (sa, sb) with
+    | [], [] -> None
+    | s1 :: ra, s2 :: rb ->
+        if s1 = s2 then go (cycle + 1) ra rb
+        else
+          let diffs = ref 0 in
+          if Array.length s1 = Array.length s2 then
+            Array.iteri (fun i v -> if v <> s2.(i) then incr diffs) s1
+          else diffs := max (Array.length s1) (Array.length s2);
+          Some (cycle, !diffs)
+    | _ -> Some (min (List.length a) (List.length b) + 1, 0)
+  in
+  go 1 a b
+
+let errors_to_string errs =
+  String.concat ", "
+    (List.map (fun (c, n, code) -> Printf.sprintf "%s@%d[%s]" n c code) errs)
+
+(* The full matrix.  Returns every divergence found (empty = agreement
+   everywhere). *)
+let check ~src ~(stim : Gen_prog.stimulus) : divergence list =
+  match Parser.program src with
+  | None, bag ->
+      [ { oracle = "parse";
+          detail = diags_to_string (Diag.Bag.errors bag) } ]
+  | Some p1, _ -> (
+      let divs = ref [] in
+      let add oracle detail = divs := { oracle; detail } :: !divs in
+      (* O1: pretty-printing is a fixpoint after one round trip *)
+      let printed = Pretty.program_to_string p1 in
+      (match Parser.program printed with
+      | None, bag ->
+          add "pp-fixpoint"
+            ("pretty-printed source does not reparse: "
+            ^ diags_to_string (Diag.Bag.errors bag))
+      | Some p2, _ ->
+          let printed2 = Pretty.program_to_string p2 in
+          if printed2 <> printed then
+            add "pp-fixpoint" "second pretty-print differs from the first");
+      match compile src with
+      | Error diags ->
+          add "compile" (diags_to_string diags);
+          List.rev !divs
+      | Ok design ->
+          (* O3: the five-engine matrix, cycle-by-cycle *)
+          let reference = run_engine design Sim.Firing stim in
+          List.iter
+            (fun engine ->
+              if engine <> Sim.Firing then begin
+                let r = run_engine design engine stim in
+                (match first_snap_mismatch reference.snaps r.snaps with
+                | None -> ()
+                | Some (cycle, diffs) ->
+                    add
+                      ("engine:" ^ Sim.engine_name engine)
+                      (Printf.sprintf
+                         "snapshot differs from firing at cycle %d (%d nets)"
+                         cycle diffs));
+                if r.errors <> reference.errors then
+                  add
+                    ("engine:" ^ Sim.engine_name engine)
+                    (Printf.sprintf
+                       "runtime errors differ from firing: {%s} vs {%s}"
+                       (errors_to_string r.errors)
+                       (errors_to_string reference.errors))
+              end)
+            Sim.all_engines;
+          (* O2: semantics survive print -> reparse -> re-elaborate *)
+          (match compile printed with
+          | Error diags ->
+              add "reelaborate"
+                ("pretty-printed source does not compile: "
+                ^ diags_to_string diags)
+          | Ok design2 -> (
+              let r2 = run_engine design2 Sim.Firing stim in
+              match first_snap_mismatch reference.snaps r2.snaps with
+              | None -> ()
+              | Some (cycle, diffs) ->
+                  add "reelaborate"
+                    (Printf.sprintf
+                       "re-elaborated run differs at cycle %d (%d nets)" cycle
+                       diffs)));
+          (* O4: a statically-proved-safe net must never conflict at
+             runtime — under lint's environment assumption that inputs
+             are defined *)
+          let nl = design.Elaborate.netlist in
+          let input_names =
+            List.map
+              (fun id -> (Netlist.net nl (Netlist.canonical nl id)).Netlist.name)
+              (Check.top_input_nets design)
+          in
+          let defined v = v = Logic.Zero || v = Logic.One in
+          let env_defined =
+            match stim with
+            | [] -> input_names = []
+            | first :: _ ->
+                List.for_all
+                  (fun i ->
+                    List.exists (fun (p, v) -> p = i && defined v) first)
+                  input_names
+                && List.for_all
+                     (List.for_all (fun (_, v) -> v <> Logic.Undef))
+                     stim
+          in
+          if env_defined then begin
+          let lint = Lint.run design in
+          let safe =
+            List.filter_map
+              (fun (v : Lint.net_verdict) ->
+                if v.Lint.v_class = Lint.Safe then Some v.Lint.v_name else None)
+              lint.Lint.verdicts
+          in
+          List.iter
+            (fun (cycle, net, code) ->
+              if code = Diag.Code.drive_conflict && List.mem net safe then
+                add "lint-vs-runtime"
+                  (Printf.sprintf
+                     "net '%s' proved safe by lint but conflicted at runtime \
+                      (cycle %d)"
+                     net cycle))
+            reference.errors
+          end;
+          List.rev !divs)

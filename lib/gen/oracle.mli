@@ -1,0 +1,40 @@
+(** The differential oracle matrix for whole-pipeline fuzzing.
+
+    {v
+    row              agreement required
+    ---------------  --------------------------------------------------
+    pp-fixpoint      pretty-print → reparse → pretty-print is a fixpoint
+    reelaborate      pretty-printed source compiles and simulates
+                     bit-identically to the original (Firing engine)
+    engine:<name>    every engine matches Firing: identical snapshots
+                     per cycle and identical runtime-error sets
+                     (subsumes "Incremental agrees with Fixpoint
+                     cycle-by-cycle")
+    lint-vs-runtime  a net lint proved Safe never raises the runtime
+                     multiple-drive check
+    parse / compile  generated programs are legal by construction, so a
+                     front-end rejection is itself a finding
+    v} *)
+
+open Zeus_base
+module Sim = Zeus_sim.Sim
+
+type divergence = {
+  oracle : string;  (** which row of the matrix failed *)
+  detail : string;
+}
+
+val pp_divergence : divergence Fmt.t
+
+val compile : string -> (Zeus_sem.Elaborate.design, Diag.t list) result
+
+(** One engine's observable behaviour over a poke sequence. *)
+type run = {
+  snaps : Logic.t option array list;  (** snapshot after every cycle *)
+  errors : (int * string * string) list;  (** cycle, net, code; sorted *)
+}
+
+val run_engine : Zeus_sem.Elaborate.design -> Sim.engine -> Gen_prog.stimulus -> run
+
+val check : src:string -> stim:Gen_prog.stimulus -> divergence list
+(** Run the whole matrix; [[]] means agreement everywhere. *)

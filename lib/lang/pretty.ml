@@ -63,7 +63,12 @@ and pp_signal_ref ppf = function
 let rec pp_expr ppf = function
   | Eref s -> pp_signal_ref ppf s
   | Ecall (id, [], [ arg ], _) when id.id = "NOT" ->
-      Fmt.pf ppf "NOT %a" pp_expr arg
+      (* NOT binds to a single primary, so a NOT-headed operand needs
+         grouping parentheses to survive a reparse *)
+      (match arg with
+      | Ecall (inner, _, _, _) when inner.id = "NOT" ->
+          Fmt.pf ppf "NOT (%a)" pp_expr arg
+      | _ -> Fmt.pf ppf "NOT %a" pp_expr arg)
   | Ecall (id, params, args, _) ->
       Fmt.string ppf id.id;
       if params <> [] then

@@ -27,7 +27,12 @@
       The prover works in the two-valued abstraction: guards are
       assumed to evaluate to 0 or 1.  Guards that can read UNDEF are
       never proved safe (they are demoted to needs-runtime-check, and
-      the UNDEF pass reports them separately).
+      the UNDEF pass reports them separately).  "Can read UNDEF"
+      includes sequential state: a guard over a register output is only
+      proved safe when the value-set analysis of pass 2 shows the
+      register can never hold UNDEF — at power-up a register reads
+      UNDEF unless REG(c) gave it a constant, and an undefined guard
+      *drives* (UNDEF), so g and NOT g both fire when g is undefined.
 
    2. UNDEF-reachability (Z201/Z202).  A value-set dataflow analysis
       over the four-valued algebra of Logic: every net gets the set of
@@ -368,7 +373,7 @@ let witness_to_string nl m =
   String.concat ", "
     (List.map (fun (n, b) -> Printf.sprintf "%s=%d" n (if b then 1 else 0)) free)
 
-let prove_conflicts st bag ~budget ~splits nl =
+let prove_conflicts st bag ~budget ~splits ~can_undef nl =
   let n = Netlist.net_count nl in
   let canon id = Netlist.canonical nl id in
   (* producers per canonical class, in creation order *)
@@ -420,7 +425,23 @@ let prove_conflicts st bag ~budget ~splits nl =
                  end
                  else
                    match solve ~budget ~splits f with
-                   | Unsat -> ()
+                   | Unsat ->
+                       (* exclusive over booleans — but an UNDEF guard
+                          also drives, so exclusivity only holds if no
+                          variable in either guard can read UNDEF
+                          (register power-up, or a latched UNDEF) *)
+                       if
+                         exists_var
+                           (fun v opq -> (not opq) && v >= 0 && can_undef v)
+                           f
+                       then
+                         if !unknown = None then
+                           unknown :=
+                             Some
+                               ( "a guard depends on sequential state that \
+                                  can read UNDEF (an undefined guard \
+                                  drives)",
+                                 parr.(j).pr_loc )
                    | Budget_out ->
                        unknown :=
                          Some
@@ -538,7 +559,15 @@ let gate_mask op inputs =
           m_one a b
   | Netlist.Grandom -> m_zero lor m_one
 
-let undef_pass bag (design : Elaborate.design) =
+(* The value-set fixpoint, shared with pass 1: [sets] maps every
+   canonical net to the set of values it can ever carry; [undriven]
+   flags producer-less non-input, non-register classes.  Inputs are
+   assumed defined ({0,1}) — that is the documented environment
+   assumption of the whole lint — but register outputs start from their
+   power-up value (UNDEF unless REG(c) gave a constant) and absorb
+   whatever their input can latch, so UNDEF-capability of sequential
+   state is tracked precisely. *)
+let value_sets (design : Elaborate.design) =
   let nl = design.Elaborate.netlist in
   let n = Netlist.net_count nl in
   let canon id = Netlist.canonical nl id in
@@ -612,6 +641,18 @@ let undef_pass bag (design : Elaborate.design) =
       end
     done
   done;
+  let undriven =
+    Array.init n (fun c ->
+        gates_of.(c) = [] && drivers_of.(c) = []
+        && (not inputs.(c))
+        && not (Hashtbl.mem reg_of_out c))
+  in
+  (sets, undriven)
+
+let undef_pass bag (design : Elaborate.design) (sets, undriven) =
+  let nl = design.Elaborate.netlist in
+  let n = Netlist.net_count nl in
+  let canon id = Netlist.canonical nl id in
   (* report per class, through a representative read, user-visible net *)
   let members = Array.make n [] in
   Array.iter
@@ -637,12 +678,7 @@ let undef_pass bag (design : Elaborate.design) =
       match rep with
       | None -> ()
       | Some net ->
-          let undriven =
-            gates_of.(c) = [] && drivers_of.(c) = []
-            && (not inputs.(c))
-            && not (Hashtbl.mem reg_of_out c)
-          in
-          if undriven then
+          if undriven.(c) then
             Diag.Bag.warning bag ~code:Diag.Code.undriven_read Diag.Lint_error
               net.Netlist.loc "'%s' is read but never driven — it reads UNDEF \
                                forever"
@@ -728,8 +764,10 @@ let run ?(budget = default_budget) (design : Elaborate.design) =
      before pairs are scanned — drive_cond runs inside the pass, so
      scan pairs only after all conditions are expanded (prove_conflicts
      builds every producer's condition before solving any pair) *)
-  let verdicts = prove_conflicts st bag ~budget ~splits nl in
-  undef_pass bag design;
+  let (sets, _) as vsets = value_sets design in
+  let can_undef c = booleanize_mask sets.(c) land m_undef <> 0 in
+  let verdicts = prove_conflicts st bag ~budget ~splits ~can_undef nl in
+  undef_pass bag design vsets;
   dead_pass bag design;
   { verdicts; findings = Diag.Bag.all bag; splits = !splits }
 

@@ -41,6 +41,9 @@ module Geom = Zeus_layout.Geom
 module Floorplan = Zeus_layout.Floorplan
 module Render = Zeus_layout.Render
 module Autoplace = Zeus_layout.Autoplace
+module Gen = Zeus_gen.Gen_prog
+module Oracle = Zeus_gen.Oracle
+module Fuzz = Zeus_gen.Fuzz
 module Corpus = Corpus
 module Refmodel = Refmodel
 module Corpus_fsm = Corpus_fsm

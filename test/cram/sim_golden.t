@@ -1,0 +1,73 @@
+Golden outputs for the simulator's user-facing renderings: the ASCII
+waveform (--wave), the VCD dump (--vcd) and the driver-tree explanation
+(--explain), locked on the two reference designs.
+
+  $ zeusc corpus adder4 > adder4.zeus
+  $ zeusc corpus blackjack > blackjack.zeus
+
+The adder as a waveform (values rendered per-cycle; multi-bit buses in
+hex, 0 as '_', UNDEF as 'x'):
+
+  $ zeusc sim adder4.zeus -n 3 -p adder.a=9 -p adder.b=6 -p adder.cin=0 -w adder.s -w adder.cout --wave
+  adder.s    fff
+  adder.cout ___
+
+The same run as a VCD file:
+
+  $ zeusc sim adder4.zeus -n 2 -p adder.a=9 -p adder.b=6 -p adder.cin=0 -w adder.cout --vcd out.vcd
+  cycle 1: adder.cout=0
+  cycle 2: adder.cout=0
+  VCD written to out.vcd
+  $ cat out.vcd
+  $date reproduced Zeus run $end
+  $version zeus-ocaml $end
+  $timescale 1 ns $end
+  $scope module zeus $end
+  $var wire 1 ! adder_cout $end
+  $upscope $end
+  $enddefinitions $end
+  #1
+  0!
+  #2
+
+The blackjack controller under reset then a hit request, as a waveform
+(x marks UNDEF from the unresolved multiplex drivers before the state
+settles):
+
+  $ zeusc sim blackjack.zeus -n 3 --reset -p bj.ycard=1 -p bj.value=01010 -w bj.state -w bj.hit -w bj.stand --wave
+  bj.state 29e
+  bj.hit   x#x
+  bj.stand xxx
+
+Explaining a value after the run walks the driver tree through guards
+and gates:
+
+  $ zeusc sim blackjack.zeus -n 3 --reset -p bj.ycard=1 -p bj.value=01010 --explain bj.hit
+  bj.hit = U: 1 driver(s):
+    IF bj.guard=0 THEN := const 1=1 -> Z
+  bj.guard = 0: AND(bj.nguard=1,
+  bj.equal#56[0]=0)
+  bj.nguard = 1: NOT(RSET=0)
+  bj.equal#56[0] = 0: EQUAL(bj.state[1].out=0, bj.state[2].out=1,
+  bj.state[3].out=0, const 0=0, const 0=0,
+  const 1=1)
+
+And on the adder, the explanation bottoms out at the instance outputs:
+
+  $ zeusc sim adder4.zeus -n 1 -p adder.a=9 -p adder.b=6 -p adder.cin=0 --explain 'adder.s[4]'
+  adder.s[4] = 1: 1 driver(s):
+    := adder.add[4].s=1 -> 1
+  adder.add[4].s = 1: 1 driver(s):
+    := adder.add[4].h2.s=1 -> 1
+  adder.add[4].h2.s = 1: 1 driver(s):
+    := adder.add[4].h2.xor#18[0]=1 -> 1
+
+A watch path that resolves to nothing is reported by name and aborts
+the run:
+
+  $ zeusc sim adder4.zeus -n 1 -w nosuch
+  zeusc: internal error, uncaught exception:
+         Invalid_argument("Sim: no top-level signal 'nosuch'")
+         
+  cycle 1:
+  [125]

@@ -1,129 +1,45 @@
-(* Whole-pipeline differential fuzzing: generate random well-formed Zeus
-   programs as *source text*, run them through lexer, parser, elaborator,
-   checker and all three simulator engines, and compare each output
-   against direct evaluation of the generating circuit description.
+(* Whole-pipeline differential fuzzing, built on the lib/gen program
+   generator (Zeus.Gen / Zeus.Oracle).
 
-   This exercises the full stack at once: any disagreement between the
-   printed program's simulation and the OCaml-side evaluation is a bug
-   somewhere in the pipeline. *)
+   Two complementary oracles:
+
+   - the combinational subset is checked against [Gen.eval_comb], a
+     direct OCaml-side evaluation of the generating description that
+     never touches the parser, elaborator or any simulator engine —
+     any disagreement is a bug somewhere in the pipeline;
+
+   - full-language programs (registers, recursive chains, guarded
+     multiplex drivers, RSET, UNDEF stimulus) are checked with the
+     differential oracle matrix of [Oracle.check]: pretty-print
+     fixpoint, re-elaboration, all five simulator engines cycle by
+     cycle, and lint-vs-runtime consistency.
+
+   Failing cases shrink through [Gen.shrink_steps] to a minimal
+   program + poke sequence, printed as Zeus source. *)
 
 open Zeus
 
-(* a random combinational circuit: [n_in] primary inputs, then a list of
-   internal nodes, each a gate over earlier wires *)
-type gate_kind =
-  | Gand
-  | Gor
-  | Gnand
-  | Gnor
-  | Gxor
-  | Gnot
+let seed_state k = Random.State.make [| 0x5eed; k |]
 
-type node = {
-  kind : gate_kind;
-  args : int list; (* indices < current node; 0..n_in-1 are inputs *)
-}
+(* ------------------------------------------------------------------ *)
+(* Combinational subset vs the direct evaluator                         *)
+(* ------------------------------------------------------------------ *)
 
-type circuit = {
-  n_in : int;
-  nodes : node list;
-}
-
-let kind_name = function
-  | Gand -> "AND"
-  | Gor -> "OR"
-  | Gnand -> "NAND"
-  | Gnor -> "NOR"
-  | Gxor -> "XOR"
-  | Gnot -> "NOT"
-
-let gen_circuit =
-  QCheck.Gen.(
-    int_range 1 6 >>= fun n_in ->
-    int_range 1 25 >>= fun n_nodes ->
-    let gen_node idx =
-      let wires = n_in + idx in
-      oneofl [ Gand; Gor; Gnand; Gnor; Gxor; Gnot ] >>= fun kind ->
-      match kind with
-      | Gnot ->
-          map (fun a -> { kind; args = [ a ] }) (int_range 0 (wires - 1))
-      | _ ->
-          int_range 2 4 >>= fun arity ->
-          map
-            (fun args -> { kind; args })
-            (list_repeat arity (int_range 0 (wires - 1)))
-    in
-    let rec nodes idx acc =
-      if idx >= n_nodes then return (List.rev acc)
-      else gen_node idx >>= fun n -> nodes (idx + 1) (n :: acc)
-    in
-    map (fun nodes -> { n_in; nodes }) (nodes 0 []))
-
-(* print the circuit as a Zeus component *)
-let to_zeus c =
-  let buf = Buffer.create 512 in
-  let ins =
-    String.concat "," (List.init c.n_in (fun i -> Printf.sprintf "x%d" i))
-  in
-  Buffer.add_string buf
-    (Printf.sprintf "TYPE t = COMPONENT (IN %s: boolean; OUT out: boolean) IS\n"
-       ins);
-  Buffer.add_string buf
-    (Printf.sprintf "SIGNAL %s: boolean;\n"
-       (String.concat ","
-          (List.mapi (fun i _ -> Printf.sprintf "w%d" (c.n_in + i)) c.nodes)));
-  Buffer.add_string buf "BEGIN\n";
-  let wire i = if i < c.n_in then Printf.sprintf "x%d" i else Printf.sprintf "w%d" i in
-  List.iteri
-    (fun i node ->
-      let lhs = Printf.sprintf "w%d" (c.n_in + i) in
-      let rhs =
-        match node.kind with
-        | Gnot -> Printf.sprintf "NOT %s" (wire (List.hd node.args))
-        | k ->
-            Printf.sprintf "%s(%s)" (kind_name k)
-              (String.concat "," (List.map wire node.args))
-      in
-      Buffer.add_string buf (Printf.sprintf "  %s := %s;\n" lhs rhs))
-    c.nodes;
-  let last = c.n_in + List.length c.nodes - 1 in
-  Buffer.add_string buf (Printf.sprintf "  out := %s\n" (wire last));
-  Buffer.add_string buf "END;\nSIGNAL s: t;\n";
-  Buffer.contents buf
-
-(* direct evaluation over the four-valued domain *)
-let eval_circuit c (inputs : Logic.t array) =
-  let values = Array.make (c.n_in + List.length c.nodes) Logic.Undef in
-  Array.blit inputs 0 values 0 c.n_in;
-  List.iteri
-    (fun i node ->
-      let args = List.map (fun a -> values.(a)) node.args in
-      let v =
-        match node.kind with
-        | Gand -> Logic.and_list args
-        | Gor -> Logic.or_list args
-        | Gnand -> Logic.nand_list args
-        | Gnor -> Logic.nor_list args
-        | Gxor -> Logic.xor_list args
-        | Gnot -> Logic.not_ (List.hd args)
-      in
-      values.(c.n_in + i) <- v)
-    c.nodes;
-  values.(c.n_in + List.length c.nodes - 1)
-
-let print_circuit c = to_zeus c
-
-let arb_circuit = QCheck.make ~print:print_circuit gen_circuit
+let arb_comb =
+  let g = Gen.gen ~profile:Gen.comb () in
+  QCheck.make ~print:Gen.to_zeus
+    ~shrink:(fun p yield ->
+      List.iter (fun (p', _) -> yield p') (Gen.shrink_steps (p, [])))
+    g
 
 let gen_inputs n =
   QCheck.Gen.(list_repeat n (oneofl [ Logic.Zero; Logic.One; Logic.Undef ]))
 
-(* compile once, evaluate under random input vectors with each engine *)
-let prop_random_circuits =
-  QCheck.Test.make ~count:150 ~name:"random_circuit_pipeline"
-    arb_circuit
-    (fun c ->
-      let src = to_zeus c in
+(* compile once, evaluate under random input vectors with each of the
+   five engines, and compare every OUT port against direct evaluation *)
+let prop_comb_direct_oracle =
+  QCheck.Test.make ~count:150 ~name:"comb_direct_oracle" arb_comb (fun p ->
+      let src = Gen.to_zeus p in
       match Zeus.compile src with
       | Error diags ->
           QCheck.Test.fail_reportf "did not compile:@.%s@.%a" src
@@ -131,13 +47,13 @@ let prop_random_circuits =
             diags
       | Ok design ->
           let vectors =
-            QCheck.Gen.generate ~n:5 ~rand:(Random.State.make [| 99 |])
-              (gen_inputs c.n_in)
+            QCheck.Gen.generate ~n:5 ~rand:(seed_state 99)
+              (gen_inputs p.Gen.n_in)
           in
           List.for_all
             (fun vec ->
               let inputs = Array.of_list vec in
-              let expected = eval_circuit c inputs in
+              let expected = Gen.eval_comb p inputs in
               List.for_all
                 (fun engine ->
                   let sim = Sim.create ~engine design in
@@ -145,32 +61,75 @@ let prop_random_circuits =
                     (fun i v -> Sim.poke sim (Printf.sprintf "s.x%d" i) [ v ])
                     inputs;
                   Sim.step sim;
-                  let got = Sim.peek_bit sim "s.out" in
-                  if not (Logic.equal got expected) then
-                    QCheck.Test.fail_reportf
-                      "engine %s: expected %a, got %a for@.%s"
-                      (Sim.engine_name engine) Logic.pp expected Logic.pp got
-                      src
-                  else true)
+                  List.for_all
+                    (fun (port, want) ->
+                      let got = Sim.peek_bit sim ("s." ^ port) in
+                      if not (Logic.equal got want) then
+                        QCheck.Test.fail_reportf
+                          "engine %s, port %s: expected %a, got %a for@.%s"
+                          (Sim.engine_name engine) port Logic.pp want Logic.pp
+                          got src
+                      else true)
+                    expected)
                 Sim.all_engines)
             vectors)
 
-(* pretty-print round trip on random programs *)
-let prop_random_roundtrip =
-  QCheck.Test.make ~count:100 ~name:"random_circuit_pretty_roundtrip"
-    arb_circuit
-    (fun c ->
-      let src = to_zeus c in
+(* ------------------------------------------------------------------ *)
+(* Full language vs the oracle matrix                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* one property = the whole conformance suite: any row of the matrix
+   failing (parse, pp-fixpoint, compile, any engine vs firing,
+   re-elaboration, lint vs runtime) is a counterexample, and the
+   IR-level shrinker reduces it before reporting *)
+let prop_oracle_matrix =
+  QCheck.Test.make ~count:250 ~name:"oracle_matrix_full_language"
+    (Gen.arbitrary ())
+    (fun (p, stim) ->
+      match Oracle.check ~src:(Gen.to_zeus p) ~stim with
+      | [] -> true
+      | d :: _ ->
+          QCheck.Test.fail_reportf "%a@.%s" Oracle.pp_divergence d
+            (Gen.print_case (p, stim)))
+
+(* the pretty-print fixpoint on its own, for sharper failure reports *)
+let prop_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"pretty_roundtrip"
+    (QCheck.make ~print:Gen.to_zeus (Gen.gen ()))
+    (fun p ->
+      let src = Gen.to_zeus p in
       match Parser.program src with
       | None, _ -> false
       | Some p1, _ -> (
           let printed = Pretty.program_to_string p1 in
           match Parser.program printed with
           | None, _ -> false
-          | Some p2, _ ->
-              Pretty.program_to_string p2 = printed))
+          | Some p2, _ -> Pretty.program_to_string p2 = printed))
 
-(* random register pipelines: a chain of REGs must delay by its length *)
+(* regression: NOT binds to a single primary, so a nested NOT needs
+   grouping parentheses when printed — found by the fuzzer *)
+let test_nested_not_roundtrip () =
+  let src =
+    "TYPE t = COMPONENT (IN a: boolean; OUT z: boolean) IS BEGIN z := NOT \
+     (NOT a) END; SIGNAL s: t;"
+  in
+  match Parser.program src with
+  | None, _ -> Alcotest.fail "nested NOT did not parse"
+  | Some p1, _ -> (
+      let printed = Pretty.program_to_string p1 in
+      match Parser.program printed with
+      | None, _ ->
+          Alcotest.failf "pretty-printed nested NOT does not reparse:@.%s"
+            printed
+      | Some p2, _ ->
+          Alcotest.(check string)
+            "fixpoint" printed
+            (Pretty.program_to_string p2))
+
+(* ------------------------------------------------------------------ *)
+(* Sequential: register pipelines delay by their depth                  *)
+(* ------------------------------------------------------------------ *)
+
 let prop_register_pipeline =
   QCheck.Test.make ~count:30 ~name:"register_pipeline_delay"
     QCheck.(pair (int_range 1 10) (list_of_size (QCheck.Gen.int_range 12 24) bool))
@@ -205,7 +164,10 @@ let prop_register_pipeline =
         (List.init (List.length stream) Fun.id)
         outputs)
 
-(* random mux trees through IF chains agree with direct selection *)
+(* ------------------------------------------------------------------ *)
+(* Multiplex: IF chains agree with direct selection                     *)
+(* ------------------------------------------------------------------ *)
+
 let prop_random_mux =
   QCheck.Test.make ~count:60 ~name:"random_if_chain_select"
     QCheck.(pair (int_range 1 4) (int_bound 15))
@@ -236,15 +198,46 @@ let prop_random_mux =
           && Sim.runtime_errors sim = [])
         (List.init n Fun.id))
 
+(* ------------------------------------------------------------------ *)
+(* The fuzz driver itself: deterministic replay and clean baseline       *)
+(* ------------------------------------------------------------------ *)
+
+let test_fuzz_driver_clean () =
+  let summary =
+    Fuzz.run ~count:100 ~seed:0 ~corpus_dir:None ()
+  in
+  Alcotest.(check int) "tested" 100 summary.Fuzz.tested;
+  Alcotest.(check int) "no divergences" 0 (List.length summary.Fuzz.failures)
+
+let test_fuzz_deterministic () =
+  let case1 = Fuzz.gen_case ~profile:Gen.full ~seed:7 ~index:3 in
+  let case2 = Fuzz.gen_case ~profile:Gen.full ~seed:7 ~index:3 in
+  Alcotest.(check string)
+    "same source" (Gen.to_zeus (fst case1))
+    (Gen.to_zeus (fst case2));
+  Alcotest.(check string)
+    "same pokes"
+    (Gen.stimulus_to_string (snd case1))
+    (Gen.stimulus_to_string (snd case2))
+
 let () =
   Alcotest.run "fuzz"
     [
       ( "pipeline",
         List.map QCheck_alcotest.to_alcotest
           [
-            prop_random_circuits;
-            prop_random_roundtrip;
+            prop_comb_direct_oracle;
+            prop_oracle_matrix;
+            prop_roundtrip;
             prop_register_pipeline;
             prop_random_mux;
           ] );
+      ( "driver",
+        [
+          Alcotest.test_case "nested NOT roundtrip" `Quick
+            test_nested_not_roundtrip;
+          Alcotest.test_case "100 cases clean" `Quick test_fuzz_driver_clean;
+          Alcotest.test_case "deterministic replay" `Quick
+            test_fuzz_deterministic;
+        ] );
     ]

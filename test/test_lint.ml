@@ -80,15 +80,23 @@ let test_budget_exhaustion () =
     (has_code report Diag.Code.drive_conflict)
 
 (* the Blackjack controller multi-drives its state registers from
-   ELSIF-chained, EQUAL-guarded arms: all provably exclusive *)
-let test_blackjack_safe () =
+   ELSIF-chained, EQUAL-guarded arms.  The arms are exclusive over
+   booleans, but every guard reads the state registers — UNDEF at
+   power-up, when all arms drive at once (observable: simulating the
+   corpus without asserting RSET reports Z101 on every state net in
+   cycle 0).  So the verdict is needs-runtime-check, never safe and
+   never a static conflict. *)
+let test_blackjack_needs_runtime_check () =
   let report = lint Corpus.blackjack in
   Alcotest.(check bool) "has multi-driven nets" true (report.Lint.verdicts <> []);
   List.iter
     (fun (v : Lint.net_verdict) ->
-      Alcotest.(check string) v.Lint.v_name (class_str Lint.Safe)
+      Alcotest.(check string) v.Lint.v_name
+        (class_str Lint.Needs_runtime_check)
         (class_str v.Lint.v_class))
-    report.Lint.verdicts
+    report.Lint.verdicts;
+  Alcotest.(check bool) "no static Z101" false
+    (has_code report Diag.Code.drive_conflict)
 
 (* overlapping guards built by hand: g and AND(g,h) can both be 1 *)
 let test_overlap_conflict () =
@@ -156,8 +164,11 @@ let test_live_instances_not_flagged () =
     (Corpus.all_named @ Corpus_fsm.all_named)
 
 (* ------------------------------------------------------------------ *)
-(* Corpus sweep: every multi-driven net classified, no conflicts except
-   the two known true positives                                         *)
+(* Corpus sweep: every multi-driven net classified, no static conflicts
+   except the two known true positives.  Nets whose guards read
+   sequential state (UNDEF-capable at power-up) are allowed to land in
+   needs-runtime-check — proving them safe would contradict the
+   runtime's undefined-guard-drives semantics.                          *)
 (* ------------------------------------------------------------------ *)
 
 let test_corpus_classified () =
@@ -167,10 +178,10 @@ let test_corpus_classified () =
       List.iter
         (fun (v : Lint.net_verdict) ->
           if name <> "section8" && name <> "dictionary8x6" then
-            Alcotest.(check string)
-              (name ^ ": " ^ v.Lint.v_name)
-              (class_str Lint.Safe)
-              (class_str v.Lint.v_class))
+            Alcotest.(check bool)
+              (name ^ ": " ^ v.Lint.v_name ^ " not a static conflict")
+              false
+              (v.Lint.v_class = Lint.Conflict))
         report.Lint.verdicts)
     (Corpus.all_named @ Corpus_fsm.all_named)
 
@@ -335,7 +346,8 @@ let () =
             test_exclusive_decoder;
           Alcotest.test_case "section8 conflict" `Quick test_section8_conflict;
           Alcotest.test_case "budget exhaustion" `Quick test_budget_exhaustion;
-          Alcotest.test_case "blackjack safe" `Quick test_blackjack_safe;
+          Alcotest.test_case "blackjack needs runtime check" `Quick
+            test_blackjack_needs_runtime_check;
           Alcotest.test_case "overlap conflict" `Quick test_overlap_conflict;
           Alcotest.test_case "dictionary conflict" `Quick
             test_dictionary_conflict;

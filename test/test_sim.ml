@@ -479,27 +479,48 @@ let test_incremental_quiescent_zero_visits () =
   Alcotest.(check (option int)) "incremental update" (Some 5556)
     (Sim.peek_int_lsb sim "adder.s")
 
-(* The new qcheck property of this PR: snapshots are identical across
-   all five engines on random multi-cycle poke sequences over designs
-   that include drive conflicts, registers and aliasing — with UNDEF in
-   the stimulus alphabet, and runtime-error counts agreeing too. *)
+(* Snapshots are identical across all five engines on random
+   multi-cycle poke sequences over designs that include drive
+   conflicts, registers and aliasing — with UNDEF in the stimulus
+   alphabet, and runtime-error counts agreeing too.  Failures print
+   the design name and stimulus, and shrink to a minimal poke
+   sequence (fewer cycles, shorter vectors, values toward 0). *)
 let prop_snapshot_identity =
   let pool =
     [|
-      mux_design;
-      reg_design;
-      Corpus.section8_example;
-      Corpus.adder_n 4;
-      Corpus.blackjack;
+      ("mux", mux_design);
+      ("reg", reg_design);
+      ("section8", Corpus.section8_example);
+      ("adder4", Corpus.adder_n 4);
+      ("blackjack", Corpus.blackjack);
     |]
   in
-  QCheck.Test.make ~count:40 ~name:"snapshot_identity_all_engines"
-    QCheck.(
+  let print (di, stimulus) =
+    Printf.sprintf "design %s, stimulus [%s]"
+      (fst pool.(di))
+      (String.concat "; "
+         (List.map
+            (fun vec ->
+              String.concat ""
+                (List.map
+                   (function 0 -> "0" | 1 -> "1" | _ -> "U")
+                   vec))
+            stimulus))
+  in
+  let shrink =
+    QCheck.Shrink.(
+      pair nil (list ~shrink:(list ~shrink:int)))
+  in
+  let gen =
+    QCheck.Gen.(
       pair
         (int_bound (Array.length pool - 1))
-        (list_of_size Gen.(1 -- 6) (list_of_size Gen.(0 -- 8) (int_bound 2))))
+        (list_size (1 -- 6) (list_size (0 -- 8) (int_bound 2))))
+  in
+  QCheck.Test.make ~count:40 ~name:"snapshot_identity_all_engines"
+    (QCheck.make ~print ~shrink gen)
     (fun (di, stimulus) ->
-      let d = compile pool.(di) in
+      let d = compile (snd pool.(di)) in
       let inputs = Check.top_input_nets d in
       let lv = function
         | 0 -> Logic.Zero
