@@ -13,11 +13,13 @@
      E8  simcmp             firing vs fixpoint vs relaxation scheduling
      E9  runtime-checks     the NP-completeness-motivated runtime check
      E13 incremental        cross-cycle incremental engine vs firing
+     E14 modular            modular summary analysis vs elaborate+lint
 
    `dune exec bench/main.exe` prints all report tables and then runs the
    timing benchmarks (pass --no-timing to skip them).  E13 also writes
-   machine-readable results to BENCH_sim.json.  Pass --smoke to run only
-   the (shortened) simulator benches and the JSON dump — the CI mode. *)
+   machine-readable results to BENCH_sim.json, and E14 to
+   BENCH_modular.json.  Pass --smoke to run only the (shortened)
+   simulator and modular benches and the JSON dumps — the CI mode. *)
 
 open Zeus
 
@@ -721,6 +723,110 @@ let e13_incremental ~cycles () =
   e13_write_json rows "BENCH_sim.json"
 
 (* ------------------------------------------------------------------ *)
+(* E14: modular summary analysis vs elaborate-then-lint                 *)
+(* ------------------------------------------------------------------ *)
+
+type e14_row = {
+  m_design : string;
+  m_nets : int; (* elaborated design size, for scale *)
+  m_mod_secs : float;
+  m_summaries : int; (* (type, signature) summaries the modular pass built *)
+  m_elab_secs : float;
+  m_proven : bool; (* top type proved conflict-safe AND cycle-free *)
+}
+
+(* The modular pass is O(types × signatures): the recursive families
+   need log N summaries while elaboration builds Θ(N log N) hardware,
+   so the modular column should stay near-flat as N grows. *)
+let e14_families ~smoke =
+  [
+    ("routing", Corpus.routing_network, "routingnetwork",
+     if smoke then [ 4; 16 ] else [ 4; 8; 16; 32; 64; 128 ]);
+    ("htree", Corpus.htree, "htree",
+     if smoke then [ 16 ] else [ 4; 16; 64; 256 ]);
+  ]
+
+let e14_bench family mk ty n =
+  let src = mk n in
+  let prog =
+    match Parser.program src with
+    | Some p, _ -> p
+    | None, _ ->
+        Fmt.epr "E14: %s(%d) does not parse@." family n;
+        exit 1
+  in
+  (* modular: parse + summaries, no cache, no elaboration; averaged over
+     a few repetitions because a single run is near the clock tick *)
+  let reps = 5 in
+  let t0 = Sys.time () in
+  let res = ref None in
+  for _ = 1 to reps do
+    res := Some (Summary.analyze prog)
+  done;
+  let mod_secs = (Sys.time () -. t0) /. float_of_int reps in
+  let r = Option.get !res in
+  (* the elaborated pipeline it replaces: elaborate + check + lint *)
+  let t1 = Sys.time () in
+  let d = compile src in
+  let (_ : Lint.report) = Lint.run d in
+  let elab_secs = Sys.time () -. t1 in
+  let proven =
+    List.mem ty r.Summary.proven_conflict_safe
+    && List.mem ty r.Summary.proven_cycle_free
+  in
+  {
+    m_design = Printf.sprintf "%s(%d)" family n;
+    m_nets = Netlist.net_count d.Elaborate.netlist;
+    m_mod_secs = mod_secs;
+    m_summaries = r.Summary.summaries_computed;
+    m_elab_secs = elab_secs;
+    m_proven = proven;
+  }
+
+let e14_write_json rows path =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiments\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"design\": %S, \"nets\": %d,\n\
+           \     \"modular\": {\"summaries\": %d, \"seconds\": %.6f},\n\
+           \     \"elaborate_lint\": {\"seconds\": %.6f},\n\
+           \     \"speedup\": %.2f, \"proven\": %b}"
+           r.m_design r.m_nets r.m_summaries r.m_mod_secs r.m_elab_secs
+           (r.m_elab_secs /. Float.max 1e-9 r.m_mod_secs)
+           r.m_proven))
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
+let e14_modular ?(smoke = false) () =
+  section "E14"
+    "modular summary analysis vs elaborate-then-lint on the recursive \
+     families (seconds; modular should stay near-flat in N)";
+  let rows =
+    List.concat_map
+      (fun (family, mk, ty, sizes) ->
+        List.map (e14_bench family mk ty) sizes)
+      (e14_families ~smoke)
+  in
+  Fmt.pr "  %-14s %8s %10s %10s %10s %8s %7s@." "design" "nets" "summaries"
+    "modular-s" "elab-s" "speedup" "proven";
+  List.iter
+    (fun r ->
+      Fmt.pr "  %-14s %8d %10d %10.4f %10.4f %7.1fx %7s@." r.m_design r.m_nets
+        r.m_summaries r.m_mod_secs r.m_elab_secs
+        (r.m_elab_secs /. Float.max 1e-9 r.m_mod_secs)
+        (if r.m_proven then "yes" else "NO"))
+    rows;
+  e14_write_json rows "BENCH_modular.json"
+
+(* ------------------------------------------------------------------ *)
 (* Timing benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -802,7 +908,8 @@ let () =
     (* CI mode: only the simulator benches, shortened, plus the JSON dump *)
     Fmt.pr "Zeus benchmark suite (smoke mode: simulator benches only)@.";
     e8_simcmp ();
-    e13_incremental ~cycles:50 ()
+    e13_incremental ~cycles:50 ();
+    e14_modular ~smoke:true ()
   end
   else begin
     Fmt.pr "Zeus reproduction benchmark suite (every table/figure of the \
@@ -821,5 +928,6 @@ let () =
     e12_optimize ();
     a1_machines ();
     e13_incremental ~cycles:200 ();
+    e14_modular ();
     if timing then run_timing ()
   end

@@ -37,25 +37,98 @@ let file_arg =
 
 (* ------------------------------------------------------------------ *)
 
+let default_cache_dir () =
+  Filename.concat (Filename.get_temp_dir_name ()) "zeus-summary-cache"
+
 let check_cmd =
-  let run file =
-    match Zeus.compile (load file) with
-    | Ok design ->
-        Fmt.pr "OK: %s@." (Zeus.Netlist.stats design.Zeus.Elaborate.netlist);
-        let warnings =
-          List.filter
-            (fun (d : Zeus.Diag.t) -> d.Zeus.Diag.severity = Zeus.Diag.Warning)
-            (Zeus.Diag.Bag.all design.Zeus.Elaborate.diags)
-        in
-        report_diags warnings;
-        0
-    | Error diags ->
-        report_diags diags;
-        1
+  let modular =
+    Arg.(
+      value & flag
+      & info [ "modular" ]
+          ~doc:
+            "Run the modular component-summary analysis instead of full \
+             elaboration: per-type port contracts, symbolic drive-conflict \
+             and combinational-cycle proofs for all parameter values \
+             (Z4xx codes).")
+  in
+  let contracts =
+    Arg.(
+      value & flag
+      & info [ "contracts" ]
+          ~doc:"With $(b,--modular): print every computed port contract.")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory of the persistent summary cache (default: \
+             zeus-summary-cache under the system temp directory).")
+  in
+  let no_cache =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ] ~doc:"Disable the persistent summary cache.")
+  in
+  let run file modular contracts cache_dir no_cache =
+    let src = load file in
+    if modular then begin
+      match Zeus.Parser.program src with
+      | None, bag ->
+          report_diags (Zeus.Diag.Bag.all bag);
+          1
+      | Some prog, _ ->
+          let cache_dir =
+            if no_cache then None
+            else Some (Option.value cache_dir ~default:(default_cache_dir ()))
+          in
+          let r = Zeus.Summary.analyze ?cache_dir ~src prog in
+          if contracts then
+            List.iter
+              (fun (_, c) -> Fmt.pr "%a@." Zeus.Contract.pp c)
+              r.Zeus.Summary.contracts;
+          List.iter
+            (fun (name, c) ->
+              Fmt.pr "type %-20s (%s): conflict-%s, %s@." name
+                (if c.Zeus.Contract.c_params = "" then "-"
+                 else c.Zeus.Contract.c_params)
+                (if c.Zeus.Contract.c_conflict_safe then "safe" else "unproven")
+                (if c.Zeus.Contract.c_cycle_free then "cycle-free"
+                 else "cycles-unproven"))
+            r.Zeus.Summary.contracts;
+          List.iter
+            (fun (t, reason) -> Fmt.pr "fallback %s: %s@." t reason)
+            r.Zeus.Summary.fallbacks;
+          report_diags r.Zeus.Summary.findings;
+          Fmt.pr "%s@." (Zeus.Summary.summary_line r);
+          if
+            List.exists
+              (fun (d : Zeus.Diag.t) ->
+                d.Zeus.Diag.severity = Zeus.Diag.Error)
+              r.Zeus.Summary.findings
+          then 1
+          else 0
+    end
+    else
+      match Zeus.compile src with
+      | Ok design ->
+          Fmt.pr "OK: %s@." (Zeus.Netlist.stats design.Zeus.Elaborate.netlist);
+          let warnings =
+            List.filter
+              (fun (d : Zeus.Diag.t) ->
+                d.Zeus.Diag.severity = Zeus.Diag.Warning)
+              (Zeus.Diag.Bag.all design.Zeus.Elaborate.diags)
+          in
+          report_diags warnings;
+          0
+      | Error diags ->
+          report_diags diags;
+          1
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Parse, elaborate and statically check a program.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ modular $ contracts $ cache_dir $ no_cache)
 
 let pp_cmd =
   let run file =
@@ -258,6 +331,15 @@ let lint_cmd =
       & info [ "suppress" ] ~docv:"CODE"
           ~doc:"Drop findings with this diagnostic code (repeatable).")
   in
+  let modular =
+    Arg.(
+      value & flag
+      & info [ "modular" ]
+          ~doc:
+            "Run the modular summary analysis first and skip the \
+             drive-conflict prover on nets owned by types it proved \
+             conflict-safe at their instantiated parameters.")
+  in
   let max_severity =
     Arg.(
       value
@@ -270,13 +352,34 @@ let lint_cmd =
              fails, 'warning' (default) fails on errors, 'none' fails on \
              any finding.")
   in
-  let run file format budget suppress max_severity =
-    match Zeus.compile (load file) with
+  let run file format budget suppress max_severity modular =
+    let valid_codes = List.map fst Zeus.Diag.Code.all in
+    let unknown = List.filter (fun c -> not (List.mem c valid_codes)) suppress in
+    if unknown <> [] then begin
+      Fmt.epr "lint: unknown diagnostic code%s %s for --suppress; valid codes: %s@."
+        (if List.length unknown > 1 then "s" else "")
+        (String.concat ", " unknown)
+        (String.concat ", " valid_codes);
+      exit 2
+    end;
+    let src = load file in
+    match Zeus.compile src with
     | Error diags ->
         report_diags diags;
         1
     | Ok design ->
-        let report = Zeus.Lint.run ~budget design in
+        let proven_safe =
+          if not modular then None
+          else
+            match Zeus.Parser.program src with
+            | Some prog, _ ->
+                let r = Zeus.Summary.analyze ~symbolic:false prog in
+                let proven = r.Zeus.Summary.proven_conflict_safe in
+                Fmt.pr "modular pre-pass: %s@." (Zeus.Summary.summary_line r);
+                Some (fun t -> List.mem t proven)
+            | None, _ -> None
+        in
+        let report = Zeus.Lint.run ~budget ?proven_safe design in
         let findings =
           List.filter
             (fun (d : Zeus.Diag.t) ->
@@ -320,7 +423,9 @@ let lint_cmd =
        ~doc:
          "Static analysis: drive-conflict proofs, UNDEF reachability and \
           dead hardware, with stable Zxxx diagnostic codes.")
-    Term.(const run $ file_arg $ format $ budget $ suppress $ max_severity)
+    Term.(
+      const run $ file_arg $ format $ budget $ suppress $ max_severity
+      $ modular)
 
 let layout_cmd =
   let top =

@@ -24,7 +24,8 @@ type kind =
    checks share these, so a static finding and the dynamic violation it
    predicts carry the same code.  Z1xx: drive conflicts (section 4.7's
    "burning transistors"); Z2xx: UNDEF reachability; Z3xx: dead
-   hardware.  Codes are append-only — never renumber. *)
+   hardware; Z4xx: the modular (per-component-type) summary analysis.
+   Codes are append-only — never renumber. *)
 module Code = struct
   let drive_conflict = "Z101"
   let drive_unproven = "Z102"
@@ -32,6 +33,12 @@ module Code = struct
   let undef_only = "Z202"
   let dead_branch = "Z301"
   let dead_instance = "Z302"
+  let modular_conflict = "Z401"
+  let modular_unproven = "Z402"
+  let modular_cycle = "Z403"
+  let modular_range = "Z404"
+  let modular_recursion = "Z405"
+  let modular_coarse = "Z406"
 
   let all =
     [
@@ -53,6 +60,26 @@ module Code = struct
       ( dead_instance,
         "instance outputs reach no output port, register or probe: the \
          hardware is dead" );
+      ( modular_conflict,
+        "two drivers of one port or signal of a component type can be \
+         enabled in the same cycle, proved from the type's summary alone \
+         with a witness over input ports" );
+      ( modular_unproven,
+        "driver exclusivity of a component type could not be decided at \
+         summary level — elaboration-time lint and the runtime check guard \
+         it" );
+      ( modular_cycle,
+        "a combinational cycle not broken by a register may exist for some \
+         parameter value of a component type (type-level reachability)" );
+      ( modular_range,
+        "a parameter value reaching this component type makes an ARRAY \
+         range empty, an index out of bounds or a width non-positive" );
+      ( modular_recursion,
+        "recursion of a component type could not be proved well-founded: \
+         no parameter provably decreases along the WHEN chain" );
+      ( modular_coarse,
+        "the interval abstraction of the generic parameters is too coarse \
+         to decide this check — it falls back to full elaboration" );
     ]
 
   let description c = List.assoc_opt c all

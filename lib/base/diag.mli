@@ -39,6 +39,18 @@ module Code : sig
 
   val dead_instance : string  (** Z302 *)
 
+  val modular_conflict : string  (** Z401 *)
+
+  val modular_unproven : string  (** Z402 *)
+
+  val modular_cycle : string  (** Z403 *)
+
+  val modular_range : string  (** Z404 *)
+
+  val modular_recursion : string  (** Z405 *)
+
+  val modular_coarse : string  (** Z406 *)
+
   (** Every code with its one-line meaning, in code order. *)
   val all : (string * string) list
 

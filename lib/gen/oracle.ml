@@ -26,6 +26,17 @@
                        (Sequential state needs no such carve-out: a
                        guard over a register that can power up UNDEF is
                        never classified safe in the first place.)
+   O5 "modular-vs-elaborated" the modular summary analysis never
+                       contradicts the elaborated pipeline in its sound
+                       direction: a net the elaborated lint proved in
+                       [Conflict] must not be reclassified [Safe] by
+                       the modular pre-pass (a type was proved
+                       conflict-safe wrongly); if every type is proved
+                       cycle-free with no fallback and no Z403, the
+                       elaborated Check must not find a combinational
+                       cycle; and [Summary.analyze] must not raise.
+                       Modular warnings (Z402/Z403/Z406) are allowed to
+                       over-approximate — only "proven" is binding.
 
    A generated program failing to parse or compile is also a finding
    ("parse" / "compile"): the generator only emits legal programs, so
@@ -126,8 +137,40 @@ let check ~src ~(stim : Gen_prog.stimulus) : divergence list =
           let printed2 = Pretty.program_to_string p2 in
           if printed2 <> printed then
             add "pp-fixpoint" "second pretty-print differs from the first");
+      (* O5, part 1: the modular summary analysis must terminate cleanly
+         on anything the parser accepts *)
+      let modular =
+        try Some (Summary.analyze ~symbolic:false p1)
+        with exn ->
+          add "modular-vs-elaborated"
+            ("Summary.analyze raised: " ^ Printexc.to_string exn);
+          None
+      in
+      let modular_all_cycle_free =
+        match modular with
+        | None -> false
+        | Some m ->
+            m.Summary.fallbacks = []
+            && List.for_all
+                 (fun (d : Diag.t) -> d.Diag.code <> Some Diag.Code.modular_cycle)
+                 m.Summary.findings
+            && List.for_all
+                 (fun (n, _) -> List.mem n m.Summary.proven_cycle_free)
+                 m.Summary.contracts
+      in
       match compile src with
       | Error diags ->
+          (* O5, part 2: "every type cycle-free, no fallback" is a proof
+             quantified over the whole design — elaboration must not then
+             find a combinational cycle *)
+          if
+            modular_all_cycle_free
+            && List.exists (fun (d : Diag.t) -> d.Diag.kind = Diag.Cycle_error)
+                 diags
+          then
+            add "modular-vs-elaborated"
+              "all types proved cycle-free modularly, but elaborated Check \
+               found a combinational cycle";
           add "compile" (diags_to_string diags);
           List.rev !divs
       | Ok design ->
@@ -191,8 +234,8 @@ let check ~src ~(stim : Gen_prog.stimulus) : divergence list =
                      (List.for_all (fun (_, v) -> v <> Logic.Undef))
                      stim
           in
-          if env_defined then begin
           let lint = Lint.run design in
+          if env_defined then begin
           let safe =
             List.filter_map
               (fun (v : Lint.net_verdict) ->
@@ -209,4 +252,36 @@ let check ~src ~(stim : Gen_prog.stimulus) : divergence list =
                      net cycle))
             reference.errors
           end;
+          (* O5, part 3: a type the summaries proved conflict-safe must
+             not own a net the elaborated prover showed in conflict — the
+             modular pre-pass would silently hide the Z101 *)
+          (match modular with
+          | Some m when m.Summary.proven_conflict_safe <> [] ->
+              let conflicts =
+                List.filter
+                  (fun (v : Lint.net_verdict) -> v.Lint.v_class = Lint.Conflict)
+                  lint.Lint.verdicts
+              in
+              if conflicts <> [] then begin
+                let proven t = List.mem t m.Summary.proven_conflict_safe in
+                let pre = Lint.run ~proven_safe:proven design in
+                List.iter
+                  (fun (v : Lint.net_verdict) ->
+                    match
+                      List.find_opt
+                        (fun (w : Lint.net_verdict) ->
+                          w.Lint.v_name = v.Lint.v_name)
+                        pre.Lint.verdicts
+                    with
+                    | Some w when w.Lint.v_class = Lint.Safe ->
+                        add "modular-vs-elaborated"
+                          (Printf.sprintf
+                             "net '%s' is a proved conflict, but the modular \
+                              pre-pass classified it safe (a type summary is \
+                              wrongly conflict-safe)"
+                             v.Lint.v_name)
+                    | _ -> ())
+                  conflicts
+              end
+          | _ -> ());
           List.rev !divs)

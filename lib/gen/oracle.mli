@@ -12,6 +12,13 @@
                      cycle-by-cycle")
     lint-vs-runtime  a net lint proved Safe never raises the runtime
                      multiple-drive check
+    modular-vs-elaborated
+                     the modular summary analysis ({!Zeus_sem.Summary})
+                     never contradicts the elaborated pipeline in its
+                     sound direction: proven-conflict-safe types hide no
+                     proved-Conflict net, "all types cycle-free with no
+                     fallback" admits no elaborated cycle error, and
+                     [Summary.analyze] never raises
     parse / compile  generated programs are legal by construction, so a
                      front-end rejection is itself a finding
     v} *)

@@ -373,7 +373,53 @@ let witness_to_string nl m =
   String.concat ", "
     (List.map (fun (n, b) -> Printf.sprintf "%s=%d" n (if b then 1 else 0)) free)
 
-let prove_conflicts st bag ~budget ~splits ~can_undef nl =
+(* The modular fast path.  [proven_safe] names component types whose
+   summaries (Summary.analyze) proved every drive target exclusive for
+   the instantiated parameters.  A canonical class may be skipped when
+   every member net lives under an instance chain of proven types: a
+   net internal to an instance can only be driven by that instance's
+   own type, and a port net additionally by the instantiating parent —
+   both of which the chain covers.  Nets outside any instance (CLK,
+   RSET) are never skipped; the global scope holds declarations only,
+   so it contributes no drivers of its own. *)
+let modular_skip (design : Elaborate.design) proven_safe =
+  let nl = design.Elaborate.netlist in
+  let n = Netlist.net_count nl in
+  let canon id = Netlist.canonical nl id in
+  let type_of_path = Hashtbl.create 16 in
+  List.iter
+    (fun (i : Netlist.instance) ->
+      Hashtbl.replace type_of_path i.Netlist.ipath i.Netlist.itype)
+    (Netlist.instances nl);
+  let owner_types name =
+    let rec go name acc =
+      match String.rindex_opt name '.' with
+      | None -> acc
+      | Some i ->
+          let prefix = String.sub name 0 i in
+          let acc =
+            match Hashtbl.find_opt type_of_path prefix with
+            | Some t -> t :: acc
+            | None -> acc
+          in
+          go prefix acc
+    in
+    go name []
+  in
+  let skip = Array.make n true in
+  let seen = Array.make n false in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      let c = canon net.Netlist.id in
+      seen.(c) <- true;
+      match owner_types net.Netlist.name with
+      | [] -> skip.(c) <- false
+      | ts ->
+          if not (List.for_all proven_safe ts) then skip.(c) <- false)
+    (Netlist.nets_array nl);
+  Array.mapi (fun c s -> s && seen.(c)) skip
+
+let prove_conflicts st bag ~budget ~splits ~can_undef ~skip nl =
   let n = Netlist.net_count nl in
   let canon id = Netlist.canonical nl id in
   (* producers per canonical class, in creation order *)
@@ -400,6 +446,17 @@ let prove_conflicts st bag ~budget ~splits ~can_undef nl =
   for c = 0 to n - 1 do
     match List.rev prods.(c) with
     | [] | [ _ ] -> ()
+    | ps when skip c ->
+        verdicts :=
+          {
+            v_net = c;
+            v_name = (Netlist.net nl c).Netlist.name;
+            v_kind = kind.(c);
+            v_producers = List.length ps;
+            v_class = Safe;
+            v_detail = "proved by the modular type summary (pre-pass)";
+          }
+          :: !verdicts
     | ps ->
         let name = (Netlist.net nl c).Netlist.name in
         let nps = List.length ps in
@@ -755,18 +812,25 @@ let dead_pass bag (design : Elaborate.design) =
 
 let default_budget = 4096
 
-let run ?(budget = default_budget) (design : Elaborate.design) =
+let run ?(budget = default_budget) ?proven_safe (design : Elaborate.design) =
   let nl = design.Elaborate.netlist in
   let bag = Diag.Bag.create () in
   let st = make_expander design in
   let splits = ref 0 in
+  let skip =
+    match proven_safe with
+    | None -> fun _ -> false
+    | Some p ->
+        let arr = modular_skip design p in
+        fun c -> arr.(c)
+  in
   (* expansion must precede the conflict pass so undef_roots is filled
      before pairs are scanned — drive_cond runs inside the pass, so
      scan pairs only after all conditions are expanded (prove_conflicts
      builds every producer's condition before solving any pair) *)
   let (sets, _) as vsets = value_sets design in
   let can_undef c = booleanize_mask sets.(c) land m_undef <> 0 in
-  let verdicts = prove_conflicts st bag ~budget ~splits ~can_undef nl in
+  let verdicts = prove_conflicts st bag ~budget ~splits ~can_undef ~skip nl in
   undef_pass bag design vsets;
   dead_pass bag design;
   { verdicts; findings = Diag.Bag.all bag; splits = !splits }
@@ -814,9 +878,15 @@ let json_loc (loc : Loc.t) =
       loc.Loc.start.Loc.line loc.Loc.start.Loc.col loc.Loc.stop.Loc.line
       loc.Loc.stop.Loc.col
 
+(* Bump whenever the shape of the JSON report changes, so downstream
+   tooling can detect incompatible output.  1: first versioned schema
+   (unversioned output predates it). *)
+let json_schema_version = 1
+
 let json_of_report report =
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"nets\": [";
+  Buffer.add_string b
+    (Printf.sprintf "{\n  \"version\": %d,\n  \"nets\": [" json_schema_version);
   List.iteri
     (fun i v ->
       if i > 0 then Buffer.add_char b ',';

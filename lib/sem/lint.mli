@@ -16,6 +16,43 @@
       guards surviving constant evaluation and instances whose
       outputs reach no register or output port. *)
 
+(** Boolean formulas over integer-identified variables.  [Bvar] is a
+    free variable (a witness assigning only free variables is
+    realizable); [Bopq] is opaque — the solver may split on it (sound
+    for UNSAT) but a witness assigning one proves nothing.  The
+    formula layer is exposed so the modular summary analysis
+    ({!Summary}) can reuse the same bounded prover on composed
+    type-level guards. *)
+type bexp =
+  | Btrue
+  | Bfalse
+  | Bvar of int
+  | Bopq of int
+  | Bnot of bexp
+  | Band of bexp list
+  | Bor of bexp list
+  | Bxor of bexp * bexp
+
+(** Smart constructors: flatten, drop units, short-circuit constants. *)
+val bnot : bexp -> bexp
+
+val band : bexp list -> bexp
+val bor : bexp list -> bexp
+val bxor : bexp -> bexp -> bexp
+
+(** [exists_var p e] — does some variable [v] satisfy [p v is_opaque]? *)
+val exists_var : (int -> bool -> bool) -> bexp -> bool
+
+type sat_result =
+  | Unsat
+  | Sat of (int * bool) list  (** the assigned variables at the leaf *)
+  | Budget_out
+
+(** DPLL-style case-splitting, free variables split first.  [budget]
+    bounds the splits of this one call; [splits] accumulates a grand
+    total across calls. *)
+val solve : budget:int -> splits:int ref -> bexp -> sat_result
+
 type classification =
   | Safe  (** every pair of drivers proved mutually exclusive *)
   | Conflict  (** two drivers can fire in one cycle; witness attached *)
@@ -46,12 +83,26 @@ val default_budget : int
 (** Run all three passes.  [budget] bounds the number of case splits
     the conflict prover may spend per net pair (default
     {!default_budget}); exhausting it demotes the net to
-    [Needs_runtime_check] rather than guessing. *)
-val run : ?budget:int -> Elaborate.design -> report
+    [Needs_runtime_check] rather than guessing.
+
+    [proven_safe] is the modular fast path: a predicate over component
+    type names whose summaries ({!Summary}) already proved every drive
+    target conflict-free for the instantiated parameters.  A net class
+    all of whose member nets live under instances of proven types
+    (including, for port nets, the instantiating parent's type) is
+    classified [Safe] without expanding or solving anything — the
+    summary pre-pass skips proven-safe subtrees. *)
+val run :
+  ?budget:int -> ?proven_safe:(string -> bool) -> Elaborate.design -> report
 
 (** "N multi-driven nets: ... ; M findings (S case splits)" *)
 val summary : report -> string
 
-(** The whole report as a JSON object with [nets], [findings] and
-    [summary] members.  Hand-rolled, schema-stable output. *)
+(** The schema version carried in the [version] member of the JSON
+    report; bumped on any incompatible change to the output shape. *)
+val json_schema_version : int
+
+(** The whole report as a JSON object with [version], [nets],
+    [findings] and [summary] members.  Hand-rolled, schema-stable
+    output. *)
 val json_of_report : report -> string

@@ -27,6 +27,8 @@ module Check = Zeus_sem.Check
 module Stats = Zeus_sem.Stats
 module Optimize = Zeus_sem.Optimize
 module Lint = Zeus_sem.Lint
+module Contract = Zeus_sem.Contract
+module Summary = Zeus_sem.Summary
 module Layout_ir = Zeus_sem.Layout_ir
 module Graph = Zeus_sim.Graph
 module Sched = Zeus_sim.Sched

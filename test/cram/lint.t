@@ -24,6 +24,7 @@ The same report as JSON, carrying the stable codes:
 
   $ zeusc lint section8.zeus --format json
   {
+    "version": 1,
     "nets": [
       {"net":"top.out","kind":"multiplex","producers":2,"class":"conflict","detail":"witness: top.x=1, top.y=1"}
     ],
@@ -34,11 +35,25 @@ The same report as JSON, carrying the stable codes:
   }
   [1]
 
+The schema version is locked: bumping it without updating this golden
+test is a reviewable event.
+
+  $ zeusc lint section8.zeus --format json | head -2
+  {
+    "version": 1,
+
 Per-code suppression drops the finding (and with it the failing exit):
 
   $ zeusc lint section8.zeus --suppress Z101
   net 'top.out' (multiplex, 2 producers): conflict — witness: top.x=1, top.y=1
   1 multi-driven net: 0 safe, 1 conflict, 0 needs-runtime-check; 0 findings (2 case splits)
+
+An unknown code is rejected with the list of valid codes, instead of
+being silently accepted (a typo would un-suppress nothing):
+
+  $ zeusc lint section8.zeus --suppress Z101 --suppress Z999
+  lint: unknown diagnostic code Z999 for --suppress; valid codes: Z101, Z102, Z201, Z202, Z301, Z302, Z401, Z402, Z403, Z404, Z405, Z406
+  [2]
 
 A strangled solver budget degrades soundly: the net is handed to the
 simulator's runtime multiple-drive check (Z102) instead of guessing:

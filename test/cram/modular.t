@@ -1,0 +1,104 @@
+The modular component-summary analysis: per-type port contracts,
+symbolic parameter checking and type-level cycle detection, without
+elaboration (Z4xx codes).
+
+The recursive H-tree is proved conflict-safe and cycle-free for ALL
+parameter values — the symbolic summary htree(any) covers every N:
+
+  $ zeusc corpus htree16 > htree.zeus
+  $ zeusc check --modular --no-cache htree.zeus
+  type leaftype             (-): conflict-safe, cycle-free
+  type htree                (1): conflict-safe, cycle-free
+  type htree                (4): conflict-safe, cycle-free
+  type htree                (16): conflict-safe, cycle-free
+  type leaftype             (-): conflict-safe, cycle-free
+  type htree                (any): conflict-safe, cycle-free
+  2 component type(s), 6 summaries computed (0 cached); conflict-safe: htree leaftype; cycle-free: htree leaftype
+
+The recursive routing network: the index disjointness of
+output[i] vs output[i + n DIV 2] and the WHEN-arm exclusivity are
+proved symbolically, so the whole family is conflict-safe:
+
+  $ zeusc corpus routing4 > routing.zeus
+  $ zeusc check --modular --no-cache routing.zeus
+  type router               (-): conflict-safe, cycle-free
+  type routingnetwork       (2): conflict-safe, cycle-free
+  type routingnetwork       (4): conflict-safe, cycle-free
+  type routingnetwork       (any): conflict-safe, cycle-free
+  2 component type(s), 4 summaries computed (0 cached); conflict-safe: router routingnetwork; cycle-free: router routingnetwork
+
+A real conflict is found modularly, with a witness, under the Z401
+code and a failing exit — agreeing with the elaborated lint's Z101:
+
+  $ zeusc corpus section8 > section8.zeus
+  $ zeusc check --modular --no-cache section8.zeus
+  type c                    (-): conflict-unproven, cycle-free
+  7:13-22: error(lint)[Z401]: drive conflict on 'out' in c: assignment and assignment can fire together when x = 1, y = 1
+  1 component type(s), 1 summary computed (0 cached); conflict-safe: none; cycle-free: c
+  [1]
+
+A combinational cycle is caught at the type level (Z403): registers
+are the only cycle breakers, and this loop has none:
+
+  $ cat > cycle.zeus <<'EOF'
+  > TYPE top = COMPONENT (IN a: boolean; OUT z: boolean) IS
+  > SIGNAL u, v: boolean;
+  > BEGIN
+  >   u := AND(a, v);
+  >   v := NOT u;
+  >   z := v;
+  > END;
+  > 
+  > SIGNAL t: top;
+  > EOF
+  $ zeusc check --modular --no-cache cycle.zeus 2>&1 | grep -c Z403
+  1
+
+Breaking the loop with a register removes the finding:
+
+  $ cat > reg.zeus <<'EOF'
+  > TYPE top = COMPONENT (IN a: boolean; OUT z: boolean) IS
+  > SIGNAL u: boolean;
+  >        r: REG;
+  > BEGIN
+  >   u := AND(a, r.out);
+  >   r.in := NOT u;
+  >   z := u;
+  > END;
+  > 
+  > SIGNAL t: top;
+  > EOF
+  $ zeusc check --modular --no-cache reg.zeus 2>&1 | grep -c Z403
+  0
+  [1]
+
+Symbolic parameter-range checking (Z404): an ARRAY index that is out
+of bounds for the instantiated parameter:
+
+  $ cat > oob.zeus <<'EOF'
+  > TYPE t(n) = COMPONENT (IN a: boolean; OUT z: boolean) IS
+  > SIGNAL s: ARRAY[1..n] OF boolean;
+  > BEGIN
+  >   s[n + 1] := a;
+  >   z := s[1];
+  > END;
+  > 
+  > SIGNAL x: t(4);
+  > EOF
+  $ zeusc check --modular --no-cache oob.zeus 2>&1 | grep -o 'Z404' | head -1
+  Z404
+
+The persistent cache: the second run computes nothing and serves every
+summary from disk (keyed by the source digest, so an edit invalidates):
+
+  $ zeusc check --modular --cache-dir cache.d htree.zeus | tail -1
+  2 component type(s), 6 summaries computed (0 cached); conflict-safe: htree leaftype; cycle-free: htree leaftype
+  $ zeusc check --modular --cache-dir cache.d htree.zeus | tail -1
+  1 component type(s), 0 summaries computed (2 cached); conflict-safe: htree; cycle-free: htree
+
+The summaries feed lint as a fast pre-pass: nets owned by proven types
+are classified safe without expanding or solving anything:
+
+  $ zeusc lint --modular htree.zeus
+  modular pre-pass: 2 component type(s), 4 summaries computed (0 cached); conflict-safe: htree leaftype; cycle-free: htree leaftype
+  0 multi-driven nets: 0 safe, 0 conflict, 0 needs-runtime-check; 0 findings (0 case splits)

@@ -147,6 +147,72 @@ let test_reduction_on_blackjack () =
     true
     (r.Optimize.gates_after < r.Optimize.gates_before)
 
+(* ---- known_constants edge cases ---- *)
+
+let known_of design name =
+  let nl = design.Elaborate.netlist in
+  let known = Optimize.known_constants design in
+  let found = ref None in
+  Array.iteri
+    (fun i (n : Netlist.net) -> if n.Netlist.name = name then found := Some i)
+    (Netlist.nets_array nl);
+  match !found with
+  | Some i -> Option.map Logic.to_char known.(Netlist.canonical nl i)
+  | None -> Alcotest.failf "net %s not in the netlist" name
+
+let test_noinfl_only_net () =
+  (* a multiplex whose single producer sits behind a statically-false
+     guard carries NOINFL (no influence) — not UNDEF, and not unknown *)
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL g: \
+       boolean; m: multiplex; BEGIN g := 0; IF g THEN m := x END; y := \
+       OR(m, x) END;\nSIGNAL s: t;"
+  in
+  Alcotest.(check (option char))
+    "m is NOINFL"
+    (Some (Logic.to_char Logic.Noinfl))
+    (known_of d "s.m")
+
+let test_register_feedback_constant () =
+  (* r.in is the constant 1, but a register output is sequential state
+     (it can power up UNDEF): the constant must not propagate through
+     the register to r.out or anything fed from it *)
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL u: \
+       boolean; r: REG; BEGIN r.in := 1; u := r.out; y := AND(x, u) \
+       END;\nSIGNAL s: t;"
+  in
+  Alcotest.(check (option char)) "r.in constant" (Some '1')
+    (known_of d "s.r.in");
+  Alcotest.(check (option char)) "r.out not constant" None
+    (known_of d "s.r.out");
+  Alcotest.(check (option char)) "copy of r.out not constant" None
+    (known_of d "s.u")
+
+let test_alias_class_constants () =
+  (* '==' merges alias classes: a constant learned on one name is known
+     through every alias of the class *)
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL a, b: \
+       multiplex; BEGIN a == b; a := 1; y := AND(x, b) END;\nSIGNAL s: t;"
+  in
+  Alcotest.(check (option char)) "alias of a constant is constant" (Some '1')
+    (known_of d "s.b");
+  (* two always-firing constant drivers landing on one merged class:
+     the class has two producers, so it stays conservatively unknown
+     even though the drivers agree *)
+  let d2 =
+    compile
+      "TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL g: \
+       boolean; a, b: multiplex; BEGIN g := 1; a == b; IF g THEN a := 1 \
+       END; IF g THEN b := 1 END; y := AND(x, a) END;\nSIGNAL s: t;"
+  in
+  Alcotest.(check (option char)) "two agreeing constants stay unknown" None
+    (known_of d2 "s.a")
+
 let () =
   Alcotest.run "optimize"
     [
@@ -155,6 +221,14 @@ let () =
           Alcotest.test_case "constant folding" `Quick test_constant_folding;
           Alcotest.test_case "dead removal" `Quick test_dead_removal;
           Alcotest.test_case "guard folding" `Quick test_guard_folding;
+        ] );
+      ( "known-constants",
+        [
+          Alcotest.test_case "NOINFL-only net" `Quick test_noinfl_only_net;
+          Alcotest.test_case "register feedback" `Quick
+            test_register_feedback_constant;
+          Alcotest.test_case "alias-class merging" `Quick
+            test_alias_class_constants;
         ] );
       ( "equivalence",
         [
