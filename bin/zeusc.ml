@@ -234,17 +234,46 @@ let sim_cmd =
       & info [ "engine" ] ~docv:"ENGINE"
           ~doc:
             "Scheduling engine: $(b,firing) (default), \
-             $(b,firing-strict), $(b,fixpoint), $(b,relaxation) or \
-             $(b,incremental).  All engines compute identical values.")
+             $(b,firing-strict), $(b,fixpoint), $(b,relaxation), \
+             $(b,incremental) or $(b,parallel).  All engines compute \
+             identical values.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Domains for $(b,--engine parallel) (default: the \
+             recommended domain count).  Results are bit-identical at \
+             any value; only the work distribution changes.")
+  in
+  let grain =
+    Arg.(
+      value
+      & opt int 64
+      & info [ "grain" ] ~docv:"N"
+          ~doc:
+            "Minimum dirty-level width the parallel engine fans out to \
+             the domain pool; narrower levels run on the calling domain.")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "After the run, print the work breakdown: total node visits, \
+             and for the parallel engine the per-level fan-out, barrier \
+             and per-domain visit counters (all deterministic).")
   in
   let run file cycles pokes peeks do_reset trace wave explain activity vcd_out
-      engine =
+      engine jobs grain stats =
     match Zeus.compile (load file) with
     | Error diags ->
         report_diags diags;
         1
     | Ok design ->
-        let sim = Zeus.Sim.create ~engine design in
+        let sim = Zeus.Sim.create ~engine ?jobs ~grain design in
         List.iter (fun (p, v) ->
             if v <= 1 then Zeus.Sim.poke sim p [ (if v = 1 then Zeus.Logic.One else Zeus.Logic.Zero) ]
             else Zeus.Sim.poke_int sim p v)
@@ -295,6 +324,22 @@ let sim_cmd =
           List.iter
             (fun (n, v) -> Fmt.pr "  fire %s = %a@." n Zeus.Logic.pp v)
             (Zeus.Sim.trace_last_cycle sim);
+        if stats then begin
+          Fmt.pr "node visits: %d@." (Zeus.Sim.node_visits sim);
+          match Zeus.Sim.parallel_stats sim with
+          | None -> ()
+          | Some s ->
+              Fmt.pr
+                "parallel: jobs=%d levels=%d chunked=%d barriers=%d \
+                 node-tasks=%d net-tasks=%d max-fanout=%d@."
+                s.Zeus.Sim.par_jobs s.Zeus.Sim.par_levels
+                s.Zeus.Sim.par_chunked_levels s.Zeus.Sim.par_barriers
+                s.Zeus.Sim.par_node_tasks s.Zeus.Sim.par_net_tasks
+                s.Zeus.Sim.par_max_fanout;
+              Fmt.pr "domain visits:%a@."
+                Fmt.(array ~sep:nop (fmt " %d"))
+                s.Zeus.Sim.par_domain_visits
+        end;
         List.iter
           (fun (e : Zeus.Sim.runtime_error) ->
             Fmt.pr "runtime error (cycle %d) [%s] %s: %s@." e.Zeus.Sim.err_cycle
@@ -306,7 +351,7 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Simulate a design for N cycles.")
     Term.(
       const run $ file_arg $ cycles $ pokes $ peeks $ do_reset $ trace $ wave
-      $ explain $ activity $ vcd_out $ engine)
+      $ explain $ activity $ vcd_out $ engine $ jobs $ grain $ stats)
 
 let lint_cmd =
   let format =

@@ -10,7 +10,9 @@
                        Firing-engine run is bit-identical to the
                        original's (print/parse/elaborate preserve
                        semantics, not just syntax);
-   O3 "engine:<name>"  all five scheduling engines produce identical
+   O3 "engine:<name>"  all six scheduling engines — including the
+                       domain-parallel one, run at 4 domains with every
+                       dirty level chunked (grain 1) — produce identical
                        snapshots *per cycle* and identical runtime-error
                        sets (cycle, net, code) over the poke sequence —
                        the cycle-by-cycle comparison subsumes the
@@ -77,8 +79,12 @@ type run = {
   errors : (int * string * string) list; (* cycle, net, code; sorted *)
 }
 
-let run_engine design engine (stim : Gen_prog.stimulus) =
-  let sim = Sim.create ~engine design in
+let run_engine ?(jobs = 4) ?(grain = 1) design engine (stim : Gen_prog.stimulus)
+    =
+  (* jobs/grain only affect the Parallel engine; grain 1 forces every
+     dirty level through the domain pool so the fuzz actually exercises
+     the chunked path *)
+  let sim = Sim.create ~engine ~jobs ~grain design in
   let snaps =
     List.map
       (fun pokes ->
@@ -174,7 +180,7 @@ let check ~src ~(stim : Gen_prog.stimulus) : divergence list =
           add "compile" (diags_to_string diags);
           List.rev !divs
       | Ok design ->
-          (* O3: the five-engine matrix, cycle-by-cycle *)
+          (* O3: the six-engine matrix, cycle-by-cycle *)
           let reference = run_engine design Sim.Firing stim in
           List.iter
             (fun engine ->

@@ -6,10 +6,11 @@
     pp-fixpoint      pretty-print → reparse → pretty-print is a fixpoint
     reelaborate      pretty-printed source compiles and simulates
                      bit-identically to the original (Firing engine)
-    engine:<name>    every engine matches Firing: identical snapshots
-                     per cycle and identical runtime-error sets
-                     (subsumes "Incremental agrees with Fixpoint
-                     cycle-by-cycle")
+    engine:<name>    every engine matches Firing — including the
+                     domain-parallel one at 4 domains, grain 1:
+                     identical snapshots per cycle and identical
+                     runtime-error sets (subsumes "Incremental agrees
+                     with Fixpoint cycle-by-cycle")
     lint-vs-runtime  a net lint proved Safe never raises the runtime
                      multiple-drive check
     modular-vs-elaborated
@@ -41,7 +42,12 @@ type run = {
   errors : (int * string * string) list;  (** cycle, net, code; sorted *)
 }
 
-val run_engine : Zeus_sem.Elaborate.design -> Sim.engine -> Gen_prog.stimulus -> run
+(** [jobs]/[grain] shape the {!Sim.Parallel} engine only (defaults 4
+    and 1: every dirty level is chunked across 4 domains); results are
+    identical at any value. *)
+val run_engine :
+  ?jobs:int -> ?grain:int ->
+  Zeus_sem.Elaborate.design -> Sim.engine -> Gen_prog.stimulus -> run
 
 val check : src:string -> stim:Gen_prog.stimulus -> divergence list
 (** Run the whole matrix; [[]] means agreement everywhere. *)

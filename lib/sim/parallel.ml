@@ -1,0 +1,42 @@
+(* The domain-parallel simulator: {!Sim} under [Sim.Parallel]
+   scheduling.  Identical observable behaviour to every serial engine —
+   snapshots, runtime errors and the RANDOM stream are bit-identical at
+   any domain count — only the work distribution differs: each level of
+   the incremental dirty cone is chunked across a reusable domain pool
+   and merged at a barrier.  See {!Sim} for the full API. *)
+
+type t = Sim.t
+
+let create ?seed ?jobs ?grain design =
+  Sim.create ~engine:Sim.Parallel ?seed ?jobs ?grain design
+
+let step = Sim.step
+
+let step_n = Sim.step_n
+
+let reset = Sim.reset
+
+let restart = Sim.restart
+
+let poke = Sim.poke
+
+let poke_bool = Sim.poke_bool
+
+let poke_int = Sim.poke_int
+
+let peek = Sim.peek
+
+let peek_bit = Sim.peek_bit
+
+let peek_int = Sim.peek_int
+
+let node_visits = Sim.node_visits
+
+let runtime_errors = Sim.runtime_errors
+
+let snapshot = Sim.snapshot
+
+let stats sim =
+  match Sim.parallel_stats sim with
+  | Some s -> s
+  | None -> invalid_arg "Parallel.stats: not a parallel simulator"

@@ -1,0 +1,28 @@
+(** The domain-parallel simulator: {!Sim} under [Sim.Parallel]
+    scheduling — each level of the incremental dirty cone fired
+    concurrently on a reusable domain pool, with bit-identical
+    snapshots, runtime errors and RANDOM stream at any domain count.
+    All functions are those of {!Sim}. *)
+
+type t = Sim.t
+
+val create :
+  ?seed:int -> ?jobs:int -> ?grain:int -> Zeus_sem.Elaborate.design -> t
+
+val step : t -> unit
+val step_n : t -> int -> unit
+val reset : t -> unit
+val restart : t -> unit
+val poke : t -> string -> Zeus_base.Logic.t list -> unit
+val poke_bool : t -> string -> bool -> unit
+val poke_int : t -> string -> int -> unit
+val peek : t -> string -> Zeus_base.Logic.t list
+val peek_bit : t -> string -> Zeus_base.Logic.t
+val peek_int : t -> string -> int option
+val node_visits : t -> int
+val runtime_errors : t -> Sim.runtime_error list
+val snapshot : t -> Zeus_base.Logic.t option array
+
+(** The work breakdown of {!Sim.parallel_stats}; raises on a
+    non-parallel handle. *)
+val stats : t -> Sim.par_stats

@@ -22,7 +22,30 @@ type t = {
   net_level : int array; (* per class; -1 = cyclic *)
   max_level : int;
   acyclic : bool;
+  (* static per-level membership, for the parallel engine's chunking and
+     its --stats fan-out profile; cyclic items (level -1) are omitted *)
+  nodes_at : int array array; (* per level: node ids, ascending *)
+  nets_at : int array array; (* per level: class ids, ascending *)
 }
+
+(* bucket ids by level (ascending within a level — ids are filled in
+   increasing order) *)
+let bucketize max_level levels =
+  let counts = Array.make (max_level + 1) 0 in
+  Array.iter (fun l -> if l >= 0 then counts.(l) <- counts.(l) + 1) levels;
+  let buckets = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make (max_level + 1) 0 in
+  Array.iteri
+    (fun id l ->
+      if l >= 0 then begin
+        buckets.(l).(fill.(l)) <- id;
+        fill.(l) <- fill.(l) + 1
+      end)
+    levels;
+  buckets
+
+let max_width t =
+  Array.fold_left (fun acc b -> max acc (Array.length b)) 0 t.nodes_at
 
 let build (g : Graph.t) =
   let n_nodes = Array.length g.Graph.nodes in
@@ -75,4 +98,11 @@ let build (g : Graph.t) =
     Array.for_all (fun l -> l >= 0) node_level
     && Array.for_all (fun l -> l >= 0) net_level
   in
-  { node_level; net_level; max_level = !max_level; acyclic }
+  {
+    node_level;
+    net_level;
+    max_level = !max_level;
+    acyclic;
+    nodes_at = bucketize !max_level node_level;
+    nets_at = bucketize !max_level net_level;
+  }

@@ -1,6 +1,6 @@
 (* Cycle-based simulation of elaborated Zeus designs.
 
-   Five scheduling engines over the same semantics graph, values and
+   Six scheduling engines over the same semantics graph, values and
    resolution rules (so their results are identical — the paper's claim
    in section 8 that every legal propagation order gives the same result
    is a tested invariant here):
@@ -25,7 +25,17 @@
                    keep their previous-cycle values, so quiescent cycles
                    cost O(dirty), not O(nets) — the "work proportional
                    to activity" property section 8 claims for the
-                   firing evaluator, made true across cycles.
+                   firing evaluator, made true across cycles;
+   - [Parallel]    the incremental engine with each level of the dirty
+                   cone fired concurrently on a reusable domain pool
+                   ({!Pool}): within a level every node writes only its
+                   own [produced] slot and every net only its own
+                   resolution slots, so chunks are data-race-free by
+                   construction; dirty-successor sets merge at the
+                   barrier between levels.  RANDOM draws are a pure
+                   function of (seed, class, cycle) ({!Prand}) — shared
+                   by all six engines — so snapshots are bit-identical
+                   regardless of domain count.
 
    Per cycle, a net's value:
    - a boolean net fires on its first driving value;
@@ -50,6 +60,7 @@ type engine =
   | Fixpoint
   | Relaxation
   | Incremental
+  | Parallel
 
 let engine_name = function
   | Firing -> "firing"
@@ -57,8 +68,24 @@ let engine_name = function
   | Fixpoint -> "fixpoint"
   | Relaxation -> "relaxation"
   | Incremental -> "incremental"
+  | Parallel -> "parallel"
 
-let all_engines = [ Firing; Firing_strict; Fixpoint; Relaxation; Incremental ]
+let all_engines =
+  [ Firing; Firing_strict; Fixpoint; Relaxation; Incremental; Parallel ]
+
+(* observable work breakdown of the parallel engine (--stats) — all
+   counters are deterministic functions of (design, stimulus, jobs,
+   grain): no wall-clock, so they are golden-testable *)
+type par_stats = {
+  par_jobs : int;
+  par_levels : int; (* warm levels that had any scheduled work *)
+  par_chunked_levels : int; (* of those, levels fanned out on the pool *)
+  par_barriers : int; (* fork-join regions (one per chunked phase) *)
+  par_node_tasks : int; (* node evaluations in warm passes *)
+  par_net_tasks : int; (* net resolutions in warm passes *)
+  par_max_fanout : int; (* widest dirty node level seen *)
+  par_domain_visits : int array; (* node evaluations per domain *)
+}
 
 type runtime_error = {
   err_cycle : int;
@@ -80,7 +107,7 @@ type t = {
   reg_state : Logic.t array; (* per register *)
   poked : Logic.t option array; (* testbench values, persistent; per class *)
   mutable cycle : int;
-  mutable rng : Random.State.t;
+  seed : int; (* RANDOM draws are Prand.bool (seed, class, cycle) *)
   mutable errors : runtime_error list;
   mutable node_visits : int; (* work metric for the simulator benches *)
   mutable trace : (string * Logic.t) list; (* firing order, last cycle *)
@@ -103,11 +130,34 @@ type t = {
   mutable conflict_list : int list;
   reg_dirty : bool array; (* per register: input resolution changed *)
   mutable reg_dirty_list : int list;
+  (* --- parallel engine machinery --- *)
+  jobs : int; (* domains per chunked level (1 for serial engines) *)
+  grain : int; (* levels narrower than this run on the caller *)
+  dom_out : int list array; (* node phase: changed-output nets, per domain *)
+  dom_changed : int list array; (* net phase: nets whose value changed *)
+  dom_regs : int list array; (* net phase: nets affecting a register *)
+  dom_conf : int list array; (* net phase: newly entered conflicts *)
+  dom_visits : int array; (* node evaluations per domain *)
+  mutable ps_levels : int;
+  mutable ps_chunked : int;
+  mutable ps_barriers : int;
+  mutable ps_node_tasks : int;
+  mutable ps_net_tasks : int;
+  mutable ps_max_fanout : int;
 }
 
-let create ?(engine = Firing) ?(seed = 0x5eed) (design : Elaborate.design) =
+let create ?(engine = Firing) ?(seed = 0x5eed) ?jobs ?(grain = 64)
+    (design : Elaborate.design) =
   let g = Graph.build design in
   let sched = Sched.build g in
+  let jobs =
+    let requested =
+      match jobs with
+      | Some j -> j
+      | None -> Domain.recommended_domain_count ()
+    in
+    max 1 (min requested Pool.max_jobs)
+  in
   let n = g.Graph.n_classes in
   let n_nodes = Array.length g.Graph.nodes in
   let const_nodes = ref [] and random_nodes = ref [] in
@@ -137,7 +187,7 @@ let create ?(engine = Firing) ?(seed = 0x5eed) (design : Elaborate.design) =
       Array.map (fun (r : Netlist.reg) -> r.Netlist.rinit) g.Graph.regs;
     poked = Array.make n None;
     cycle = 0;
-    rng = Random.State.make [| seed |];
+    seed;
     errors = [];
     node_visits = 0;
     trace = [];
@@ -159,6 +209,19 @@ let create ?(engine = Firing) ?(seed = 0x5eed) (design : Elaborate.design) =
     conflict_list = [];
     reg_dirty = Array.make (Array.length g.Graph.regs) false;
     reg_dirty_list = [];
+    jobs;
+    grain = max 1 grain;
+    dom_out = Array.make jobs [];
+    dom_changed = Array.make jobs [];
+    dom_regs = Array.make jobs [];
+    dom_conf = Array.make jobs [];
+    dom_visits = Array.make jobs 0;
+    ps_levels = 0;
+    ps_chunked = 0;
+    ps_barriers = 0;
+    ps_node_tasks = 0;
+    ps_net_tasks = 0;
+    ps_max_fanout = 0;
   }
 
 let design t = t.g.Graph.design
@@ -187,6 +250,12 @@ let conflict_error t net =
     "more than one driving assignment in cycle %d — burning transistors \
      (value forced to UNDEF)"
     t.cycle
+
+(* RANDOM: a pure function of (seed, output class, cycle) — identical
+   in every engine, at every domain count, and idempotent under cone
+   re-evaluation *)
+let random_value t net =
+  Logic.of_bool (Prand.bool ~seed:t.seed ~net ~cycle:t.cycle)
 
 (* ------------------------------------------------------------------ *)
 (* Poking and peeking                                                   *)
@@ -310,7 +379,8 @@ let eval_gate t op (inputs : Netlist.src array) =
   | Netlist.Gxor -> Logic.xor_partial vals
   | Netlist.Gnot -> Logic.not_partial vals
   | Netlist.Gequal -> Logic.map_all equal_fold vals
-  | Netlist.Grandom -> Some (Logic.of_bool (Random.State.bool t.rng))
+  | Netlist.Grandom -> assert false (* handled by the callers via the
+                                       output class, see [random_value] *)
 
 let eval_driver t guard source =
   match guard with
@@ -338,13 +408,10 @@ let strict_src t = function
 
 let strict_eval_node t node_id =
   match t.g.Graph.nodes.(node_id) with
-  | Graph.Ngate { op = Netlist.Grandom; _ } -> (
-      (* RANDOM is re-drawn exactly once per cycle (by the incremental
-         pre-pass or the full engines' const-node sweep); a cone
-         re-evaluation must not advance the rng stream *)
-      match t.produced.(node_id) with
-      | Some v -> v
-      | None -> Logic.of_bool (Random.State.bool t.rng))
+  | Graph.Ngate { op = Netlist.Grandom; output; _ } ->
+      (* stateless: recomputing during a cone re-evaluation yields the
+         same value the pre-pass drew *)
+      random_value t output
   | Graph.Ngate { op; inputs; _ } -> (
       let vals = Array.to_list (Array.map (strict_src t) inputs) in
       match op with
@@ -409,13 +476,15 @@ let mark_reg_dirty t i =
 
 (* Recompute a class's resolution from its producers' produced values
    (or, for producer-less classes, its seed).  Returns
-   (value_changed, driven_flag_changed).  [emit_conflict] reports
-   newly-entered conflicts; the incremental engine instead reports every
-   standing conflict once per cycle, after its pass. *)
-let finalize_net t ~emit_conflict net =
+   (value_changed, driven_flag_changed, entered_conflict).  Every write
+   is to this net's own slot, so distinct nets can be finalized from
+   distinct domains concurrently; the shared [conflict_list] append is
+   left to the (sequential) callers. *)
+let finalize_net_core t net =
   let g = t.g in
   let old_value = t.values.(net) in
   let old_driven = t.drives_seen.(net) > 0 in
+  let entered = ref false in
   if g.Graph.producer_count.(net) = 0 then
     t.values.(net) <- Some (seed_value t net)
   else begin
@@ -438,14 +507,24 @@ let finalize_net t ~emit_conflict net =
     if !drives >= 2 then begin
       if not t.in_conflict.(net) then begin
         t.in_conflict.(net) <- true;
-        t.conflict_list <- net :: t.conflict_list;
-        if emit_conflict then conflict_error t net
+        entered := true
       end
     end
     else if t.in_conflict.(net) then t.in_conflict.(net) <- false
     (* stale entries are filtered from conflict_list lazily *)
   end;
-  (t.values.(net) <> old_value, (t.drives_seen.(net) > 0) <> old_driven)
+  (t.values.(net) <> old_value, (t.drives_seen.(net) > 0) <> old_driven, !entered)
+
+(* the serial wrapper: [emit_conflict] reports newly-entered conflicts;
+   the incremental engine instead reports every standing conflict once
+   per cycle, after its pass *)
+let finalize_net t ~emit_conflict net =
+  let changed, driven_changed, entered = finalize_net_core t net in
+  if entered then begin
+    t.conflict_list <- net :: t.conflict_list;
+    if emit_conflict then conflict_error t net
+  end;
+  (changed, driven_changed)
 
 (* Forward pass over the level buckets: nodes of level l, then classes
    of level l.  Classes caught in combinational cycles live in the
@@ -552,7 +631,7 @@ let latch_reg t i =
 (* ------------------------------------------------------------------ *)
 
 let event_driven = function
-  | Firing | Firing_strict | Incremental -> true
+  | Firing | Firing_strict | Incremental | Parallel -> true
   | Fixpoint | Relaxation -> false
 
 let step_full t =
@@ -613,6 +692,9 @@ let step_full t =
     if t.produced.(node_id) = None then begin
       t.node_visits <- t.node_visits + 1;
       match g.Graph.nodes.(node_id) with
+      | Graph.Ngate { op = Netlist.Grandom; output; _ } ->
+          produce node_id output (random_value t output);
+          true
       | Graph.Ngate { op; inputs; output } -> (
           match eval_gate t op inputs with
           | Some v ->
@@ -635,7 +717,7 @@ let step_full t =
     if t.remaining.(net) = 0 then fire net (seed_value t net)
   done;
   (match t.engine with
-  | Firing | Firing_strict | Incremental ->
+  | Firing | Firing_strict | Incremental | Parallel ->
       (* nodes with only constant inputs fire without stimulus *)
       Array.iter (fun node_id -> ignore (try_node node_id)) t.const_nodes;
       let rec drain () =
@@ -675,7 +757,7 @@ let step_full t =
       done;
       if !stuck then begin
         (match t.engine with
-        | Firing | Firing_strict | Incremental ->
+        | Firing | Firing_strict | Incremental | Parallel ->
             let rec drain () =
               match Queue.take_opt worklist with
               | Some node_id ->
@@ -739,19 +821,25 @@ let step_full t =
 (* One incremental clock cycle                                          *)
 (* ------------------------------------------------------------------ *)
 
-let step_incremental t =
+(* the shared warm-cycle prologue and epilogue of the incremental and
+   parallel engines: RANDOM redraw + dirty-seed scheduling before the
+   pass, standing-conflict re-report + dirty-register latch after it *)
+
+let warm_prologue t =
   let g = t.g in
   t.epoch <- t.epoch + 1;
   t.trace <- [];
-  (* RANDOM sources re-draw every cycle, in node-creation order — the
-     same order, and hence the same rng stream, as the firing engines *)
+  (* RANDOM sources re-draw every cycle; each draw is the pure function
+     {!random_value} of the output class, so neither order nor engine
+     affects the stream *)
   Array.iter
     (fun node ->
       t.node_visits <- t.node_visits + 1;
-      let v = Logic.of_bool (Random.State.bool t.rng) in
+      let out = Graph.node_output g.Graph.nodes.(node) in
+      let v = random_value t out in
       if t.produced.(node) <> Some v then begin
         t.produced.(node) <- Some v;
-        schedule_net t (Graph.node_output g.Graph.nodes.(node))
+        schedule_net t out
       end)
     t.random_nodes;
   (* seeds that may have changed: pokes/unpokes since last cycle and
@@ -765,13 +853,15 @@ let step_incremental t =
         g.Graph.producer_count.(c) = 0
         && t.values.(c) <> Some (seed_value t c)
       then schedule_net t c)
-    dirty;
-  run_pass t ~emit_conflict:false ~incremental:true;
+    dirty
+
+let warm_epilogue t =
   (* the runtime multiple-drive check re-reports a standing conflict
-     every cycle, exactly like the re-firing engines *)
+     every cycle, like the re-firing engines; the report order is sorted
+     by class id so the incremental and parallel traces are identical *)
   if t.conflict_list <> [] then begin
     t.conflict_list <- List.filter (fun c -> t.in_conflict.(c)) t.conflict_list;
-    List.iter (fun c -> conflict_error t c) t.conflict_list
+    List.iter (fun c -> conflict_error t c) (List.sort compare t.conflict_list)
   end;
   (* latch only the registers whose input resolution changed *)
   let regs = t.reg_dirty_list in
@@ -783,9 +873,174 @@ let step_incremental t =
     regs;
   t.cycle <- t.cycle + 1
 
+let step_incremental t =
+  warm_prologue t;
+  run_pass t ~emit_conflict:false ~incremental:true;
+  warm_epilogue t
+
+(* ------------------------------------------------------------------ *)
+(* One parallel clock cycle                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The incremental dirty-cone pass with each level fired concurrently.
+
+   Safety: within the node phase of a level every chunk writes only the
+   [produced] slots of its own nodes (each node is in exactly one
+   chunk) and reads values of strictly lower levels, which no chunk
+   writes; within the net phase every chunk writes only the resolution
+   slots of its own nets and reads [produced] of nodes of level <= l,
+   all written before the phase started.  The pool's mutex orders the
+   region publish before every chunk and every chunk before the join,
+   so there are no data races.  Everything shared — bucket scheduling,
+   conflict-list appends, register dirty marks, the trace — happens
+   sequentially at the barrier between phases.
+
+   Determinism: values are order-independent (disjoint writes, strict
+   evaluation), so snapshots cannot depend on [jobs]; the merged
+   changed-set is sorted by class id before its observable effects
+   (trace order), so the trace cannot either. *)
+let run_pass_parallel t =
+  if t.any_scheduled then begin
+    t.any_scheduled <- false;
+    let g = t.g in
+    let levels = overflow_slot t in
+    (* acyclic is guaranteed here (see [step]), so the overflow slot is
+       never populated *)
+    let chunked n = t.jobs > 1 && n > t.grain in
+    for l = 0 to levels - 1 do
+      let had_nodes = t.node_buckets.(l) <> [] in
+      let had_nets = ref (t.net_buckets.(l) <> []) in
+      (* --- node phase --- *)
+      (match t.node_buckets.(l) with
+      | [] -> ()
+      | ns ->
+          t.node_buckets.(l) <- [];
+          let arr = Array.of_list ns in
+          let n = Array.length arr in
+          t.ps_node_tasks <- t.ps_node_tasks + n;
+          t.node_visits <- t.node_visits + n;
+          if n > t.ps_max_fanout then t.ps_max_fanout <- n;
+          let nchunks = if chunked n then t.jobs else 1 in
+          let chunk d =
+            let lo = n * d / nchunks and hi = n * (d + 1) / nchunks in
+            let out = ref [] in
+            for k = lo to hi - 1 do
+              let node = arr.(k) in
+              let v = strict_eval_node t node in
+              if t.produced.(node) <> Some v then begin
+                t.produced.(node) <- Some v;
+                out := Graph.node_output g.Graph.nodes.(node) :: !out
+              end
+            done;
+            t.dom_visits.(d) <- t.dom_visits.(d) + (hi - lo);
+            t.dom_out.(d) <- !out
+          in
+          if nchunks > 1 then begin
+            Pool.run ~jobs:nchunks chunk;
+            t.ps_barriers <- t.ps_barriers + 1;
+            t.ps_chunked <- t.ps_chunked + 1
+          end
+          else chunk 0;
+          (* barrier merge: schedule the changed-output nets (epoch
+             marks deduplicate nets shared by several chunks) *)
+          for d = 0 to nchunks - 1 do
+            List.iter (fun net -> schedule_net t net) t.dom_out.(d);
+            t.dom_out.(d) <- []
+          done);
+      if t.net_buckets.(l) <> [] then had_nets := true;
+      (* --- net phase --- *)
+      (match t.net_buckets.(l) with
+      | [] -> ()
+      | ss ->
+          t.net_buckets.(l) <- [];
+          let arr = Array.of_list ss in
+          let n = Array.length arr in
+          t.ps_net_tasks <- t.ps_net_tasks + n;
+          let nchunks = if chunked n then t.jobs else 1 in
+          let chunk d =
+            let lo = n * d / nchunks and hi = n * (d + 1) / nchunks in
+            let changed = ref [] and regs = ref [] and conf = ref [] in
+            for k = lo to hi - 1 do
+              let net = arr.(k) in
+              let value_changed, driven_changed, entered =
+                finalize_net_core t net
+              in
+              if value_changed then begin
+                (match (t.prev_values.(net), t.values.(net)) with
+                | Some a, Some b when not (Logic.equal a b) ->
+                    t.toggles.(net) <- t.toggles.(net) + 1
+                | _ -> ());
+                t.prev_values.(net) <- t.values.(net);
+                changed := net :: !changed
+              end;
+              if
+                (value_changed || driven_changed)
+                && g.Graph.regs_of_in.(net) <> []
+              then regs := net :: !regs;
+              if entered then conf := net :: !conf
+            done;
+            t.dom_changed.(d) <- !changed;
+            t.dom_regs.(d) <- !regs;
+            t.dom_conf.(d) <- !conf
+          in
+          if nchunks > 1 then begin
+            Pool.run ~jobs:nchunks chunk;
+            t.ps_barriers <- t.ps_barriers + 1
+          end
+          else chunk 0;
+          (* barrier merge: conflicts, register marks, then the changed
+             set sorted by class id for a jobs-independent trace *)
+          let changed = ref [] in
+          for d = 0 to nchunks - 1 do
+            changed := List.rev_append t.dom_changed.(d) !changed;
+            t.dom_changed.(d) <- [];
+            List.iter
+              (fun net ->
+                List.iter (mark_reg_dirty t) g.Graph.regs_of_in.(net))
+              t.dom_regs.(d);
+            t.dom_regs.(d) <- [];
+            List.iter
+              (fun net -> t.conflict_list <- net :: t.conflict_list)
+              t.dom_conf.(d);
+            t.dom_conf.(d) <- []
+          done;
+          List.iter
+            (fun net ->
+              (if t.trace_enabled then
+                 match t.values.(net) with
+                 | Some v ->
+                     t.trace <- (g.Graph.names.(net), v) :: t.trace
+                 | None -> ());
+              Graph.iter_consumers g net (fun node -> schedule_node t node))
+            (List.sort compare !changed));
+      if had_nodes || !had_nets then t.ps_levels <- t.ps_levels + 1
+    done
+  end
+
+let step_parallel t =
+  warm_prologue t;
+  run_pass_parallel t;
+  warm_epilogue t
+
+let parallel_stats t =
+  if t.engine <> Parallel then None
+  else
+    Some
+      {
+        par_jobs = t.jobs;
+        par_levels = t.ps_levels;
+        par_chunked_levels = t.ps_chunked;
+        par_barriers = t.ps_barriers;
+        par_node_tasks = t.ps_node_tasks;
+        par_net_tasks = t.ps_net_tasks;
+        par_max_fanout = t.ps_max_fanout;
+        par_domain_visits = Array.copy t.dom_visits;
+      }
+
 let step t =
   match t.engine with
   | Incremental when t.started && t.sched.Sched.acyclic -> step_incremental t
+  | Parallel when t.started && t.sched.Sched.acyclic -> step_parallel t
   | _ -> step_full t
 
 let step_n t n =
@@ -815,6 +1070,55 @@ let reset t =
   step t;
   t.poked.(rset) <- saved;
   mark_seed t rset
+
+(* full power-up re-initialization: the handle behaves exactly like a
+   fresh [create] with the same design, engine, seed and jobs — every
+   residual bit of cross-cycle state (values, register contents, pokes,
+   dirty sets, epoch stamps, per-domain buffers, counters) is cleared,
+   so engine re-entry under the reused domain pool is reproducible *)
+let restart t =
+  Array.fill t.values 0 (Array.length t.values) None;
+  Array.fill t.produced 0 (Array.length t.produced) None;
+  Array.fill t.remaining 0 (Array.length t.remaining) 0;
+  Array.fill t.drives_seen 0 (Array.length t.drives_seen) 0;
+  Array.fill t.mux_value 0 (Array.length t.mux_value) Logic.Noinfl;
+  Array.fill t.fired 0 (Array.length t.fired) false;
+  Array.iteri
+    (fun i (r : Netlist.reg) -> t.reg_state.(i) <- r.Netlist.rinit)
+    t.g.Graph.regs;
+  Array.fill t.poked 0 (Array.length t.poked) None;
+  t.cycle <- 0;
+  t.errors <- [];
+  t.node_visits <- 0;
+  t.trace <- [];
+  Array.fill t.prev_values 0 (Array.length t.prev_values) None;
+  Array.fill t.toggles 0 (Array.length t.toggles) 0;
+  t.started <- false;
+  t.epoch <- 0;
+  Array.fill t.node_mark 0 (Array.length t.node_mark) 0;
+  Array.fill t.net_mark 0 (Array.length t.net_mark) 0;
+  Array.fill t.node_buckets 0 (Array.length t.node_buckets) [];
+  Array.fill t.net_buckets 0 (Array.length t.net_buckets) [];
+  t.any_scheduled <- false;
+  Array.fill t.seed_dirty 0 (Array.length t.seed_dirty) false;
+  t.seed_dirty_list <- [];
+  Array.fill t.in_conflict 0 (Array.length t.in_conflict) false;
+  t.conflict_list <- [];
+  Array.fill t.reg_dirty 0 (Array.length t.reg_dirty) false;
+  t.reg_dirty_list <- [];
+  for d = 0 to t.jobs - 1 do
+    t.dom_out.(d) <- [];
+    t.dom_changed.(d) <- [];
+    t.dom_regs.(d) <- [];
+    t.dom_conf.(d) <- [];
+    t.dom_visits.(d) <- 0
+  done;
+  t.ps_levels <- 0;
+  t.ps_chunked <- 0;
+  t.ps_barriers <- 0;
+  t.ps_node_tasks <- 0;
+  t.ps_net_tasks <- 0;
+  t.ps_max_fanout <- 0
 
 (* switching activity: nets with the most value changes so far,
    descending; gate temporaries (names containing '#') are skipped *)

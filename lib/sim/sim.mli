@@ -18,9 +18,9 @@
 open Zeus_base
 open Zeus_sem
 
-(** The five scheduling engines compute identical values (a tested
+(** The six scheduling engines compute identical values (a tested
     invariant — section 8's "all orders lead to the same result"); they
-    differ only in how much work they do. *)
+    differ only in how much work they do, and on how many domains. *)
 type engine =
   | Firing  (** event-driven, fires each node at most once *)
   | Firing_strict
@@ -37,11 +37,35 @@ type engine =
           re-evaluated, in levelized schedule order ({!Sched});
           quiescent cycles cost O(dirty).  With {!set_trace} on, the
           per-cycle trace lists only the nets whose value {e changed}. *)
+  | Parallel
+      (** the incremental engine with each level of the dirty cone fired
+          concurrently on a reusable domain pool ({!Pool}); registers
+          still latch sequentially at the end of the cycle.  Snapshots,
+          runtime errors and the RANDOM stream are bit-identical to
+          every serial engine at any domain count: RANDOM draws are a
+          pure function of (seed, class, cycle) ({!Prand}), and the
+          per-cycle trace is sorted by class id within each level. *)
 
 val engine_name : engine -> string
 
 (** All engines, in declaration order — for tests and CLI enumeration. *)
 val all_engines : engine list
+
+(** Work breakdown of the {!Parallel} engine.  Every counter is a
+    deterministic function of (design, stimulus, [jobs], [grain]) — no
+    wall clock — so the output is golden-testable. *)
+type par_stats = {
+  par_jobs : int;  (** domains used for chunked levels *)
+  par_levels : int;  (** warm levels that had any scheduled work *)
+  par_chunked_levels : int;  (** levels fanned out on the domain pool *)
+  par_barriers : int;  (** fork-join regions (one per chunked phase) *)
+  par_node_tasks : int;  (** node evaluations in warm passes *)
+  par_net_tasks : int;  (** net resolutions in warm passes *)
+  par_max_fanout : int;  (** widest dirty node level seen *)
+  par_domain_visits : int array;
+      (** node evaluations per domain; unchunked work accrues to
+          domain 0 *)
+}
 
 type runtime_error = {
   err_cycle : int;
@@ -55,8 +79,16 @@ type runtime_error = {
 type t
 
 (** [create design] builds a simulator.  [seed] drives the RANDOM
-    component deterministically. *)
-val create : ?engine:engine -> ?seed:int -> Elaborate.design -> t
+    component deterministically (every draw is a pure function of the
+    seed, the output class and the cycle, so the stream is identical in
+    all engines).  [jobs] (default: {!Domain.recommended_domain_count},
+    clamped to [Pool.max_jobs]) and [grain] (default 64: levels with
+    fewer dirty nodes run on the calling domain) only affect the
+    {!Parallel} engine — and only its work distribution, never its
+    results. *)
+val create :
+  ?engine:engine -> ?seed:int -> ?jobs:int -> ?grain:int ->
+  Elaborate.design -> t
 
 val design : t -> Elaborate.design
 
@@ -112,6 +144,14 @@ val run_until : t -> max:int -> (t -> bool) -> int option
 (** Pulse the predefined RSET signal for one cycle. *)
 val reset : t -> unit
 
+(** Return the handle to its power-up state, exactly as a fresh
+    {!create} with the same design, engine, seed and domain count:
+    registers back to their initial values, all pokes forgotten, the
+    cycle counter (and hence the RANDOM stream) rewound, and every
+    residual dirty-set, conflict and per-domain buffer cleared — two
+    consecutive runs on one handle are bit-identical. *)
+val restart : t -> unit
+
 val cycle_count : t -> int
 
 (** {1 Instrumentation} *)
@@ -121,6 +161,10 @@ val runtime_errors : t -> runtime_error list
 
 (** Total node evaluations — the work metric of experiment E8. *)
 val node_visits : t -> int
+
+(** Work breakdown of the {!Parallel} engine so far; [None] for every
+    other engine. *)
+val parallel_stats : t -> par_stats option
 
 (** Switching activity: the nets with the most value changes between
     consecutive cycles so far (a classic dynamic-power proxy), highest

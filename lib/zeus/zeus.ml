@@ -36,6 +36,8 @@ module Sim = Zeus_sim.Sim
 module Fixpoint = Zeus_sim.Fixpoint
 module Switchlevel = Zeus_sim.Switchlevel
 module Incremental = Zeus_sim.Incremental
+module Parallel = Zeus_sim.Parallel
+module Prand = Zeus_sim.Prand
 module Vcd = Zeus_sim.Vcd
 module Wave = Zeus_sim.Wave
 module Explain = Zeus_sim.Explain

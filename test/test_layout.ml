@@ -96,6 +96,60 @@ let prop_group_associative =
     (fun (a, b, c) ->
       Geom.compose a (Geom.compose b c) = Geom.compose (Geom.compose a b) c)
 
+(* Exhaustive Cayley table: every composition checked against an
+   independent faithful representation of D4 — 2x2 integer matrices
+   with r = quarter turn and flip0 = x-axis mirror, where composition
+   is plain matrix product.  This pins the whole 9x9 table (identity
+   included), not just the generator relations. *)
+let matrix_of = function
+  (* row-major (m00, m01, m10, m11); hardcoded, so the model shares no
+     code with Geom.compose *)
+  | None -> (1, 0, 0, 1)
+  | Some Layout_ir.Rotate90 -> (0, -1, 1, 0)
+  | Some Layout_ir.Rotate180 -> (-1, 0, 0, -1)
+  | Some Layout_ir.Rotate270 -> (0, 1, -1, 0)
+  | Some Layout_ir.Flip0 -> (1, 0, 0, -1)
+  | Some Layout_ir.Flip45 -> (0, 1, 1, 0)
+  | Some Layout_ir.Flip90 -> (-1, 0, 0, 1)
+  | Some Layout_ir.Flip135 -> (0, -1, -1, 0)
+
+let test_cayley_table () =
+  let mul (a00, a01, a10, a11) (b00, b01, b10, b11) =
+    ( (a00 * b00) + (a01 * b10),
+      (a00 * b01) + (a01 * b11),
+      (a10 * b00) + (a11 * b10),
+      (a10 * b01) + (a11 * b11) )
+  in
+  (* the representation is faithful: 8 distinct matrices *)
+  let mats = List.map matrix_of all_orients in
+  Alcotest.(check int) "8 distinct elements" 8
+    (List.length (List.sort_uniq compare mats));
+  (* every cell of the table agrees with the matrix product *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let got = matrix_of (Geom.compose a b) in
+          let want = mul (matrix_of a) (matrix_of b) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s . %s" (orient_str a) (orient_str b))
+            true (got = want))
+        all_orients)
+    all_orients;
+  (* and the bounding-box action agrees with the matrix action *)
+  List.iter
+    (fun o ->
+      let m00, m01, m10, m11 = matrix_of o in
+      let w, h = (2, 3) in
+      let want =
+        (abs ((m00 * w) + (m01 * h)), abs ((m10 * w) + (m11 * h)))
+      in
+      Alcotest.(check (pair int int))
+        (orient_str o ^ " size action")
+        want
+        (Geom.oriented_size o (w, h)))
+    all_orients
+
 (* ---- packing ---- *)
 
 let row_design : (string -> string, unit, string) format =
@@ -215,6 +269,39 @@ let test_patternmatch_grid () =
            (fun (p : Floorplan.placement) -> p.Floorplan.rect.Geom.y = 0)
            comps)
 
+(* ---- re-elaboration invariance ---- *)
+
+(* Elaboration is a pure function of the source: compiling the same
+   program twice (and compiling its pretty-printed round trip) gives
+   byte-identical floorplans — ORDER placements, orientations, bounding
+   boxes and boundary pins included.  Guards against iteration-order or
+   caching effects leaking into the layout sub-language. *)
+let test_reelaboration_invariance () =
+  let cases =
+    [ ("htree16", Corpus.htree 16, "a");
+      ("adder8", Corpus.adder_n 8, "adder");
+      ("patternmatch5", Corpus.patternmatch 5, "match");
+      ("row-l2r", Printf.sprintf row_design "lefttoright", "s");
+      ("row-r2l", Printf.sprintf row_design "righttoleft", "s") ]
+  in
+  List.iter
+    (fun (name, src, top) ->
+      let plan1 = plan_of src top in
+      let plan2 = plan_of src top in
+      Alcotest.(check bool) (name ^ ": recompile identical") true
+        (plan1 = plan2);
+      let printed =
+        match Parser.program src with
+        | Some p, _ -> Pretty.program_to_string p
+        | None, _ -> Alcotest.failf "%s: did not parse" name
+      in
+      let plan3 = plan_of printed top in
+      Alcotest.(check bool) (name ^ ": pretty-printed identical") true
+        (plan1 = plan3);
+      Alcotest.(check bool) (name ^ ": boundary pins identical") true
+        (plan1.Floorplan.boundary_pins = plan3.Floorplan.boundary_pins))
+    cases
+
 (* ---- render ---- *)
 
 let test_render () =
@@ -232,6 +319,8 @@ let () =
           Alcotest.test_case "oriented size" `Quick test_oriented_size;
           Alcotest.test_case "group closure" `Quick test_group_closure;
           Alcotest.test_case "group laws" `Quick test_group_laws;
+          Alcotest.test_case "cayley table vs matrix model" `Quick
+            test_cayley_table;
           QCheck_alcotest.to_alcotest prop_group_associative;
         ] );
       ( "packing",
@@ -252,6 +341,8 @@ let () =
           Alcotest.test_case "adder row" `Quick test_adder_row;
           Alcotest.test_case "patternmatch grid" `Quick
             test_patternmatch_grid;
+          Alcotest.test_case "re-elaboration invariance" `Quick
+            test_reelaboration_invariance;
           Alcotest.test_case "render" `Quick test_render;
         ] );
     ]
