@@ -27,6 +27,7 @@ let checked_key k =
   in
   mem "visits" || mem "tasks" || mem "barriers" || mem "levels"
   || mem "summaries" || mem "nets" || mem "fanout" || mem "cycles"
+  || mem "gates" || mem "drivers" || mem "folded" || mem "merged"
 
 type entry = {
   path : string; (* "design-label/key" *)

@@ -15,13 +15,14 @@
      E13 incremental        cross-cycle incremental engine vs firing
      E14 modular            modular summary analysis vs elaborate+lint
      E15 parallel           domain-parallel engine vs incremental
+     E16 opt                proof-carrying reduction vs plain simulation
 
    `dune exec bench/main.exe` prints all report tables and then runs the
    timing benchmarks (pass --no-timing to skip them).  E13 also writes
-   machine-readable results to BENCH_sim.json, E14 to BENCH_modular.json
-   and E15 to BENCH_par.json.  Pass --smoke to run only the (shortened)
-   simulator, modular and parallel benches and the JSON dumps — the CI
-   mode. *)
+   machine-readable results to BENCH_sim.json, E14 to BENCH_modular.json,
+   E15 to BENCH_par.json and E16 to BENCH_opt.json.  Pass --smoke to run
+   only the (shortened) simulator, modular, parallel and reduction
+   benches and the JSON dumps — the CI mode. *)
 
 open Zeus
 
@@ -984,6 +985,120 @@ let e15_parallel ~cycles () =
   e15_write_json rows "BENCH_par.json"
 
 (* ------------------------------------------------------------------ *)
+(* E16: the proof-carrying reduction (zeusc opt)                        *)
+(* ------------------------------------------------------------------ *)
+
+type e16_row = {
+  o_design : string;
+  o_cycles : int;
+  o_stats : Reduce.stats;
+  o_plain_visits : int;
+  o_plain_secs : float;
+  o_opt_visits : int;
+  o_opt_secs : float;
+  o_agree : bool; (* observable final snapshot identical through class maps *)
+}
+
+let e16_write_json rows path =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiments\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      let s = r.o_stats in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"design\": %S, \"cycles\": %d,\n\
+           \     \"reduction\": {\"gates_before\": %d, \"gates_after\": %d, \
+            \"drivers_before\": %d, \"drivers_after\": %d,\n\
+           \                   \"consts_folded\": %d, \"copies_merged\": %d, \
+            \"nets_eliminated\": %d},\n\
+           \     \"plain\": {\"node_visits\": %d, \"seconds\": %.6f},\n\
+           \     \"optimized\": {\"node_visits\": %d, \"seconds\": %.6f, \
+            \"speedup\": %.2f, \"snapshots_agree\": %b}}"
+           r.o_design r.o_cycles s.Reduce.gates_before s.Reduce.gates_after
+           s.Reduce.drivers_before s.Reduce.drivers_after
+           s.Reduce.consts_folded s.Reduce.copies_merged
+           s.Reduce.nets_eliminated r.o_plain_visits r.o_plain_secs
+           r.o_opt_visits r.o_opt_secs
+           (r.o_plain_secs /. Float.max 1e-9 r.o_opt_secs)
+           r.o_agree))
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
+let e16_opt ~cycles () =
+  section "E16"
+    "proof-carrying reduction: optimized vs plain simulation (incremental \
+     engine, high-activity workloads)";
+  let bench (name, src, warm, stim) =
+    let d = compile src in
+    let r = Reduce.run d in
+    let run design =
+      let sim = Sim.create ~engine:Sim.Incremental design in
+      warm sim;
+      Sim.step sim;
+      (* cold-start cycle excluded from the counts *)
+      let v0 = Sim.node_visits sim in
+      let t0 = Unix.gettimeofday () in
+      for c = 1 to cycles do
+        stim sim c;
+        Sim.step sim
+      done;
+      (Sim.node_visits sim - v0, Unix.gettimeofday () -. t0, sim)
+    in
+    let pv, ps, psim = run d in
+    let ov, os_, osim = run r.Reduce.design in
+    (* observable equality through each design's class map: the
+       reduction merges copy classes, so only per-net root slots are
+       comparable (same check as oracle row O6, on the final state) *)
+    let g1 = Graph.build d and g2 = Graph.build r.Reduce.design in
+    let s1 = Sim.snapshot psim and s2 = Sim.snapshot osim in
+    let ai = r.Reduce.ai in
+    let agree = ref true in
+    Array.iter
+      (fun root ->
+        if ai.Absint.observable.(ai.Absint.canon.(root)) then begin
+          let slot2 = g2.Graph.rep.(g2.Graph.canon.(root)) in
+          if s1.(root) <> s2.(slot2) then agree := false
+        end)
+      g1.Graph.rep;
+    {
+      o_design = name;
+      o_cycles = cycles;
+      o_stats = r.Reduce.stats;
+      o_plain_visits = pv;
+      o_plain_secs = ps;
+      o_opt_visits = ov;
+      o_opt_secs = os_;
+      o_agree = !agree;
+    }
+  in
+  let rows = List.map bench e15_workloads in
+  Fmt.pr "  %-26s %8s %8s %8s %8s %10s %9s %8s %6s@." "workload" "gates"
+    "drivers" "folded" "merged" "visits" "secs" "speedup" "agree";
+  List.iter
+    (fun r ->
+      let s = r.o_stats in
+      Fmt.pr "  %-26s %8s %8s %8s %8s %10d %9.4f %8s %6s@." r.o_design
+        (Printf.sprintf "%d" s.Reduce.gates_before)
+        (Printf.sprintf "%d" s.Reduce.drivers_before)
+        "-" "-" r.o_plain_visits r.o_plain_secs "1.0x" "-";
+      Fmt.pr "  %-26s %8s %8s %8s %8s %10d %9.4f %7.1fx %6s@." "  (optimized)"
+        (Printf.sprintf "%d" s.Reduce.gates_after)
+        (Printf.sprintf "%d" s.Reduce.drivers_after)
+        (Printf.sprintf "%d" s.Reduce.consts_folded)
+        (Printf.sprintf "%d" s.Reduce.copies_merged)
+        r.o_opt_visits r.o_opt_secs
+        (r.o_plain_secs /. Float.max 1e-9 r.o_opt_secs)
+        (if r.o_agree then "yes" else "NO"))
+    rows;
+  e16_write_json rows "BENCH_opt.json"
+
+(* ------------------------------------------------------------------ *)
 (* Timing benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1067,7 +1182,8 @@ let () =
     e8_simcmp ();
     e13_incremental ~cycles:50 ();
     e14_modular ~smoke:true ();
-    e15_parallel ~cycles:20 ()
+    e15_parallel ~cycles:20 ();
+    e16_opt ~cycles:20 ()
   end
   else begin
     Fmt.pr "Zeus reproduction benchmark suite (every table/figure of the \
@@ -1088,5 +1204,6 @@ let () =
     e13_incremental ~cycles:200 ();
     e14_modular ();
     e15_parallel ~cycles:100 ();
+    e16_opt ~cycles:100 ();
     if timing then run_timing ()
   end

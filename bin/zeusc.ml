@@ -266,14 +266,23 @@ let sim_cmd =
              and for the parallel engine the per-level fan-out, barrier \
              and per-domain visit counters (all deterministic).")
   in
+  let optimize =
+    Arg.(
+      value & flag
+      & info [ "optimize" ]
+          ~doc:
+            "Run the proof-carrying reduction ($(b,zeusc opt)) before \
+             simulating: constant and unobservable logic is dropped; \
+             observable values are unchanged on any engine.")
+  in
   let run file cycles pokes peeks do_reset trace wave explain activity vcd_out
-      engine jobs grain stats =
+      engine jobs grain stats optimize =
     match Zeus.compile (load file) with
     | Error diags ->
         report_diags diags;
         1
     | Ok design ->
-        let sim = Zeus.Sim.create ~engine ?jobs ~grain design in
+        let sim = Zeus.Sim.create ~engine ?jobs ~grain ~optimize design in
         List.iter (fun (p, v) ->
             if v <= 1 then Zeus.Sim.poke sim p [ (if v = 1 then Zeus.Logic.One else Zeus.Logic.Zero) ]
             else Zeus.Sim.poke_int sim p v)
@@ -351,7 +360,8 @@ let sim_cmd =
     (Cmd.info "sim" ~doc:"Simulate a design for N cycles.")
     Term.(
       const run $ file_arg $ cycles $ pokes $ peeks $ do_reset $ trace $ wave
-      $ explain $ activity $ vcd_out $ engine $ jobs $ grain $ stats)
+      $ explain $ activity $ vcd_out $ engine $ jobs $ grain $ stats
+      $ optimize)
 
 let lint_cmd =
   let format =
@@ -564,6 +574,52 @@ let optimize_cmd =
        ~doc:"Constant propagation + dead-logic elimination report.")
     Term.(const run $ file_arg)
 
+let opt_cmd =
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Also print the proof table: every net class the abstract \
+             interpretation classified non-varying (const-0/1, stuck-X, \
+             stuck-Z) or unobservable.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,text) (default) or $(b,json).")
+  in
+  let run file stats format =
+    match Zeus.compile (load file) with
+    | Error diags ->
+        report_diags diags;
+        1
+    | Ok design ->
+        let r = Zeus.Reduce.run design in
+        (match format with
+        | `Json -> print_string (Zeus.Reduce.json_of_result r ^ "\n")
+        | `Text ->
+            Fmt.pr "%a@." Zeus.Reduce.pp_stats r.Zeus.Reduce.stats;
+            if stats then
+              List.iter
+                (fun (_, name, cls, observable, producers) ->
+                  Fmt.pr "  %-8s %s (%d producer%s%s)@."
+                    (Zeus.Absint.classification_to_string cls)
+                    name producers
+                    (if producers = 1 then "" else "s")
+                    (if observable then "" else ", unobservable"))
+                (Zeus.Reduce.proof_table r));
+        0
+  in
+  Cmd.v
+    (Cmd.info "opt"
+       ~doc:
+         "Four-valued abstract interpretation + proof-carrying netlist \
+          reduction.")
+    Term.(const run $ file_arg $ stats $ format)
+
 let place_cmd =
   let top =
     Arg.(
@@ -763,5 +819,5 @@ let () =
        (Cmd.group info
           [
             check_cmd; pp_cmd; stats_cmd; tree_cmd; lint_cmd; sim_cmd; layout_cmd;
-            place_cmd; optimize_cmd; dot_cmd; fuzz_cmd; corpus_cmd;
+            place_cmd; optimize_cmd; opt_cmd; dot_cmd; fuzz_cmd; corpus_cmd;
           ]))

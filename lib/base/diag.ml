@@ -24,7 +24,8 @@ type kind =
    checks share these, so a static finding and the dynamic violation it
    predicts carry the same code.  Z1xx: drive conflicts (section 4.7's
    "burning transistors"); Z2xx: UNDEF reachability; Z3xx: dead
-   hardware; Z4xx: the modular (per-component-type) summary analysis.
+   hardware; Z4xx: the modular (per-component-type) summary analysis;
+   Z5xx: the whole-design abstract interpretation behind [zeusc opt].
    Codes are append-only — never renumber. *)
 module Code = struct
   let drive_conflict = "Z101"
@@ -39,6 +40,9 @@ module Code = struct
   let modular_range = "Z404"
   let modular_recursion = "Z405"
   let modular_coarse = "Z406"
+  let absint_constant = "Z501"
+  let absint_stuck = "Z502"
+  let absint_unobservable = "Z503"
 
   let all =
     [
@@ -80,6 +84,18 @@ module Code = struct
       ( modular_coarse,
         "the interval abstraction of the generic parameters is too coarse \
          to decide this check — it falls back to full elaboration" );
+      ( absint_constant,
+        "the abstract interpretation proves the net carries the same \
+         defined value every cycle under all inputs — zeusc opt folds it \
+         to a constant" );
+      ( absint_stuck,
+        "the abstract interpretation proves the net is stuck: every cycle \
+         it reads UNDEF, or it is never driven and floats (high \
+         impedance)" );
+      ( absint_unobservable,
+        "the net is driven but cannot reach any register or root output \
+         port — the logic producing it is unobservable and zeusc opt \
+         removes it" );
     ]
 
   let description c = List.assoc_opt c all

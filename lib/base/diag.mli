@@ -51,6 +51,12 @@ module Code : sig
 
   val modular_coarse : string  (** Z406 *)
 
+  val absint_constant : string  (** Z501 *)
+
+  val absint_stuck : string  (** Z502 *)
+
+  val absint_unobservable : string  (** Z503 *)
+
   (** Every code with its one-line meaning, in code order. *)
   val all : (string * string) list
 

@@ -28,6 +28,21 @@
                        (Sequential state needs no such carve-out: a
                        guard over a register that can power up UNDEF is
                        never classified safe in the first place.)
+   O6 "opt-identity:<name>" / "opt-proof"
+                       the proof-carrying reduction preserves behaviour:
+                       the reduced design, run on each of the six
+                       engines, matches the unoptimized Firing reference
+                       cycle-by-cycle on every net the abstract
+                       interpretation marked observable.  Values are
+                       compared per net through each design's class map
+                       (copy merging changes class indices).  Runtime
+                       errors are not compared: errors on eliminated
+                       (unobservable) logic disappear by design, and a
+                       merged class reports conflicts under its merged
+                       representative's name.  "opt-proof" additionally
+                       checks the shipped table against the reference
+                       run: a class proved const-0/1 with a producer
+                       must read exactly that constant every cycle;
    O5 "modular-vs-elaborated" the modular summary analysis never
                        contradicts the elaborated pipeline in its sound
                        direction: a net the elaborated lint proved in
@@ -49,6 +64,7 @@ open Zeus_base
 open Zeus_lang
 open Zeus_sem
 module Sim = Zeus_sim.Sim
+module Graph = Zeus_sim.Graph
 
 type divergence = {
   oracle : string; (* which row of the matrix failed *)
@@ -203,6 +219,97 @@ let check ~src ~(stim : Gen_prog.stimulus) : divergence list =
                        (errors_to_string reference.errors))
               end)
             Sim.all_engines;
+          (* O6: the proof-carrying reduction, on all six engines *)
+          (match
+             try Some (Reduce.run design)
+             with exn ->
+               add "opt-identity"
+                 ("Reduce.run raised: " ^ Printexc.to_string exn);
+               None
+           with
+          | None -> ()
+          | Some r ->
+              let ai = r.Reduce.ai in
+              let g1 = Graph.build design in
+              let g2 = Graph.build r.Reduce.design in
+              (* Snapshots are indexed by original net id, holding each
+                 class's value at its union-find root slot.  Per
+                 original class: observability (via the analysis), the
+                 root slot in the unoptimized snapshot, and the merged
+                 class's root slot in the reduced one — looked up
+                 through net ids, so the two compactions never need to
+                 agree on class numbering. *)
+              let obs =
+                Array.map
+                  (fun root -> ai.Absint.observable.(ai.Absint.canon.(root)))
+                  g1.Graph.rep
+              in
+              let opt_slot =
+                Array.map
+                  (fun root -> g2.Graph.rep.(g2.Graph.canon.(root)))
+                  g1.Graph.rep
+              in
+              List.iter
+                (fun engine ->
+                  let ro = run_engine r.Reduce.design engine stim in
+                  let rec go cycle ss os =
+                    match (ss, os) with
+                    | [], [] -> ()
+                    | s1 :: rest1, s2 :: rest2 ->
+                        let diffs = ref 0 and first = ref (-1) in
+                        Array.iteri
+                          (fun c root ->
+                            if obs.(c) && s1.(root) <> s2.(opt_slot.(c))
+                            then begin
+                              incr diffs;
+                              if !first < 0 then first := c
+                            end)
+                          g1.Graph.rep;
+                        if !diffs > 0 then
+                          add
+                            ("opt-identity:" ^ Sim.engine_name engine)
+                            (Printf.sprintf
+                               "optimized run differs on %d observable \
+                                net(s) at cycle %d (first: '%s')"
+                               !diffs cycle g1.Graph.names.(!first))
+                        else go (cycle + 1) rest1 rest2
+                    | _ ->
+                        add
+                          ("opt-identity:" ^ Sim.engine_name engine)
+                          "optimized run has a different cycle count"
+                  in
+                  go 1 reference.snaps ro.snaps)
+                Sim.all_engines;
+              (* the table itself must be honest on the reference run *)
+              Array.iteri
+                (fun c root ->
+                  let cls = ai.Absint.cls.(ai.Absint.canon.(root)) in
+                  let want =
+                    match cls with
+                    | Absint.Const0 -> Some Logic.Zero
+                    | Absint.Const1 -> Some Logic.One
+                    | _ -> None
+                  in
+                  match want with
+                  | Some w
+                    when obs.(c)
+                         && ai.Absint.producers.(ai.Absint.canon.(root)) > 0 ->
+                      List.iteri
+                        (fun i snap ->
+                          if snap.(root) <> Some w then
+                            add "opt-proof"
+                              (Printf.sprintf
+                                 "net '%s' is proved %s but read %s at \
+                                  cycle %d"
+                                 g1.Graph.names.(c)
+                                 (Absint.classification_to_string cls)
+                                 (match snap.(c) with
+                                 | None -> "nothing"
+                                 | Some v -> Logic.to_string v)
+                                 (i + 1)))
+                        reference.snaps
+                  | _ -> ())
+                g1.Graph.rep);
           (* O2: semantics survive print -> reparse -> re-elaborate *)
           (match compile printed with
           | Error diags ->

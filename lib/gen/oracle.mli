@@ -13,6 +13,19 @@
                      with Fixpoint cycle-by-cycle")
     lint-vs-runtime  a net lint proved Safe never raises the runtime
                      multiple-drive check
+    opt-identity:<name>
+                     the proof-carrying reduction ({!Zeus_sem.Reduce})
+                     preserves behaviour: the reduced design, run on
+                     each of the six engines, matches the unoptimized
+                     Firing reference cycle-by-cycle on every net the
+                     abstract interpretation marked observable (values
+                     compared per net through each design's class map;
+                     runtime errors on eliminated logic are exempt by
+                     design)
+    opt-proof        the shipped proof table is honest: a class Absint
+                     proved const-0/const-1 (with at least one
+                     producer) reads exactly that constant on every
+                     cycle of the unoptimized reference run
     modular-vs-elaborated
                      the modular summary analysis ({!Zeus_sem.Summary})
                      never contradicts the elaborated pipeline in its

@@ -46,6 +46,16 @@
       elaboration that can never fire), and instances none of whose
       outputs can reach a register or a root output port.
 
+   4. Abstract interpretation (Z501/Z502/Z503).  The four-valued
+      constant fixpoint of Absint — the proof table zeusc opt reduces
+      by — surfaced as findings: nets provably constant every cycle
+      (Z501), nets provably stuck at UNDEF or floating every cycle
+      where the coarser value-set pass stayed silent (Z502, e.g. a
+      guaranteed drive conflict whose resolution is exactly UNDEF), and
+      driven nets that reach nothing observable (Z503; nets under an
+      instance already reported dead by Z302, and '*'-starred nets, are
+      skipped).
+
    Findings carry the stable codes of Diag.Code; the simulator's
    runtime multiple-drive check reports Z101 for the violations this
    prover could not exclude, so static and dynamic findings correlate. *)
@@ -752,9 +762,12 @@ let undef_pass bag (design : Elaborate.design) (sets, undriven) =
 (* Pass 3: dead hardware                                                *)
 (* ------------------------------------------------------------------ *)
 
+(* returns the paths of instances reported dead, so pass 4 can avoid
+   re-reporting every net inside an already-flagged instance *)
 let dead_pass bag (design : Elaborate.design) =
   let nl = design.Elaborate.netlist in
   let canon id = Netlist.canonical nl id in
+  let dead_paths = ref [] in
   let known = Optimize.known_constants design in
   let guard_value = function
     | Netlist.Sconst v -> Some v
@@ -797,14 +810,130 @@ let dead_pass bag (design : Elaborate.design) =
             i.Netlist.iports
         in
         if out_nets <> [] && not (List.exists (fun id -> live.(canon id)) out_nets)
-        then
+        then begin
+          dead_paths := i.Netlist.ipath :: !dead_paths;
           Diag.Bag.warning bag ~code:Diag.Code.dead_instance Diag.Lint_error
             i.Netlist.iloc
             "instance '%s' of '%s': no output reaches a register or an \
              output port — the hardware is dead"
             i.Netlist.ipath i.Netlist.itype
+        end
       end)
-    (Netlist.instances nl)
+    (Netlist.instances nl);
+  List.rev !dead_paths
+
+(* ------------------------------------------------------------------ *)
+(* Pass 4: abstract interpretation (Z501/Z502/Z503)                     *)
+(* ------------------------------------------------------------------ *)
+
+let absint_pass bag (design : Elaborate.design) (sets, _undriven) ~dead_paths =
+  let nl = design.Elaborate.netlist in
+  let ai = Absint.analyze design in
+  let members = Array.make ai.Absint.n_classes [] in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      let c = ai.Absint.canon.(net.Netlist.id) in
+      members.(c) <- net :: members.(c))
+    (Netlist.nets_array nl);
+  let under_dead name =
+    List.exists
+      (fun p ->
+        let lp = String.length p in
+        String.length name > lp
+        && String.sub name 0 lp = p
+        && name.[lp] = '.')
+      dead_paths
+  in
+  (* report through a representative user-visible net, preferring one
+     with a real source location (same discipline as the UNDEF pass) *)
+  let pick nets =
+    match
+      List.filter (fun (n : Netlist.net) -> not (Loc.is_dummy n.Netlist.loc)) nets
+    with
+    | net :: _ -> Some net
+    | [] -> ( match nets with net :: _ -> Some net | [] -> None)
+  in
+  for c = 0 to ai.Absint.n_classes - 1 do
+    if ai.Absint.producers.(c) > 0 && not ai.Absint.input_class.(c) then begin
+      let generated (name : string) =
+        (* elaboration helpers with no source-level identity: gate
+           temporaries ('#') and the guard/negated-guard nets built for
+           IF arms — a negation synthesized for an absent ELSE is
+           always unobservable, and blaming it would flag every
+           guarded assignment *)
+        let suffix s =
+          let ls = String.length s and ln = String.length name in
+          ln >= ls && String.sub name (ln - ls) ls = s
+        in
+        String.contains name '#' || suffix ".guard" || suffix ".nguard"
+      in
+      let visible =
+        List.filter
+          (fun (n : Netlist.net) -> not (generated n.Netlist.name))
+          (List.rev members.(c))
+      in
+      (* a net someone looks at: read by logic, or an OUT/INOUT pin *)
+      let observed =
+        List.filter
+          (fun (n : Netlist.net) ->
+            n.Netlist.reads > 0
+            ||
+            match n.Netlist.pin with
+            | Some (_, (Etype.Out | Etype.Inout)) -> true
+            | _ -> false)
+          visible
+      in
+      (match ai.Absint.cls.(c) with
+      | Absint.Const0 | Absint.Const1 -> (
+          match pick observed with
+          | Some net ->
+              Diag.Bag.warning bag ~code:Diag.Code.absint_constant
+                Diag.Lint_error net.Netlist.loc
+                "'%s' is provably constant %s under all inputs — zeusc opt \
+                 folds it"
+                net.Netlist.name
+                (match ai.Absint.cls.(c) with
+                | Absint.Const1 -> "1"
+                | _ -> "0")
+          | None -> ())
+      | Absint.StuckX | Absint.StuckZ -> (
+          (* the value-set pass (Z202) already reports classes that can
+             never read a defined value; Z502 adds the strictly finer
+             must-facts it misses — e.g. a guaranteed drive conflict
+             resolving to UNDEF every cycle *)
+          let oc = ai.Absint.rep.(c) in
+          if booleanize_mask sets.(oc) land (m_zero lor m_one) <> 0 then
+            match pick observed with
+            | Some net ->
+                Diag.Bag.warning bag ~code:Diag.Code.absint_stuck
+                  Diag.Lint_error net.Netlist.loc
+                  (if ai.Absint.cls.(c) = Absint.StuckX then
+                     "'%s' is stuck at UNDEF: its drivers provably conflict \
+                      (or yield UNDEF) every cycle under all inputs"
+                   else
+                     "'%s' provably floats (NOINFL) every cycle — no driver \
+                      can ever fire")
+                  net.Netlist.name
+            | None -> ())
+      | Absint.Varying -> ());
+      if not ai.Absint.observable.(c) then begin
+        let candidates =
+          List.filter
+            (fun (n : Netlist.net) ->
+              (not n.Netlist.starred) && not (under_dead n.Netlist.name))
+            visible
+        in
+        match pick candidates with
+        | Some net ->
+            Diag.Bag.warning bag ~code:Diag.Code.absint_unobservable
+              Diag.Lint_error net.Netlist.loc
+              "'%s' is driven but reaches no register or output port — the \
+               logic feeding it is dead (zeusc opt removes it)"
+              net.Netlist.name
+        | None -> ()
+      end
+    end
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
@@ -832,7 +961,8 @@ let run ?(budget = default_budget) ?proven_safe (design : Elaborate.design) =
   let can_undef c = booleanize_mask sets.(c) land m_undef <> 0 in
   let verdicts = prove_conflicts st bag ~budget ~splits ~can_undef ~skip nl in
   undef_pass bag design vsets;
-  dead_pass bag design;
+  let dead_paths = dead_pass bag design in
+  absint_pass bag design vsets ~dead_paths;
   { verdicts; findings = Diag.Bag.all bag; splits = !splits }
 
 let count cls report =

@@ -290,6 +290,22 @@ let with_nodes t ~gates ~drivers =
     n_drivers = List.length drivers;
   }
 
+(* [with_nodes] plus extra alias unions — the reducer's copy-propagation
+   hook.  The union-find is copied first, so the original's classes are
+   untouched; usage bookkeeping ([reads], [touched]) is deliberately not
+   updated: these unions are an optimization artifact, not source-level
+   '==' aliases. *)
+let with_nodes_merged t ~gates ~drivers ~merges =
+  let t' =
+    { (with_nodes t ~gates ~drivers) with uf_parent = Array.copy t.uf_parent }
+  in
+  List.iter
+    (fun (a, b) ->
+      let ra = find t' a and rb = find t' b in
+      if ra <> rb then t'.uf_parent.(rb) <- ra)
+    merges;
+  t'
+
 let stats t =
   Fmt.str "nets=%d gates=%d drivers=%d regs=%d instances=%d" t.n_nets
     t.n_gates t.n_drivers t.n_regs t.n_instances

@@ -159,5 +159,12 @@ val find_instance : t -> int -> instance
     original.  Used by {!Optimize}. *)
 val with_nodes : t -> gates:gate list -> drivers:driver list -> t
 
+(** {!with_nodes} plus extra alias unions, one [(target, source)] pair
+    per propagated copy — {!Reduce}'s wire-merging hook.  The union-find
+    is copied, not shared, so the original keeps its own classes; usage
+    bookkeeping is not touched. *)
+val with_nodes_merged :
+  t -> gates:gate list -> drivers:driver list -> merges:(int * int) list -> t
+
 (** One-line summary: net/gate/driver/reg/instance counts. *)
 val stats : t -> string

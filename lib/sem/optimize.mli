@@ -13,6 +13,13 @@ type report = {
 
 val pp_report : report Fmt.t
 
+(** Evaluate one gate over (possibly unknown) constant inputs with the
+    simulator's early-firing rules — [Some v] only when the output is
+    forced under all inputs.  Shared with the abstract interpreter
+    ({!Absint}). *)
+val eval_gate_const :
+  Netlist.gate_op -> Zeus_base.Logic.t option list -> Zeus_base.Logic.t option
+
 (** Conservative constant propagation: per {e original} net id (look up
     through {!Netlist.canonical}), the value the net is forced to under
     all inputs, or [None].  Testbench inputs and register outputs are

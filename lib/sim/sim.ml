@@ -147,7 +147,11 @@ type t = {
 }
 
 let create ?(engine = Firing) ?(seed = 0x5eed) ?jobs ?(grain = 64)
-    (design : Elaborate.design) =
+    ?(optimize = false) (design : Elaborate.design) =
+  (* the proof-carrying reduction shares nets with the original, so
+     poke/peek paths are unchanged; merged copy classes share one
+     union-find root, and eliminated logic may read UNDEF/None *)
+  let design = if optimize then (Reduce.run design).Reduce.design else design in
   let g = Graph.build design in
   let sched = Sched.build g in
   let jobs =

@@ -85,10 +85,14 @@ type t
     clamped to [Pool.max_jobs]) and [grain] (default 64: levels with
     fewer dirty nodes run on the calling domain) only affect the
     {!Parallel} engine — and only its work distribution, never its
-    results. *)
+    results.  [optimize] (default [false]) runs the proof-carrying
+    reduction ({!Zeus_sem.Reduce}) before building the graph: constant
+    and unobservable logic is dropped, while snapshots stay indexed by
+    the same classes (unobservable classes may then read [None]); every
+    engine accepts the reduced graph. *)
 val create :
   ?engine:engine -> ?seed:int -> ?jobs:int -> ?grain:int ->
-  Elaborate.design -> t
+  ?optimize:bool -> Elaborate.design -> t
 
 val design : t -> Elaborate.design
 

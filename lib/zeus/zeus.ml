@@ -26,6 +26,8 @@ module Elaborate = Zeus_sem.Elaborate
 module Check = Zeus_sem.Check
 module Stats = Zeus_sem.Stats
 module Optimize = Zeus_sem.Optimize
+module Absint = Zeus_sem.Absint
+module Reduce = Zeus_sem.Reduce
 module Lint = Zeus_sem.Lint
 module Contract = Zeus_sem.Contract
 module Summary = Zeus_sem.Summary

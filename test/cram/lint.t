@@ -52,7 +52,7 @@ An unknown code is rejected with the list of valid codes, instead of
 being silently accepted (a typo would un-suppress nothing):
 
   $ zeusc lint section8.zeus --suppress Z101 --suppress Z999
-  lint: unknown diagnostic code Z999 for --suppress; valid codes: Z101, Z102, Z201, Z202, Z301, Z302, Z401, Z402, Z403, Z404, Z405, Z406
+  lint: unknown diagnostic code Z999 for --suppress; valid codes: Z101, Z102, Z201, Z202, Z301, Z302, Z401, Z402, Z403, Z404, Z405, Z406, Z501, Z502, Z503
   [2]
 
 A strangled solver budget degrades soundly: the net is handed to the
@@ -111,11 +111,13 @@ An instance whose outputs reach nothing observable (Z302):
   > EOF
   $ zeusc lint dead.zeus
   7:8-9: warning(lint)[Z302]: instance 't.i' of 'inv': no output reaches a register or an output port — the hardware is dead
-  0 multi-driven nets: 0 safe, 0 conflict, 0 needs-runtime-check; 1 finding (0 case splits)
+  8:8-9: warning(lint)[Z503]: 't.w' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  0 multi-driven nets: 0 safe, 0 conflict, 0 needs-runtime-check; 2 findings (0 case splits)
 
 '--max-severity none' turns any finding into a failing exit:
 
   $ zeusc lint dead.zeus --max-severity none
   7:8-9: warning(lint)[Z302]: instance 't.i' of 'inv': no output reaches a register or an output port — the hardware is dead
-  0 multi-driven nets: 0 safe, 0 conflict, 0 needs-runtime-check; 1 finding (0 case splits)
+  8:8-9: warning(lint)[Z503]: 't.w' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  0 multi-driven nets: 0 safe, 0 conflict, 0 needs-runtime-check; 2 findings (0 case splits)
   [1]

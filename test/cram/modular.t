@@ -101,4 +101,40 @@ are classified safe without expanding or solving anything:
 
   $ zeusc lint --modular htree.zeus
   modular pre-pass: 2 component type(s), 4 summaries computed (0 cached); conflict-safe: htree leaftype; cycle-free: htree leaftype
-  0 multi-driven nets: 0 safe, 0 conflict, 0 needs-runtime-check; 0 findings (0 case splits)
+  2:31-33: warning(lint)[Z503]: 'a.s[1].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[1].s[1].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  3:31-33: warning(lint)[Z503]: 'a.s[1].s[1].leaf.in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[1].s[2].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  3:31-33: warning(lint)[Z503]: 'a.s[1].s[2].leaf.in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[1].s[3].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  3:31-33: warning(lint)[Z503]: 'a.s[1].s[3].leaf.in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[1].s[4].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  3:31-33: warning(lint)[Z503]: 'a.s[1].s[4].leaf.in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[2].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[2].s[1].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  3:31-33: warning(lint)[Z503]: 'a.s[2].s[1].leaf.in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[2].s[2].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  3:31-33: warning(lint)[Z503]: 'a.s[2].s[2].leaf.in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[2].s[3].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  3:31-33: warning(lint)[Z503]: 'a.s[2].s[3].leaf.in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[2].s[4].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  3:31-33: warning(lint)[Z503]: 'a.s[2].s[4].leaf.in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[3].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[3].s[1].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  3:31-33: warning(lint)[Z503]: 'a.s[3].s[1].leaf.in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[3].s[2].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  3:31-33: warning(lint)[Z503]: 'a.s[3].s[2].leaf.in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[3].s[3].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  3:31-33: warning(lint)[Z503]: 'a.s[3].s[3].leaf.in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[3].s[4].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  3:31-33: warning(lint)[Z503]: 'a.s[3].s[4].leaf.in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[4].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[4].s[1].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  3:31-33: warning(lint)[Z503]: 'a.s[4].s[1].leaf.in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[4].s[2].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  3:31-33: warning(lint)[Z503]: 'a.s[4].s[2].leaf.in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[4].s[3].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  3:31-33: warning(lint)[Z503]: 'a.s[4].s[3].leaf.in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:31-33: warning(lint)[Z503]: 'a.s[4].s[4].in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  3:31-33: warning(lint)[Z503]: 'a.s[4].s[4].leaf.in' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  0 multi-driven nets: 0 safe, 0 conflict, 0 needs-runtime-check; 36 findings (0 case splits)

@@ -1,0 +1,102 @@
+The optimizer: four-valued abstract interpretation plus the
+proof-carrying netlist reduction behind `zeusc opt`, and the Z501-Z503
+lint diagnostics it powers.
+
+routing(4) is structurally fully live, but most of its drivers are
+plain wires (unguarded copies): copy propagation merges them away
+without touching behaviour.  The proof table is empty — the two
+unobservable classes are producer-less input tails, and every driven
+class is varying:
+
+  $ zeusc corpus routing4 > routing4.zeus
+  $ zeusc opt --stats routing4.zeus
+  abstract interpretation: 326 classes: 0 const-0, 0 const-1, 0 stuck-X, 0 stuck-Z, 326 varying; 2 unobservable (568 steps)
+  reduction: gates 4 -> 4, drivers 360 -> 160 (0 constants folded, 200 copies merged, 200 nets eliminated)
+
+The pattern matcher mixes gates and copies; only the copies merge:
+
+  $ zeusc corpus patternmatch3 > pm3.zeus
+  $ zeusc opt pm3.zeus
+  abstract interpretation: 111 classes: 0 const-0, 0 const-1, 0 stuck-X, 0 stuck-Z, 111 varying; 1 unobservable (245 steps)
+  reduction: gates 27 -> 27, drivers 83 -> 57 (0 constants folded, 26 copies merged, 26 nets eliminated)
+
+The same run as JSON (stats object only; the per-class table carries
+one row per class):
+
+  $ zeusc opt pm3.zeus --format json | tail -3
+    ],
+    "stats": {"classes":111,"const0":0,"const1":0,"stuckx":0,"stuckz":0,"varying":111,"unobservable":1,"gates_before":27,"gates_after":27,"drivers_before":83,"drivers_after":57,"consts_folded":0,"copies_merged":26,"nets_eliminated":26,"steps":245}
+  }
+
+A handcrafted design exercising all three diagnostic codes: 'one' is
+provably constant (Z501), 'm' receives two always-firing conflicting
+drives and is stuck at UNDEF (Z502), and 'w' feeds nothing observable
+(Z503):
+
+  $ cat > diag.zeus <<'EOF'
+  > TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS
+  > SIGNAL one, g, w: boolean; m: multiplex;
+  > BEGIN
+  >   one := 1;
+  >   g := 1;
+  >   IF g THEN m := 1 END;
+  >   IF g THEN m := 0 END;
+  >   w := NOT x;
+  >   y := AND(OR(one, x), OR(m, x))
+  > END;
+  > SIGNAL s: t;
+  > EOF
+  $ zeusc lint diag.zeus
+  net 's.m' (multiplex, 2 producers): conflict — witness: any input
+  7:13-19: error(lint)[Z101]: 's.m' can receive two driving values in one cycle (drivers at 6:13-19 and 7:13-19; witness: any input) — this would burn transistors
+  2:8-11: warning(lint)[Z501]: 's.one' is provably constant 1 under all inputs — zeusc opt folds it
+  2:13-14: warning(lint)[Z501]: 's.g' is provably constant 1 under all inputs — zeusc opt folds it
+  2:16-17: warning(lint)[Z503]: 's.w' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)
+  2:28-29: warning(lint)[Z502]: 's.m' is stuck at UNDEF: its drivers provably conflict (or yield UNDEF) every cycle under all inputs
+  1 multi-driven net: 0 safe, 1 conflict, 0 needs-runtime-check; 5 findings (0 case splits)
+  [1]
+
+The same findings as JSON, carrying the stable codes:
+
+  $ zeusc lint diag.zeus --format json
+  {
+    "version": 1,
+    "nets": [
+      {"net":"s.m","kind":"multiplex","producers":2,"class":"conflict","detail":"witness: any input"}
+    ],
+    "findings": [
+      {"code":"Z101","severity":"error","kind":"lint","loc":{"line":7,"col":13,"end_line":7,"end_col":19},"message":"'s.m' can receive two driving values in one cycle (drivers at 6:13-19 and 7:13-19; witness: any input) — this would burn transistors"},
+      {"code":"Z501","severity":"warning","kind":"lint","loc":{"line":2,"col":8,"end_line":2,"end_col":11},"message":"'s.one' is provably constant 1 under all inputs — zeusc opt folds it"},
+      {"code":"Z501","severity":"warning","kind":"lint","loc":{"line":2,"col":13,"end_line":2,"end_col":14},"message":"'s.g' is provably constant 1 under all inputs — zeusc opt folds it"},
+      {"code":"Z503","severity":"warning","kind":"lint","loc":{"line":2,"col":16,"end_line":2,"end_col":17},"message":"'s.w' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)"},
+      {"code":"Z502","severity":"warning","kind":"lint","loc":{"line":2,"col":28,"end_line":2,"end_col":29},"message":"'s.m' is stuck at UNDEF: its drivers provably conflict (or yield UNDEF) every cycle under all inputs"}
+    ],
+    "summary": {"nets":1,"safe":0,"conflict":1,"needs_runtime_check":0,"findings":5,"splits":0}
+  }
+  [1]
+
+The new codes suppress like any other, and a typo is still rejected
+against the full registry:
+
+  $ zeusc lint diag.zeus --suppress Z501 --suppress Z502 --suppress Z503
+  net 's.m' (multiplex, 2 producers): conflict — witness: any input
+  7:13-19: error(lint)[Z101]: 's.m' can receive two driving values in one cycle (drivers at 6:13-19 and 7:13-19; witness: any input) — this would burn transistors
+  1 multi-driven net: 0 safe, 1 conflict, 0 needs-runtime-check; 1 finding (0 case splits)
+  [1]
+  $ zeusc lint diag.zeus --suppress Z599
+  lint: unknown diagnostic code Z599 for --suppress; valid codes: Z101, Z102, Z201, Z202, Z301, Z302, Z401, Z402, Z403, Z404, Z405, Z406, Z501, Z502, Z503
+  [2]
+
+The reduction is visible end to end: the optimized simulation of the
+conflict design agrees with the plain one on the output port:
+
+  $ zeusc sim diag.zeus --cycles 2 --watch s.y
+  cycle 1: s.y=U
+  cycle 2: s.y=U
+  runtime error (cycle 0) [Z101] s.m: more than one driving assignment in cycle 0 — burning transistors (value forced to UNDEF)
+  runtime error (cycle 1) [Z101] s.m: more than one driving assignment in cycle 1 — burning transistors (value forced to UNDEF)
+  $ zeusc sim diag.zeus --cycles 2 --watch s.y --optimize
+  cycle 1: s.y=U
+  cycle 2: s.y=U
+  runtime error (cycle 0) [Z101] s.m: more than one driving assignment in cycle 0 — burning transistors (value forced to UNDEF)
+  runtime error (cycle 1) [Z101] s.m: more than one driving assignment in cycle 1 — burning transistors (value forced to UNDEF)

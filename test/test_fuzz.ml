@@ -163,6 +163,57 @@ let prop_parallel_identity =
             [ 1; 2; 4; 7 ])
 
 (* ------------------------------------------------------------------ *)
+(* Optimize identity: the proof-carrying reduction is unobservable      *)
+(* ------------------------------------------------------------------ *)
+
+(* [Reduce.run] (cone-of-influence + constant folding + copy
+   propagation over the Absint fixpoint) preserves the value of every
+   net the analysis marked observable, cycle for cycle, on random
+   full-language programs.  Snapshots are compared through each
+   design's own class map — reduction merges copy classes, so class
+   ids differ between the two designs and only the per-net root slots
+   are comparable.  Counterexamples shrink through the IR shrinker. *)
+let prop_optimize_identity =
+  QCheck.Test.make ~count:100 ~name:"optimize_identity"
+    (Gen.arbitrary ())
+    (fun (p, stim) ->
+      match Oracle.compile (Gen.to_zeus p) with
+      | Error _ -> true (* compile failures belong to the matrix property *)
+      | Ok design ->
+          let r = Reduce.run design in
+          let ai = r.Reduce.ai in
+          let g1 = Graph.build design
+          and g2 = Graph.build r.Reduce.design in
+          let reference = Oracle.run_engine design Sim.Incremental stim in
+          let optimized =
+            Oracle.run_engine r.Reduce.design Sim.Incremental stim
+          in
+          if
+            List.length reference.Oracle.snaps
+            <> List.length optimized.Oracle.snaps
+          then
+            QCheck.Test.fail_reportf
+              "optimized run has a different cycle count for@.%s"
+              (Gen.print_case (p, stim))
+          else begin
+            List.iter2
+              (fun (s1 : Logic.t option array) (s2 : Logic.t option array) ->
+                Array.iteri
+                  (fun c root ->
+                    if ai.Absint.observable.(ai.Absint.canon.(root)) then begin
+                      let slot2 = g2.Graph.rep.(g2.Graph.canon.(root)) in
+                      if s1.(root) <> s2.(slot2) then
+                        QCheck.Test.fail_reportf
+                          "observable net %s differs after reduction for@.%s"
+                          g1.Graph.names.(c)
+                          (Gen.print_case (p, stim))
+                    end)
+                  g1.Graph.rep)
+              reference.Oracle.snaps optimized.Oracle.snaps;
+            true
+          end)
+
+(* ------------------------------------------------------------------ *)
 (* Sequential: register pipelines delay by their depth                  *)
 (* ------------------------------------------------------------------ *)
 
@@ -265,6 +316,7 @@ let () =
             prop_comb_direct_oracle;
             prop_oracle_matrix;
             prop_parallel_identity;
+            prop_optimize_identity;
             prop_roundtrip;
             prop_register_pipeline;
             prop_random_mux;

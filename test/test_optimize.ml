@@ -213,6 +213,182 @@ let test_alias_class_constants () =
   Alcotest.(check (option char)) "two agreeing constants stay unknown" None
     (known_of d2 "s.a")
 
+(* ---- abstract interpretation (Absint) + reduction (Reduce) ---- *)
+
+let net_id design name =
+  let nl = design.Elaborate.netlist in
+  let found = ref None in
+  Array.iter
+    (fun (n : Netlist.net) ->
+      if n.Netlist.name = name then found := Some n.Netlist.id)
+    (Netlist.nets_array nl);
+  match !found with
+  | Some i -> i
+  | None -> Alcotest.failf "net %s not in the netlist" name
+
+let classify design name =
+  let ai = Absint.analyze design in
+  Absint.classification_to_string
+    (Absint.classification_of_net ai (net_id design name))
+
+let test_absint_conflict_stuckx () =
+  (* two always-firing drivers disagreeing on one net: the runtime
+     drive resolution yields UNDEF every cycle, and the abstract
+     resolution must prove it *)
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL g: \
+       boolean; m: multiplex; BEGIN g := 1; IF g THEN m := 1 END; IF g THEN \
+       m := 0 END; y := OR(m, x) END;\nSIGNAL s: t;"
+  in
+  Alcotest.(check string) "conflict is stuck-X" "stuck-X" (classify d "s.m")
+
+let test_absint_kind_defaults () =
+  (* a class whose every producer provably never fires reads the
+     engine's kind default: NOINFL on a multiplex, but a boolean copy
+     of it reads UNDEF — the copy translates the default *)
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL g, b: \
+       boolean; m: multiplex; BEGIN g := 0; IF g THEN m := x END; b := m; y \
+       := OR(b, x) END;\nSIGNAL s: t;"
+  in
+  Alcotest.(check string) "dead multiplex is stuck-Z" "stuck-Z"
+    (classify d "s.m");
+  Alcotest.(check string) "boolean copy of it is stuck-X" "stuck-X"
+    (classify d "s.b")
+
+let test_absint_register_widening () =
+  (* a register fed the constant 1 still powers up UNDEF: widening
+     joins the power-up value, so the output class stays varying *)
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL r: REG; \
+       BEGIN r.in := 1; y := AND(x, r.out) END;\nSIGNAL s: t;"
+  in
+  Alcotest.(check string) "r.in constant" "const-1" (classify d "s.r.in");
+  Alcotest.(check string) "r.out varying" "varying" (classify d "s.r.out")
+
+let test_reduce_copy_merge () =
+  (* an unguarded single-producer copy is a wire: the classes merge,
+     the driver disappears, and behaviour is unchanged *)
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL u: \
+       boolean; BEGIN u := x; y := NOT u END;\nSIGNAL s: t;"
+  in
+  let r = Reduce.run d in
+  Alcotest.(check bool) "copies merged" true (r.Reduce.stats.Reduce.copies_merged > 0);
+  Alcotest.(check bool) "nets eliminated" true
+    (r.Reduce.stats.Reduce.nets_eliminated > 0);
+  let run design v =
+    let sim = Sim.create design in
+    Sim.poke_bool sim "s.x" v;
+    Sim.step sim;
+    Sim.peek_bit sim "s.y"
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check char) "same output"
+        (Logic.to_char (run d v))
+        (Logic.to_char (run r.Reduce.design v)))
+    [ true; false ]
+
+let test_reduce_no_cross_kind_merge () =
+  (* a boolean fed from a multiplex reads UNDEF where the multiplex
+     reads NOINFL when nothing fires — the copy translates between the
+     defaults, so it must NOT merge *)
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL m: \
+       multiplex; BEGIN IF x THEN m := 1 END; y := m END;\nSIGNAL s: t;"
+  in
+  let r = Reduce.run d in
+  Alcotest.(check int) "no cross-kind merge" 0
+    r.Reduce.stats.Reduce.copies_merged;
+  let run design v =
+    let sim = Sim.create design in
+    Sim.poke_bool sim "s.x" v;
+    Sim.step sim;
+    Sim.peek_bit sim "s.y"
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check char) "same output"
+        (Logic.to_char (run d v))
+        (Logic.to_char (run r.Reduce.design v)))
+    [ true; false ]
+
+let test_reduce_guard0_keeps_producer () =
+  (* two never-firing drivers: dropping both would leave the class
+     producer-less, flipping a boolean read from its one-NOINFL-firing
+     behaviour — the reduction must keep at least one *)
+  let d =
+    compile
+      "TYPE t = COMPONENT (IN x: boolean; OUT y: boolean) IS SIGNAL g: \
+       boolean; m: multiplex; BEGIN g := 0; IF g THEN m := 0 END; IF g THEN \
+       m := x END; y := OR(m, x) END;\nSIGNAL s: t;"
+  in
+  let r = Reduce.run d in
+  let nl = r.Reduce.design.Elaborate.netlist in
+  let mc = Netlist.canonical nl (net_id r.Reduce.design "s.m") in
+  let producers =
+    List.length
+      (List.filter
+         (fun (dr : Netlist.driver) ->
+           Netlist.canonical nl dr.Netlist.target = mc)
+         (Netlist.drivers nl))
+    + List.length
+        (List.filter
+           (fun (g : Netlist.gate) ->
+             Netlist.canonical nl g.Netlist.output = mc)
+           (Netlist.gates nl))
+  in
+  Alcotest.(check bool) "at least one producer kept" true (producers >= 1)
+
+let test_reduce_equivalence_corpus () =
+  (* every embedded example: the proof-carrying reduction preserves
+     the root output ports under random stimulus (registers may
+     legitimately disappear when unobservable, so only the outputs —
+     observable by definition — are compared) *)
+  List.iter
+    (fun (name, src) ->
+      let d = compile src in
+      let r = Reduce.run d in
+      let ins = inputs_of d and outs = outputs_of d in
+      let rng = Random.State.make [| 77 |] in
+      for _trial = 1 to 3 do
+        let s1 = Sim.create d and s2 = Sim.create r.Reduce.design in
+        Sim.reset s1;
+        Sim.reset s2;
+        for _c = 1 to 4 do
+          let vec =
+            List.map
+              (fun _ -> if Random.State.bool rng then Logic.One else Logic.Zero)
+              ins
+          in
+          Sim.poke_nets s1 ins vec;
+          Sim.poke_nets s2 ins vec;
+          Sim.step s1;
+          Sim.step s2;
+          if Sim.peek_nets s1 outs <> Sim.peek_nets s2 outs then
+            Alcotest.failf "%s: outputs diverge after reduction" name
+        done
+      done)
+    (Corpus.all_named @ Corpus_fsm.all_named)
+
+let test_reduce_matches_legacy_on_blackjack () =
+  (* the proof-carrying pass subsumes the legacy Optimize constants:
+     everything Optimize folded, Reduce folds too *)
+  let d = compile Corpus.blackjack in
+  let _, legacy = Optimize.run d in
+  let r = Reduce.run d in
+  Alcotest.(check bool)
+    (Fmt.str "folds at least the legacy constants (%a)" Reduce.pp_stats
+       r.Reduce.stats)
+    true
+    (r.Reduce.stats.Reduce.consts_folded >= legacy.Optimize.constants_found)
+
 let () =
   Alcotest.run "optimize"
     [
@@ -235,5 +411,25 @@ let () =
           Alcotest.test_case "corpus" `Quick test_equivalence_corpus;
           Alcotest.test_case "blackjack shrinks" `Quick
             test_reduction_on_blackjack;
+        ] );
+      ( "absint",
+        [
+          Alcotest.test_case "conflict is stuck-X" `Quick
+            test_absint_conflict_stuckx;
+          Alcotest.test_case "kind defaults" `Quick test_absint_kind_defaults;
+          Alcotest.test_case "register widening" `Quick
+            test_absint_register_widening;
+        ] );
+      ( "reduce",
+        [
+          Alcotest.test_case "copy merge" `Quick test_reduce_copy_merge;
+          Alcotest.test_case "no cross-kind merge" `Quick
+            test_reduce_no_cross_kind_merge;
+          Alcotest.test_case "guard-0 keeps a producer" `Quick
+            test_reduce_guard0_keeps_producer;
+          Alcotest.test_case "corpus equivalence" `Quick
+            test_reduce_equivalence_corpus;
+          Alcotest.test_case "subsumes legacy constants" `Quick
+            test_reduce_matches_legacy_on_blackjack;
         ] );
     ]
