@@ -1,9 +1,11 @@
 (* Bench-regression guard: compare a freshly generated smoke-bench JSON
-   (BENCH_sim.json / BENCH_modular.json / BENCH_par.json) against its
-   committed baseline under bench/baselines/.
+   (BENCH_sim.json / BENCH_modular.json / BENCH_par.json /
+   BENCH_compiled.json) against its committed baseline under
+   bench/baselines/.
 
    Only *deterministic* counters are compared — numeric fields whose
-   names mention visits, tasks, barriers, levels, summaries or nets —
+   names mention visits, tasks, barriers, levels, summaries, nets,
+   ops or lanes —
    with a relative tolerance (default 25%).  Wall-clock fields
    ("seconds", "speedup") and boolean agreement flags are ignored for
    tolerance purposes, except that any "snapshots_agree": false in the
@@ -28,6 +30,7 @@ let checked_key k =
   mem "visits" || mem "tasks" || mem "barriers" || mem "levels"
   || mem "summaries" || mem "nets" || mem "fanout" || mem "cycles"
   || mem "gates" || mem "drivers" || mem "folded" || mem "merged"
+  || mem "ops" || mem "lanes"
 
 type entry = {
   path : string; (* "design-label/key" *)

@@ -16,11 +16,13 @@
      E14 modular            modular summary analysis vs elaborate+lint
      E15 parallel           domain-parallel engine vs incremental
      E16 opt                proof-carrying reduction vs plain simulation
+     E17 compiled           compiled bytecode engine vs incremental
 
    `dune exec bench/main.exe` prints all report tables and then runs the
    timing benchmarks (pass --no-timing to skip them).  E13 also writes
    machine-readable results to BENCH_sim.json, E14 to BENCH_modular.json,
-   E15 to BENCH_par.json and E16 to BENCH_opt.json.  Pass --smoke to run
+   E15 to BENCH_par.json, E16 to BENCH_opt.json and E17 to
+   BENCH_compiled.json.  Pass --smoke to run
    only the (shortened) simulator, modular, parallel and reduction
    benches and the JSON dumps — the CI mode. *)
 
@@ -1099,6 +1101,157 @@ let e16_opt ~cycles () =
   e16_write_json rows "BENCH_opt.json"
 
 (* ------------------------------------------------------------------ *)
+(* E17: the compiled bytecode engine                                    *)
+(* ------------------------------------------------------------------ *)
+
+type e17_row = {
+  b_design : string;
+  b_cycles : int;
+  b_incr_visits : int;
+  b_incr_secs : float;
+  b_visits : int;
+  b_secs : float;
+  b_prog_ops : int;
+  b_scalar_ops : int;
+  b_vector_ops : int;
+  b_vector_lanes : int;
+  b_compile_secs : float;
+  b_agree : bool;
+}
+
+(* The e15 high-activity workloads, with the poke paths resolved once
+   per design instead of sprintf+resolve on every cycle — the stimulus
+   must not dominate the measurement when the engine under test spends
+   well under a millisecond per cycle. *)
+let e17_workloads =
+  [
+    ( "routing(128)/all-headers",
+      Corpus.routing_network 128,
+      fun d ->
+        let nets =
+          Array.init 128 (fun i ->
+              match
+                Elaborate.resolve_path d (Printf.sprintf "net.input[%d]" i)
+              with
+              | Ok nets -> nets
+              | Error msg -> failwith msg)
+        in
+        let headers =
+          Array.init 1024 (fun v -> Cval.sctree_leaves (Cval.bin v 10))
+        in
+        ( (fun sim ->
+            for i = 0 to 127 do
+              Sim.poke_nets sim nets.(i) headers.(i)
+            done),
+          fun sim c ->
+            for i = 0 to 127 do
+              Sim.poke_nets sim nets.(i) headers.((i + c) land 1023)
+            done ) );
+    ( "htree(256)/root-toggle",
+      Corpus.htree 256,
+      fun _ ->
+        ( (fun sim -> Sim.poke_bool sim "a.in" false),
+          fun sim c -> Sim.poke_bool sim "a.in" (c land 1 = 1) ) );
+    ( "patternmatch(9)/stream",
+      Corpus.patternmatch 9,
+      fun _ ->
+        ( (fun sim ->
+            List.iter
+              (fun p -> Sim.poke_bool sim ("match." ^ p) false)
+              [ "pattern"; "string"; "endofpattern"; "wild"; "resultin" ]),
+          fun sim c ->
+            Sim.poke_bool sim "match.pattern" (c land 1 = 1);
+            Sim.poke_bool sim "match.string" (c land 2 = 2);
+            Sim.poke_bool sim "match.endofpattern" (c mod 9 = 0);
+            Sim.poke_bool sim "match.wild" (c land 4 = 4);
+            Sim.poke_bool sim "match.resultin" (c land 1 = 0) ) );
+  ]
+
+let e17_write_json rows path =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiments\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"design\": %S, \"cycles\": %d,\n\
+           \     \"incremental\": {\"node_visits\": %d, \"seconds\": %.6f},\n\
+           \     \"compiled\": {\"node_visits\": %d, \"seconds\": %.6f, \
+            \"speedup\": %.2f,\n\
+           \       \"prog_ops\": %d, \"scalar_ops\": %d, \"vector_ops\": \
+            %d, \"vector_lanes\": %d,\n\
+           \       \"compile_seconds\": %.6f, \"snapshots_agree\": %b}}"
+           r.b_design r.b_cycles r.b_incr_visits r.b_incr_secs r.b_visits
+           r.b_secs
+           (r.b_incr_secs /. Float.max 1e-9 r.b_secs)
+           r.b_prog_ops r.b_scalar_ops r.b_vector_ops r.b_vector_lanes
+           r.b_compile_secs r.b_agree))
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
+let e17_compiled ~cycles () =
+  section "E17"
+    "compiled bytecode engine: wall clock and program shape vs incremental \
+     (high-activity workloads, poke paths preresolved)";
+  let bench (name, src, prepare) =
+    let d = compile src in
+    let warm, stim = prepare d in
+    let run engine =
+      let sim = Sim.create ~engine d in
+      warm sim;
+      Sim.step sim;
+      (* cold-start cycle (and the one-time compile) excluded *)
+      let v0 = Sim.node_visits sim in
+      let t0 = Unix.gettimeofday () in
+      for c = 1 to cycles do
+        stim sim c;
+        Sim.step sim
+      done;
+      (Sim.node_visits sim - v0, Unix.gettimeofday () -. t0, sim)
+    in
+    let iv, is_, isim = run Sim.Incremental in
+    let cv, cs, csim = run Sim.Compiled in
+    let stats =
+      match Sim.compiled_stats csim with Some s -> s | None -> assert false
+    in
+    {
+      b_design = name;
+      b_cycles = cycles;
+      b_incr_visits = iv;
+      b_incr_secs = is_;
+      b_visits = cv;
+      b_secs = cs;
+      b_prog_ops = stats.Sim.c_ops;
+      b_scalar_ops = stats.Sim.c_scalar_ops;
+      b_vector_ops = stats.Sim.c_vector_ops;
+      b_vector_lanes = stats.Sim.c_vector_lanes;
+      b_compile_secs = stats.Sim.c_compile_secs;
+      b_agree = Sim.snapshot csim = Sim.snapshot isim;
+    }
+  in
+  let rows = List.map bench e17_workloads in
+  Fmt.pr "  %-26s %10s %10s %9s %8s %8s %8s %6s@." "workload" "engine"
+    "visits" "secs" "speedup" "progops" "vlanes" "agree";
+  List.iter
+    (fun r ->
+      Fmt.pr "  %-26s %10s %10d %9.4f %8s %8s %8s %6s@." r.b_design "incr"
+        r.b_incr_visits r.b_incr_secs "1.0x" "-" "-" "-";
+      Fmt.pr "  %-26s %10s %10d %9.4f %7.1fx %8d %8d %6s@." "" "compiled"
+        r.b_visits r.b_secs
+        (r.b_incr_secs /. Float.max 1e-9 r.b_secs)
+        r.b_prog_ops r.b_vector_lanes
+        (if r.b_agree then "yes" else "NO"))
+    rows;
+  Fmt.pr "(program shape is design-deterministic; wall-clock speedup is \
+          machine-dependent)@.";
+  e17_write_json rows "BENCH_compiled.json"
+
+(* ------------------------------------------------------------------ *)
 (* Timing benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1183,7 +1336,8 @@ let () =
     e13_incremental ~cycles:50 ();
     e14_modular ~smoke:true ();
     e15_parallel ~cycles:20 ();
-    e16_opt ~cycles:20 ()
+    e16_opt ~cycles:20 ();
+    e17_compiled ~cycles:50 ()
   end
   else begin
     Fmt.pr "Zeus reproduction benchmark suite (every table/figure of the \
@@ -1205,5 +1359,6 @@ let () =
     e14_modular ();
     e15_parallel ~cycles:100 ();
     e16_opt ~cycles:100 ();
+    e17_compiled ~cycles:200 ();
     if timing then run_timing ()
   end

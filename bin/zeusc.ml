@@ -230,13 +230,13 @@ let sim_cmd =
     in
     Arg.(
       value
-      & opt (enum engines) Zeus.Sim.Firing
+      & opt (enum engines) Zeus.Sim.Incremental
       & info [ "engine" ] ~docv:"ENGINE"
           ~doc:
-            "Scheduling engine: $(b,firing) (default), \
-             $(b,firing-strict), $(b,fixpoint), $(b,relaxation), \
-             $(b,incremental) or $(b,parallel).  All engines compute \
-             identical values.")
+            "Scheduling engine: $(b,firing), $(b,firing-strict), \
+             $(b,fixpoint), $(b,relaxation), $(b,incremental) \
+             (default), $(b,parallel) or $(b,compiled).  All engines \
+             compute identical values.")
   in
   let jobs =
     Arg.(
@@ -263,8 +263,10 @@ let sim_cmd =
       & info [ "stats" ]
           ~doc:
             "After the run, print the work breakdown: total node visits, \
-             and for the parallel engine the per-level fan-out, barrier \
-             and per-domain visit counters (all deterministic).")
+             for the parallel engine the per-level fan-out, barrier \
+             and per-domain visit counters, and for the compiled engine \
+             the program size, vector coverage and one-time compile \
+             time (all but the compile time deterministic).")
   in
   let optimize =
     Arg.(
@@ -335,7 +337,7 @@ let sim_cmd =
             (Zeus.Sim.trace_last_cycle sim);
         if stats then begin
           Fmt.pr "node visits: %d@." (Zeus.Sim.node_visits sim);
-          match Zeus.Sim.parallel_stats sim with
+          (match Zeus.Sim.parallel_stats sim with
           | None -> ()
           | Some s ->
               Fmt.pr
@@ -347,7 +349,17 @@ let sim_cmd =
                 s.Zeus.Sim.par_max_fanout;
               Fmt.pr "domain visits:%a@."
                 Fmt.(array ~sep:nop (fmt " %d"))
-                s.Zeus.Sim.par_domain_visits
+                s.Zeus.Sim.par_domain_visits);
+          (match Zeus.Sim.compiled_stats sim with
+          | None -> ()
+          | Some s ->
+              Fmt.pr
+                "compiled: ops=%d scalar=%d vector=%d vector-lanes=%d \
+                 visits-per-cycle=%d@."
+                s.Zeus.Sim.c_ops s.Zeus.Sim.c_scalar_ops
+                s.Zeus.Sim.c_vector_ops s.Zeus.Sim.c_vector_lanes
+                s.Zeus.Sim.c_visits_per_cycle;
+              Fmt.pr "compile time: %.3fs@." s.Zeus.Sim.c_compile_secs)
         end;
         List.iter
           (fun (e : Zeus.Sim.runtime_error) ->

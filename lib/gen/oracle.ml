@@ -10,9 +10,10 @@
                        Firing-engine run is bit-identical to the
                        original's (print/parse/elaborate preserve
                        semantics, not just syntax);
-   O3 "engine:<name>"  all six scheduling engines — including the
+   O3 "engine:<name>"  all seven scheduling engines — including the
                        domain-parallel one, run at 4 domains with every
-                       dirty level chunked (grain 1) — produce identical
+                       dirty level chunked (grain 1), and the bytecode-
+                       compiled one — produce identical
                        snapshots *per cycle* and identical runtime-error
                        sets (cycle, net, code) over the poke sequence —
                        the cycle-by-cycle comparison subsumes the
@@ -30,7 +31,7 @@
                        never classified safe in the first place.)
    O6 "opt-identity:<name>" / "opt-proof"
                        the proof-carrying reduction preserves behaviour:
-                       the reduced design, run on each of the six
+                       the reduced design, run on each of the seven
                        engines, matches the unoptimized Firing reference
                        cycle-by-cycle on every net the abstract
                        interpretation marked observable.  Values are
@@ -196,7 +197,7 @@ let check ~src ~(stim : Gen_prog.stimulus) : divergence list =
           add "compile" (diags_to_string diags);
           List.rev !divs
       | Ok design ->
-          (* O3: the six-engine matrix, cycle-by-cycle *)
+          (* O3: the seven-engine matrix, cycle-by-cycle *)
           let reference = run_engine design Sim.Firing stim in
           List.iter
             (fun engine ->
@@ -219,7 +220,7 @@ let check ~src ~(stim : Gen_prog.stimulus) : divergence list =
                        (errors_to_string reference.errors))
               end)
             Sim.all_engines;
-          (* O6: the proof-carrying reduction, on all six engines *)
+          (* O6: the proof-carrying reduction, on all seven engines *)
           (match
              try Some (Reduce.run design)
              with exn ->

@@ -16,7 +16,7 @@
     opt-identity:<name>
                      the proof-carrying reduction ({!Zeus_sem.Reduce})
                      preserves behaviour: the reduced design, run on
-                     each of the six engines, matches the unoptimized
+                     each of the seven engines, matches the unoptimized
                      Firing reference cycle-by-cycle on every net the
                      abstract interpretation marked observable (values
                      compared per net through each design's class map;

@@ -1,0 +1,164 @@
+(** Flat bytecode VM for the compiled simulation engine.
+
+    {!Compile} lowers the levelized schedule over the compacted class
+    graph into a [prog]: one dense opcode array whose operand indices
+    (class ids, immediates, register indices, scratch slots) were all
+    resolved at compile time.  [run_cycle] executes it with a tight
+    dispatch loop over a bit-packed two-plane value store — 32 classes
+    per word pair — so the wide vectorizable ops (register seed/latch,
+    copy, NOT, guarded multiplex resolution) evaluate 32 nets per
+    handful of word ops.
+
+    The program is a strict levelized evaluation: it computes exactly
+    the per-cycle fixpoint of every other {!Sim} engine (section 8's
+    "all orders agree" invariant), including drive-conflict forcing to
+    UNDEF, the register latch rules and the stateless RANDOM stream
+    keyed by (seed, class, cycle) ({!Prand}). *)
+
+open Zeus_base
+
+(** {1 Value codes}
+
+    Two bits per value, Verilog aval/bval style: plane [a] holds the
+    low bit, plane [b] the high bit — [0b00] ZERO, [0b01] ONE, [0b10]
+    NOINFL, [0b11] UNDEF. *)
+
+val code_zero : int
+val code_one : int
+val code_z : int
+val code_x : int
+val encode : Logic.t -> int
+val decode : Logic.t array
+
+(** {1 Operand encoding} *)
+
+(** Immediate operand for a constant source. *)
+val imm : int -> int
+
+(** [guard] value of an unguarded driver op. *)
+val no_guard : int
+
+(** Gate kinds of {!Ogate}. *)
+
+val gand : int
+val gor : int
+val gnand : int
+val gnor : int
+val gxor : int
+val gnot : int
+val gequal : int
+
+(** Seed kinds of {!Oseed} ([kind >= 0] is a register index). *)
+
+val seed_plain : int
+val seed_clk : int
+val seed_rset : int
+
+type op =
+  | Oseed of { cls : int; kind : int }
+      (** load the cycle seed of a producer-less class: the poke if
+          present, else CLK/RSET/register/UNDEF by [kind] *)
+  | Ogate of {
+      gate : int;
+      args : int array;
+      out : int;
+      prod : int;  (** scratch slot, or [-1] to write [out] directly *)
+      kbool : bool;
+    }
+  | Orandom of { out : int; prod : int }
+      (** a draw of {!Prand.bool} keyed by the output class *)
+  | Odriver of { guard : int; src : int; out : int; prod : int; kbool : bool }
+  | Oresolve of { out : int; prods : int array; kbool : bool }
+      (** multi-producer resolution over scratch slots; two or more
+          driving values force UNDEF and report a conflict *)
+  | Olatch of { reg : int; cls : int; seeded : bool }
+      (** end-of-cycle register latch; [seeded] registers read a
+          producer-less input (latch on any non-NOINFL value), others
+          latch when the driven flag is set *)
+  | Ovseed of { cls : int; len : int }
+      (** wide plain seed: producer-less classes [cls..cls+len) read
+          the packed poke mirror, UNDEF where unpoked *)
+  | Ovregseed of { reg : int; cls : int; len : int }
+      (** wide register seed: classes [cls..cls+len) read registers
+          [reg..reg+len), with the packed poke mirror merged in *)
+  | Ovcopy of { src : int; dst : int; len : int; kbool : bool; dr : bool }
+      (** [dr] (here and below) is false when no lane feeds a register,
+          letting the op skip the driven-plane write — the driven flags
+          are read only by the latch ops *)
+  | Ovnot of { src : int; dst : int; len : int; dr : bool }
+  | Ovdriver of {
+      guard : int;
+      src : int;
+      dst : int;
+      len : int;
+      kbool : bool;
+      dr : bool;
+    }
+  | Ovmux2 of {
+      g1 : int;
+      s1 : int;
+      g2 : int;
+      s2 : int;
+      dst : int;
+      len : int;
+      kbool : bool;
+      dr : bool;
+    }
+      (** wide two-driver guarded multiplex resolution: lanes
+          [dst..dst+len) each driven by [IF g1 -> s1+lane] and
+          [IF g2 -> s2+lane]; per-lane drive counting, conflict
+          detection and NOINFL/UNDEF filling happen wordwise *)
+  | Ovlatch of { reg : int; cls : int; len : int; seeded : bool }
+
+type prog = {
+  ops : op array;
+  n_classes : int;
+  n_nodes : int;
+  reg_init : int array;
+  visits_per_cycle : int;
+      (** node evaluations the program represents per cycle *)
+  scalar_ops : int;
+  vector_ops : int;
+  vector_lanes : int;  (** classes covered by vector ops *)
+  compile_secs : float;
+}
+
+(** {1 Packed state} *)
+
+type state
+
+val create_state : prog -> state
+
+(** Return the state to power-up: planes to UNDEF, registers to their
+    initial values, poke mirror cleared. *)
+val reset_state : prog -> state -> unit
+
+(** True once at least one compiled cycle has run (before that, peeks
+    fall back to UNDEF and snapshots to [None], like a fresh handle of
+    any other engine). *)
+val ran : state -> bool
+
+(** Current value of a class / stored value of a register. *)
+
+val get : state -> int -> Logic.t
+val reg_get : state -> int -> Logic.t
+
+(** Mirror one poke (or unpoke, [None]) into the packed poke planes. *)
+val sync_poke : state -> int -> Logic.t option -> unit
+
+(** {1 Execution} *)
+
+(** [run_cycle prog st ~poked ~seed ~cycle] executes one clock cycle
+    and returns the classes whose resolution saw a drive conflict
+    (unsorted; the caller reports them in class order). *)
+val run_cycle :
+  prog -> state -> poked:Logic.t option array -> seed:int -> cycle:int ->
+  int list
+
+(** Per-cycle change sweep against the previous cycle's planes, in
+    ascending class order: accrues toggle counts (skipped on the
+    [first] cycle, which has no predecessor) and reports changed
+    classes.  Call after {!run_cycle}. *)
+val sweep :
+  state -> first:bool -> toggles:int array ->
+  on_change:(int -> Logic.t -> unit) option -> unit

@@ -1,0 +1,18 @@
+(** One-time compiler from the levelized schedule over the compacted
+    class graph to the flat bytecode of {!Bytecode}.
+
+    Lowering walks the schedule level by level (seeds, then node ops
+    and multi-producer resolutions per level, then register latches),
+    so the emitted straight-line program is a strict levelized
+    evaluation: it computes the same per-cycle fixpoint, conflict
+    reports and RANDOM stream as every other {!Sim} engine.  A
+    peephole vectorizer turns stride-1 runs (register seed/latch
+    files, copies, NOT chains, shared-guard drivers, the two-driver
+    IF/ELSE multiplex shape) into wide 32-lane word ops. *)
+
+(** [None] when the design has a combinational cycle (the schedule has
+    no levels to lower; {!Sim} falls back to full re-evaluation). *)
+val build : Graph.t -> Sched.t -> Bytecode.prog option
+
+(** Shortest stride-1 run the vectorizer turns into a word op. *)
+val vmin : int

@@ -7,7 +7,7 @@
    function of (simulator seed, output class id, cycle number): the
    splitmix64 finalizer applied twice, so the value is independent of
    which domain computes it, in which order, and how many domains there
-   are.  All six engines share this function, so their RANDOM streams
+   are.  All seven engines share this function, so their RANDOM streams
    are bit-identical by construction.
 
    Splitmix64 (Steele, Lea & Flood, OOPSLA 2014) is the standard cheap

@@ -18,7 +18,7 @@
 open Zeus_base
 open Zeus_sem
 
-(** The six scheduling engines compute identical values (a tested
+(** The seven scheduling engines compute identical values (a tested
     invariant — section 8's "all orders lead to the same result"); they
     differ only in how much work they do, and on how many domains. *)
 type engine =
@@ -44,7 +44,21 @@ type engine =
           runtime errors and the RANDOM stream are bit-identical to
           every serial engine at any domain count: RANDOM draws are a
           pure function of (seed, class, cycle) ({!Prand}), and the
-          per-cycle trace is sorted by class id within each level. *)
+          per-cycle trace is sorted by class id within each level.
+          [jobs <= 1] (and designs narrower than [grain]) short-circuit
+          to the serial incremental path: no pool, no barriers. *)
+  | Compiled
+      (** the levelized schedule lowered once to flat bytecode
+          ({!Compile}, {!Bytecode}): dense opcode array, operand
+          indices resolved at compile time, executed by a tight
+          dispatch loop over a two-plane bit-packed value store where
+          stride-1 runs (register files, copies, NOT chains, guarded
+          multiplexes) evaluate 32 nets per word op.  Every node is
+          re-evaluated every cycle; snapshots, error traces and the
+          RANDOM stream are bit-identical to the other engines.
+          Designs with combinational cycles fall back to full
+          re-evaluation.  With {!set_trace} on, the per-cycle trace
+          lists the changed nets in class order. *)
 
 val engine_name : engine -> string
 
@@ -65,6 +79,18 @@ type par_stats = {
   par_domain_visits : int array;
       (** node evaluations per domain; unchunked work accrues to
           domain 0 *)
+}
+
+(** Shape of the {!Compiled} engine's program.  Every field except
+    [c_compile_secs] is a deterministic function of the design — no
+    wall clock — so the counters are golden-testable. *)
+type compiled_stats = {
+  c_ops : int;  (** program length, opcodes *)
+  c_scalar_ops : int;
+  c_vector_ops : int;  (** wide 32-lane word ops *)
+  c_vector_lanes : int;  (** classes covered by vector ops *)
+  c_visits_per_cycle : int;  (** node evaluations the program encodes *)
+  c_compile_secs : float;  (** one-time lowering cost *)
 }
 
 type runtime_error = {
@@ -169,6 +195,10 @@ val node_visits : t -> int
 (** Work breakdown of the {!Parallel} engine so far; [None] for every
     other engine. *)
 val parallel_stats : t -> par_stats option
+
+(** Shape of the {!Compiled} engine's program; [None] for every other
+    engine and for cyclic designs (which fall back uncompiled). *)
+val compiled_stats : t -> compiled_stats option
 
 (** Switching activity: the nets with the most value changes between
     consecutive cycles so far (a classic dynamic-power proxy), highest

@@ -26,6 +26,13 @@ let vcd_char = function
   | Logic.Undef -> 'x'
   | Logic.Noinfl -> 'z'
 
+let logic_of_vcd_char = function
+  | '0' -> Some Logic.Zero
+  | '1' -> Some Logic.One
+  | 'x' | 'X' -> Some Logic.Undef
+  | 'z' | 'Z' -> Some Logic.Noinfl
+  | _ -> None
+
 let id_code i =
   (* printable short codes ! .. ~ *)
   let base = 94 in
@@ -68,15 +75,26 @@ let write_header t =
   Buffer.add_string t.buf "$enddefinitions $end\n";
   t.header_done <- true
 
-(* record the current values; call once per simulated cycle *)
+(* record the current values; call once per simulated cycle.  The
+   [#cycle] timestamp is held back until the first change record of the
+   cycle: a quiescent cycle emits nothing at all, which is what viewers
+   expect and what keeps long idle stretches compact. *)
 let sample t =
   if not t.header_done then write_header t;
-  Buffer.add_string t.buf (Printf.sprintf "#%d\n" (Sim.cycle_count t.sim));
+  let stamped = ref false in
+  let stamp () =
+    if not !stamped then begin
+      stamped := true;
+      Buffer.add_string t.buf
+        (Printf.sprintf "#%d\n" (Sim.cycle_count t.sim))
+    end
+  in
   List.iter
     (fun s ->
       let values = Sim.peek_nets t.sim s.nets in
       if s.last <> Some values then begin
         s.last <- Some values;
+        stamp ();
         match values with
         | [ v ] ->
             Buffer.add_char t.buf (vcd_char v);
@@ -95,7 +113,10 @@ let contents t =
   if not t.header_done then write_header t;
   Buffer.contents t.buf
 
+(* {!Wave} renders to a string only (no channel to leak); this is the
+   one file-writing sink of the waveform layer *)
 let to_file t path =
   let oc = open_out path in
-  output_string oc (contents t);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (contents t))

@@ -40,6 +40,8 @@ module Switchlevel = Zeus_sim.Switchlevel
 module Incremental = Zeus_sim.Incremental
 module Parallel = Zeus_sim.Parallel
 module Prand = Zeus_sim.Prand
+module Bytecode = Zeus_sim.Bytecode
+module Compile = Zeus_sim.Compile
 module Vcd = Zeus_sim.Vcd
 module Wave = Zeus_sim.Wave
 module Explain = Zeus_sim.Explain

@@ -1,0 +1,67 @@
+Golden outputs for the compiled (bytecode) engine: --engine compiled is
+bit-identical to the serial engines, and --stats prints the program
+shape — every counter except the one-time compile wall-clock (filtered
+out here) is a deterministic function of the design.
+
+  $ zeusc corpus section8 > section8.zeus
+  $ zeusc corpus adder4 > adder4.zeus
+  $ zeusc corpus blackjack > blackjack.zeus
+
+The section 8 example under constant pokes.  The compiled engine has no
+notion of a quiescent cycle — the whole program re-executes every cycle
+(visits-per-cycle times the cycle count shows in "node visits") — but
+the values match the incremental default exactly:
+
+  $ zeusc sim section8.zeus --engine compiled -n 4 --stats -p top.a=1 -p top.b=1 -p top.x=1 -p top.y=0 -w top.out -w top.rout | grep -v "compile time"
+  cycle 1: top.out=1 top.rout=U
+  cycle 2: top.out=1 top.rout=U
+  cycle 3: top.out=1 top.rout=U
+  cycle 4: top.out=1 top.rout=U
+  node visits: 28
+  compiled: ops=13 scalar=12 vector=1 vector-lanes=6 visits-per-cycle=7
+
+  $ zeusc sim section8.zeus -n 4 -p top.a=1 -p top.b=1 -p top.x=1 -p top.y=0 -w top.out -w top.rout
+  cycle 1: top.out=1 top.rout=U
+  cycle 2: top.out=1 top.rout=U
+  cycle 3: top.out=1 top.rout=U
+  cycle 4: top.out=1 top.rout=U
+
+The adder as a waveform, on the compiled engine:
+
+  $ zeusc sim adder4.zeus --engine compiled -n 3 -p adder.a=9 -p adder.b=6 -p adder.cin=0 -w adder.s -w adder.cout --wave
+  adder.s    fff
+  adder.cout ___
+
+Blackjack's standing drive conflicts are re-detected and re-reported
+every cycle by the wordwise resolution, with the same set of (cycle,
+net, code) records as the serial engines — within a cycle the compiled
+engine reports in net (class) order:
+
+  $ zeusc sim blackjack.zeus --engine compiled -n 3 -w bj.state.out 2>&1 | head -6
+  cycle 1: bj.state.out=UUU
+  cycle 2: bj.state.out=UUU
+  cycle 3: bj.state.out=UUU
+  runtime error (cycle 0) [Z101] bj.state[1].in: more than one driving assignment in cycle 0 — burning transistors (value forced to UNDEF)
+  runtime error (cycle 0) [Z101] bj.state[2].in: more than one driving assignment in cycle 0 — burning transistors (value forced to UNDEF)
+  runtime error (cycle 0) [Z101] bj.state[3].in: more than one driving assignment in cycle 0 — burning transistors (value forced to UNDEF)
+
+A VCD dump of a design that goes quiescent after the first cycle: the
+timestamp is buffered until a change record needs it, so the idle tail
+of the run adds nothing to the file (no trailing bare #N markers):
+
+  $ zeusc sim section8.zeus -n 4 --vcd quiet.vcd -p top.a=1 -p top.b=1 -p top.x=1 -p top.y=0 -w top.out
+  cycle 1: top.out=1
+  cycle 2: top.out=1
+  cycle 3: top.out=1
+  cycle 4: top.out=1
+  VCD written to quiet.vcd
+  $ cat quiet.vcd
+  $date reproduced Zeus run $end
+  $version zeus-ocaml $end
+  $timescale 1 ns $end
+  $scope module zeus $end
+  $var wire 1 ! top_out $end
+  $upscope $end
+  $enddefinitions $end
+  #1
+  1!

@@ -28,7 +28,6 @@ The same run as a VCD file:
   $enddefinitions $end
   #1
   0!
-  #2
 
 The blackjack controller under reset then a hit request, as a waveform
 (x marks UNDEF from the unresolved multiplex drivers before the state

@@ -36,7 +36,7 @@ let gen_inputs n =
   QCheck.Gen.(list_repeat n (oneofl [ Logic.Zero; Logic.One; Logic.Undef ]))
 
 (* compile once, evaluate under random input vectors with each of the
-   six engines, and compare every OUT port against direct evaluation *)
+   seven engines, and compare every OUT port against direct evaluation *)
 let prop_comb_direct_oracle =
   QCheck.Test.make ~count:150 ~name:"comb_direct_oracle" arb_comb (fun p ->
       let src = Gen.to_zeus p in

@@ -1,7 +1,8 @@
 (* The firing simulator of section 8: gate evaluation, registers,
    multiplex resolution, runtime checks, the evaluation-sequence trace,
-   and the equivalence of all six scheduling engines (including the
-   cross-cycle incremental engine and the domain-parallel one). *)
+   and the equivalence of all seven scheduling engines (including the
+   cross-cycle incremental engine, the domain-parallel one and the
+   bytecode-compiled one). *)
 
 open Zeus
 
@@ -317,7 +318,7 @@ let test_engines_agree_corpus () =
             true
             (run engine = f))
         [ Sim.Firing_strict; Sim.Fixpoint; Sim.Relaxation; Sim.Incremental;
-          Sim.Parallel ])
+          Sim.Parallel; Sim.Compiled ])
     Corpus.all_named
 
 let test_engines_agree_blackjack () =
@@ -480,7 +481,7 @@ let test_incremental_quiescent_zero_visits () =
   Alcotest.(check (option int)) "incremental update" (Some 5556)
     (Sim.peek_int_lsb sim "adder.s")
 
-(* Snapshots are identical across all six engines on random
+(* Snapshots are identical across all seven engines on random
    multi-cycle poke sequences over designs that include drive
    conflicts, registers and aliasing — with UNDEF in the stimulus
    alphabet, and runtime-error counts agreeing too.  Failures print
@@ -716,6 +717,91 @@ let test_parallel_random_stream () =
   Alcotest.(check bool) "different seeds diverge" true
     (run ~engine:Sim.Parallel ~jobs:4 ~seed:8 () <> reference)
 
+(* --engine parallel --jobs 1 short-circuits to the serial incremental
+   path: no domain pool is consulted, no level is chunked, no barrier
+   crossed — every parallel work counter stays 0 — and the values still
+   match a plain incremental run. *)
+let test_parallel_jobs1_serial_fast_path () =
+  let d = compile (Corpus.adder_n 16) in
+  let drive sim =
+    Sim.poke_int_lsb sim "adder.a" 21845;
+    Sim.poke_int_lsb sim "adder.b" 13107;
+    Sim.poke_bool sim "adder.cin" false;
+    Sim.step_n sim 4;
+    Sim.snapshot sim
+  in
+  let sim = Sim.create ~engine:Sim.Parallel ~jobs:1 ~grain:1 d in
+  let psnap = drive sim in
+  Alcotest.(check bool) "values match incremental" true
+    (psnap = drive (Sim.create ~engine:Sim.Incremental d));
+  match Sim.parallel_stats sim with
+  | None -> Alcotest.fail "parallel handle must report stats"
+  | Some s ->
+      Alcotest.(check int) "no chunked levels" 0 s.Sim.par_chunked_levels;
+      Alcotest.(check int) "no barriers" 0 s.Sim.par_barriers;
+      Alcotest.(check int) "no node tasks" 0 s.Sim.par_node_tasks;
+      Alcotest.(check int) "no net tasks" 0 s.Sim.par_net_tasks;
+      Alcotest.(check int) "no fan-out seen" 0 s.Sim.par_max_fanout
+
+(* ---- the compiled engine ---- *)
+
+(* Restart + re-entry on one compiled handle: [Sim.restart] must return
+   the packed planes, registers and poke mirror to power-up, so two
+   consecutive runs give identical cycle-for-cycle traces — and both
+   match a fresh incremental handle. *)
+let test_compiled_restart_reentry () =
+  let d = compile Corpus.section8_example in
+  let pokes =
+    [ [ ("top.a", true); ("top.b", true); ("top.x", true); ("top.y", false) ];
+      [ ("top.cc", true) ];
+      [ ("top.a", false) ];
+      [ ("top.rin", true) ];
+      [] ]
+  in
+  let run_once sim =
+    let snaps =
+      List.map
+        (fun vec ->
+          List.iter (fun (p, v) -> Sim.poke_bool sim p v) vec;
+          Sim.step sim;
+          Sim.snapshot sim)
+        pokes
+    in
+    Sim.reset sim;
+    (snaps, List.length (Sim.runtime_errors sim))
+  in
+  let csim = Sim.create ~engine:Sim.Compiled d in
+  let first = run_once csim in
+  Sim.restart csim;
+  let second = run_once csim in
+  Alcotest.(check bool) "restart + re-entry: identical traces" true
+    (first = second);
+  let isim = Sim.create ~engine:Sim.Incremental d in
+  Alcotest.(check bool) "matches a fresh incremental run" true
+    (run_once isim = first)
+
+(* Program-shape stats: only the compiled engine reports them, every
+   counter except the compile time is a pure function of the design,
+   and the opcode counts are consistent. *)
+let test_compiled_stats_deterministic () =
+  let d = compile (Corpus.adder_n 16) in
+  let shape () =
+    match Sim.compiled_stats (Sim.create ~engine:Sim.Compiled d) with
+    | None -> Alcotest.fail "compiled engine must report stats"
+    | Some s ->
+        (s.Sim.c_ops, s.Sim.c_scalar_ops, s.Sim.c_vector_ops,
+         s.Sim.c_vector_lanes, s.Sim.c_visits_per_cycle)
+  in
+  let ((ops, scalar, vector, lanes, visits) as a) = shape () in
+  Alcotest.(check bool) "stats are deterministic" true (a = shape ());
+  Alcotest.(check bool) "program is non-empty" true (ops > 0);
+  Alcotest.(check int) "scalar + vector = ops" ops (scalar + vector);
+  Alcotest.(check bool) "wide input seeds vectorized" true (lanes > 0);
+  Alcotest.(check bool) "program encodes every node" true (visits > 0);
+  let other = Sim.create ~engine:Sim.Incremental d in
+  Alcotest.(check bool) "other engines report no compiled stats" true
+    (Sim.compiled_stats other = None)
+
 (* ---- VCD output ---- *)
 
 let test_vcd' () =
@@ -736,6 +822,89 @@ let test_vcd' () =
   Alcotest.(check bool) "enddefinitions" true (contains "$enddefinitions");
   Alcotest.(check bool) "var adder_a" true (contains "adder_a");
   Alcotest.(check bool) "timestamp" true (contains "#1")
+
+(* Identifier codes across the 94-ary rollover: every code printable,
+   all distinct (a collision would silently merge two signals in any
+   viewer), and the boundary values spelled as expected. *)
+let test_vcd_id_codes () =
+  Alcotest.(check string) "93 is the last single char" "~" (Vcd.id_code 93);
+  Alcotest.(check string) "94 rolls over" "!!" (Vcd.id_code 94);
+  Alcotest.(check string) "95" "!\"" (Vcd.id_code 95);
+  Alcotest.(check int) "94^2 is two chars" 2
+    (String.length (Vcd.id_code ((94 * 94) - 1)));
+  Alcotest.(check int) "94^2 + 94 is three chars" 3
+    (String.length (Vcd.id_code ((94 * 94) + 94)));
+  let n = (94 * 94) + 200 in
+  let seen = Hashtbl.create n in
+  for i = 0 to n - 1 do
+    let code = Vcd.id_code i in
+    Alcotest.(check bool)
+      (Printf.sprintf "code %d (%s) is fresh" i code)
+      false (Hashtbl.mem seen code);
+    Hashtbl.replace seen code ();
+    String.iter
+      (fun c ->
+        if c < '!' || c > '~' then
+          Alcotest.failf "code %d contains unprintable %C" i c)
+      code
+  done
+
+(* Scalar VCD characters round-trip through the standard alphabet for
+   all four values, in either case. *)
+let prop_vcd_char_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"vcd_char_roundtrip"
+    QCheck.(int_bound 3)
+    (fun i ->
+      let v =
+        match i with
+        | 0 -> Logic.Zero
+        | 1 -> Logic.One
+        | 2 -> Logic.Undef
+        | _ -> Logic.Noinfl
+      in
+      let c = Vcd.vcd_char v in
+      Vcd.logic_of_vcd_char c = Some v
+      && Vcd.logic_of_vcd_char (Char.uppercase_ascii c) = Some v)
+
+(* A quiescent cycle emits nothing — not even the [#cycle] timestamp,
+   which is buffered until the first change record. *)
+let test_vcd_quiescent_no_timestamp () =
+  let d = compile (Corpus.adder_n 4) in
+  let sim = Sim.create d in
+  let vcd = Vcd.create sim [ "adder.s" ] in
+  Sim.poke_int_lsb sim "adder.a" 5;
+  Sim.poke_int_lsb sim "adder.b" 3;
+  Sim.poke_bool sim "adder.cin" false;
+  for _ = 1 to 4 do
+    Sim.step sim;
+    Vcd.sample vcd
+  done;
+  let out = Vcd.contents vcd in
+  let stamps =
+    String.fold_left (fun n c -> if c = '#' then n + 1 else n) 0 out
+  in
+  Alcotest.(check int) "only the first (changing) cycle is stamped" 1 stamps
+
+(* [to_file] writes exactly [contents] and closes the channel. *)
+let test_vcd_to_file () =
+  let d = compile (Corpus.adder_n 4) in
+  let sim = Sim.create d in
+  let vcd = Vcd.create sim [ "adder.s" ] in
+  Sim.poke_int_lsb sim "adder.a" 1;
+  Sim.poke_int_lsb sim "adder.b" 2;
+  Sim.poke_bool sim "adder.cin" false;
+  Sim.step sim;
+  Vcd.sample vcd;
+  let path = Filename.temp_file "zeus_vcd" ".vcd" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Vcd.to_file vcd path;
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let data = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check string) "file holds the dump" (Vcd.contents vcd) data)
 
 let () =
   Alcotest.run "sim"
@@ -810,6 +979,25 @@ let () =
             test_parallel_stats_deterministic;
           Alcotest.test_case "random stream engine/jobs invariant" `Quick
             test_parallel_random_stream;
+          Alcotest.test_case "jobs=1 serial fast path" `Quick
+            test_parallel_jobs1_serial_fast_path;
         ] );
-      ("vcd", [ Alcotest.test_case "format" `Quick test_vcd' ]);
+      ( "compiled",
+        [
+          Alcotest.test_case "restart + re-entry on one handle" `Quick
+            test_compiled_restart_reentry;
+          Alcotest.test_case "deterministic program stats" `Quick
+            test_compiled_stats_deterministic;
+        ] );
+      ( "vcd",
+        [
+          Alcotest.test_case "format" `Quick test_vcd';
+          Alcotest.test_case "id codes at the 94-ary rollover" `Quick
+            test_vcd_id_codes;
+          QCheck_alcotest.to_alcotest prop_vcd_char_roundtrip;
+          Alcotest.test_case "quiescent cycles unstamped" `Quick
+            test_vcd_quiescent_no_timestamp;
+          Alcotest.test_case "to_file writes the dump" `Quick
+            test_vcd_to_file;
+        ] );
     ]
