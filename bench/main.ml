@@ -14,17 +14,20 @@
      E9  runtime-checks     the NP-completeness-motivated runtime check
      E13 incremental        cross-cycle incremental engine vs firing
      E14 modular            modular summary analysis vs elaborate+lint
-     E15 parallel           domain-parallel engine vs incremental
+     E15 parallel           per-level domain-parallel engine vs incremental
      E16 opt                proof-carrying reduction vs plain simulation
      E17 compiled           compiled bytecode engine vs incremental
+     E18 batch              batch engine (whole-run sharding + lane
+                            packing), runs/second vs serial incremental
 
    `dune exec bench/main.exe` prints all report tables and then runs the
    timing benchmarks (pass --no-timing to skip them).  E13 also writes
    machine-readable results to BENCH_sim.json, E14 to BENCH_modular.json,
-   E15 to BENCH_par.json, E16 to BENCH_opt.json and E17 to
-   BENCH_compiled.json.  Pass --smoke to run
-   only the (shortened) simulator, modular, parallel and reduction
-   benches and the JSON dumps — the CI mode. *)
+   E15 to BENCH_par.json, E16 to BENCH_opt.json, E17 to
+   BENCH_compiled.json and E18 to BENCH_batch.json.  Pass --smoke to run
+   only the (shortened) simulator, modular, parallel, reduction and
+   batch benches and the JSON dumps — the CI mode; --batch-smoke runs
+   E18 alone at 2 domains (the CI batch artifact job). *)
 
 open Zeus
 
@@ -1252,6 +1255,246 @@ let e17_compiled ~cycles () =
   e17_write_json rows "BENCH_compiled.json"
 
 (* ------------------------------------------------------------------ *)
+(* E18: the batch engine (whole-run sharding + lane packing)            *)
+(* ------------------------------------------------------------------ *)
+
+type e18_row = {
+  t_design : string;
+  t_runs : int;
+  t_cycles : int; (* per run *)
+  t_jobs : int;
+  t_lanes : int;
+  t_serial_secs : float; (* fresh incremental handle per run *)
+  t_cold_secs : float; (* template create (incl. compile) + run_batch *)
+  t_warm_secs : float; (* run_batch on the warm template *)
+  t_groups : int; (* lane groups executed *)
+  t_lane_runs : int;
+  t_fallback_runs : int; (* runs that took the serial fallback *)
+  t_agree : bool; (* every final snapshot matches its serial run *)
+}
+
+(* The E15 corpus restated as independent batch runs: run [r] drives
+   the same nets with a per-run offset, so no two runs share a stimulus
+   (and each run gets its own RANDOM seed). *)
+let e18_workloads =
+  [
+    ( "routing(128)/all-headers",
+      Corpus.routing_network 128,
+      fun ~runs ~cycles ->
+        let headers =
+          Array.init 1024 (fun v -> Cval.sctree_leaves (Cval.bin v 10))
+        in
+        let paths =
+          Array.init 128 (fun i -> Printf.sprintf "net.input[%d]" i)
+        in
+        Array.init runs (fun r ->
+            Array.init cycles (fun c ->
+                Array.to_list
+                  (Array.mapi
+                     (fun i p -> (p, headers.((i + c + (7 * r)) land 1023)))
+                     paths))) );
+    ( "htree(256)/root-toggle",
+      Corpus.htree 256,
+      fun ~runs ~cycles ->
+        Array.init runs (fun r ->
+            Array.init cycles (fun c ->
+                [
+                  ( "a.in",
+                    [ (if (c + r) land 1 = 1 then Logic.One else Logic.Zero) ]
+                  );
+                ])) );
+    ( "patternmatch(9)/stream",
+      Corpus.patternmatch 9,
+      fun ~runs ~cycles ->
+        let b v = [ (if v then Logic.One else Logic.Zero) ] in
+        Array.init runs (fun r ->
+            Array.init cycles (fun c ->
+                let c = c + r in
+                [
+                  ("match.pattern", b (c land 1 = 1));
+                  ("match.string", b (c land 2 = 2));
+                  ("match.endofpattern", b (c mod 9 = 0));
+                  ("match.wild", b (c land 4 = 4));
+                  ("match.resultin", b (c land 1 = 0));
+                ])) );
+  ]
+
+let e18_write_json rows path =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiments\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      let rps secs = float_of_int r.t_runs /. Float.max 1e-9 secs in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"design\": %S, \"runs\": %d, \"cycles\": %d, \"jobs\": \
+            %d, \"lanes\": %d,\n\
+           \     \"lane_groups\": %d, \"lane_runs\": %d, \
+            \"serial_fallback_runs\": %d,\n\
+           \     \"serial\": {\"seconds\": %.6f, \"serial_runs_per_sec\": \
+            %.1f},\n\
+           \     \"batch\": {\"cold_seconds\": %.6f, \
+            \"cold_runs_per_sec\": %.1f,\n\
+           \       \"warm_seconds\": %.6f, \"warm_runs_per_sec\": %.1f,\n\
+           \       \"speedup_cold\": %.2f, \"speedup_warm\": %.2f, \
+            \"snapshots_agree\": %b}}"
+           r.t_design r.t_runs r.t_cycles r.t_jobs r.t_lanes r.t_groups
+           r.t_lane_runs r.t_fallback_runs r.t_serial_secs
+           (rps r.t_serial_secs) r.t_cold_secs (rps r.t_cold_secs)
+           r.t_warm_secs (rps r.t_warm_secs)
+           (r.t_serial_secs /. Float.max 1e-9 r.t_cold_secs)
+           (r.t_serial_secs /. Float.max 1e-9 r.t_warm_secs)
+           r.t_agree))
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
+let e18_batch ~runs:nruns ~cycles ~jobs () =
+  section "E18"
+    (Printf.sprintf
+       "batch engine: whole-run sharding + lane packing, runs/second vs a \
+        fresh serial incremental handle per run (jobs=%d, lanes=8)"
+       jobs);
+  let lanes = 8 in
+  let bench (name, src, mk) =
+    let d = compile src in
+    let stims = mk ~runs:nruns ~cycles in
+    let batch_runs =
+      Array.to_list
+        (Array.mapi
+           (fun r stim ->
+             {
+               Sim.br_stim = stim;
+               br_cycles = cycles;
+               br_seed = Some r;
+               br_watch = [];
+             })
+           stims)
+    in
+    (* serial baseline: one fresh incremental handle per run; poke
+       paths pre-resolved once per design so the stimulus does not
+       dominate the measurement (as in E17) *)
+    let resolved = Hashtbl.create 64 in
+    Array.iter
+      (Array.iter
+         (List.iter (fun (p, _) ->
+              if not (Hashtbl.mem resolved p) then
+                match Elaborate.resolve_path d p with
+                | Ok nets -> Hashtbl.add resolved p nets
+                | Error m -> failwith m)))
+      stims;
+    let serial_snaps = Array.make nruns [||] in
+    let t0 = Unix.gettimeofday () in
+    Array.iteri
+      (fun r stim ->
+        let sim = Sim.create ~engine:Sim.Incremental ~seed:r d in
+        Array.iter
+          (fun pokes ->
+            List.iter
+              (fun (p, bits) ->
+                Sim.poke_nets sim (Hashtbl.find resolved p) bits)
+              pokes;
+            Sim.step sim)
+          stim;
+        serial_snaps.(r) <- Sim.snapshot sim)
+      stims;
+    let serial_secs = Unix.gettimeofday () -. t0 in
+    (* cold: template creation (graph, schedule, one-time bytecode
+       compile) plus the batch itself *)
+    let t0 = Unix.gettimeofday () in
+    let tmpl = Sim.create ~engine:Sim.Compiled d in
+    let cold_results, st = Sim.run_batch ~jobs ~lanes tmpl batch_runs in
+    let cold_secs = Unix.gettimeofday () -. t0 in
+    (* warm: the template (and its compiled program) is reused *)
+    let t0 = Unix.gettimeofday () in
+    let warm_results, _ = Sim.run_batch ~jobs ~lanes tmpl batch_runs in
+    let warm_secs = Unix.gettimeofday () -. t0 in
+    let agree = ref true in
+    let check_snaps results =
+      List.iteri
+        (fun r (res : Sim.batch_result) ->
+          if res.Sim.bres_snapshot <> serial_snaps.(r) then agree := false)
+        results
+    in
+    check_snaps cold_results;
+    check_snaps warm_results;
+    {
+      t_design = name;
+      t_runs = nruns;
+      t_cycles = cycles;
+      t_jobs = jobs;
+      t_lanes = lanes;
+      t_serial_secs = serial_secs;
+      t_cold_secs = cold_secs;
+      t_warm_secs = warm_secs;
+      t_groups = st.Sim.bs_lane_groups;
+      t_lane_runs = st.Sim.bs_lane_runs;
+      t_fallback_runs = st.Sim.bs_serial_runs;
+      t_agree = !agree;
+    }
+  in
+  let rows = List.map bench e18_workloads in
+  (* the acceptance metric: runs/second over the whole corpus — one
+     slow-to-simulate design must not hide behind two fast ones (or
+     vice versa), so the totals weight each run by its true cost *)
+  let total =
+    List.fold_left
+      (fun acc r ->
+        {
+          acc with
+          t_runs = acc.t_runs + r.t_runs;
+          t_serial_secs = acc.t_serial_secs +. r.t_serial_secs;
+          t_cold_secs = acc.t_cold_secs +. r.t_cold_secs;
+          t_warm_secs = acc.t_warm_secs +. r.t_warm_secs;
+          t_groups = acc.t_groups + r.t_groups;
+          t_lane_runs = acc.t_lane_runs + r.t_lane_runs;
+          t_fallback_runs = acc.t_fallback_runs + r.t_fallback_runs;
+          t_agree = acc.t_agree && r.t_agree;
+        })
+      {
+        t_design = "corpus-total";
+        t_runs = 0;
+        t_cycles = cycles;
+        t_jobs = jobs;
+        t_lanes = lanes;
+        t_serial_secs = 0.;
+        t_cold_secs = 0.;
+        t_warm_secs = 0.;
+        t_groups = 0;
+        t_lane_runs = 0;
+        t_fallback_runs = 0;
+        t_agree = true;
+      }
+      rows
+  in
+  let rows = rows @ [ total ] in
+  Fmt.pr "  %-26s %6s %7s %10s %9s %8s %7s %6s@." "workload" "mode" "runs"
+    "runs/sec" "secs" "speedup" "groups" "agree";
+  List.iter
+    (fun r ->
+      let rps secs = float_of_int r.t_runs /. Float.max 1e-9 secs in
+      Fmt.pr "  %-26s %6s %7d %10.1f %9.4f %8s %7s %6s@." r.t_design "serial"
+        r.t_runs (rps r.t_serial_secs) r.t_serial_secs "1.0x" "-" "-";
+      Fmt.pr "  %-26s %6s %7d %10.1f %9.4f %7.1fx %7d %6s@." "" "cold"
+        r.t_runs (rps r.t_cold_secs) r.t_cold_secs
+        (r.t_serial_secs /. Float.max 1e-9 r.t_cold_secs)
+        r.t_groups
+        (if r.t_agree then "yes" else "NO");
+      Fmt.pr "  %-26s %6s %7d %10.1f %9.4f %7.1fx %7d %6s@." "" "warm"
+        r.t_runs (rps r.t_warm_secs) r.t_warm_secs
+        (r.t_serial_secs /. Float.max 1e-9 r.t_warm_secs)
+        r.t_groups
+        (if r.t_agree then "yes" else "NO"))
+    rows;
+  Fmt.pr "(counters are deterministic in (design, runs, jobs, lanes); \
+          runs/second is machine-dependent)@.";
+  e18_write_json rows "BENCH_batch.json"
+
+(* ------------------------------------------------------------------ *)
 (* Timing benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1326,10 +1569,19 @@ let run_timing () =
 
 let () =
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let batch_smoke = Array.exists (( = ) "--batch-smoke") Sys.argv in
   let timing =
-    (not (Array.exists (( = ) "--no-timing") Sys.argv)) && not smoke
+    (not (Array.exists (( = ) "--no-timing") Sys.argv))
+    && (not smoke) && not batch_smoke
   in
-  if smoke then begin
+  if batch_smoke then begin
+    (* CI batch job: only E18, at the hosted runner's 2 cores — the
+       artifact is uploaded, not checked against the committed jobs=4
+       baseline (the counters are jobs-dependent) *)
+    Fmt.pr "Zeus benchmark suite (batch smoke mode: E18 only)@.";
+    e18_batch ~runs:16 ~cycles:10 ~jobs:2 ()
+  end
+  else if smoke then begin
     (* CI mode: only the simulator benches, shortened, plus the JSON dump *)
     Fmt.pr "Zeus benchmark suite (smoke mode: simulator benches only)@.";
     e8_simcmp ();
@@ -1337,7 +1589,8 @@ let () =
     e14_modular ~smoke:true ();
     e15_parallel ~cycles:20 ();
     e16_opt ~cycles:20 ();
-    e17_compiled ~cycles:50 ()
+    e17_compiled ~cycles:50 ();
+    e18_batch ~runs:16 ~cycles:10 ~jobs:4 ()
   end
   else begin
     Fmt.pr "Zeus reproduction benchmark suite (every table/figure of the \
@@ -1360,5 +1613,6 @@ let () =
     e15_parallel ~cycles:100 ();
     e16_opt ~cycles:100 ();
     e17_compiled ~cycles:200 ();
+    e18_batch ~runs:32 ~cycles:25 ~jobs:4 ();
     if timing then run_timing ()
   end

@@ -177,6 +177,92 @@ let poke_conv : (string * int) Arg.conv =
   in
   Arg.conv (parse, fun ppf (p, v) -> Fmt.pf ppf "%s=%d" p v)
 
+(* The --batch stimulus file: a [run [seed=N] [cycles=N]] header starts
+   each independent run, every following line is one cycle of
+   space-separated path=value pokes ('-' for a cycle with no new pokes;
+   '#' comments and blank lines are skipped).  A run's cycle count is
+   the explicit [cycles=N] if given, else its number of stimulus lines.
+   Values follow the -p convention: 0/1 poke a single bit, anything
+   larger pokes BIN(value, width) MSB-first.  Raises [Failure] with a
+   line-numbered message on a malformed file. *)
+let parse_batch_file design ~watch src =
+  let bit v = if v = 1 then Zeus.Logic.One else Zeus.Logic.Zero in
+  let runs = ref [] and cur = ref None and lineno = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m ->
+      failwith (Printf.sprintf "line %d: %s" !lineno m)) fmt in
+  let flush () =
+    match !cur with
+    | None -> ()
+    | Some (seed, cycles, rev_stim) ->
+        let stim = Array.of_list (List.rev rev_stim) in
+        let cyc = Option.value cycles ~default:(Array.length stim) in
+        runs :=
+          { Zeus.Sim.br_stim = stim; br_cycles = cyc; br_seed = seed;
+            br_watch = watch }
+          :: !runs;
+        cur := None
+  in
+  let toks line =
+    List.filter (fun t -> t <> "") (String.split_on_char ' ' line)
+  in
+  let split_kv tok =
+    match String.index_opt tok '=' with
+    | None -> fail "expected key=value, got %S" tok
+    | Some i ->
+        ( String.sub tok 0 i,
+          String.sub tok (i + 1) (String.length tok - i - 1) )
+  in
+  List.iter
+    (fun raw ->
+      incr lineno;
+      let line = String.trim raw in
+      if line = "" || line.[0] = '#' then ()
+      else
+        match toks line with
+        | "run" :: opts ->
+            flush ();
+            let seed = ref None and cycles = ref None in
+            List.iter
+              (fun tok ->
+                match split_kv tok with
+                | "seed", v -> (
+                    match int_of_string_opt v with
+                    | Some n -> seed := Some n
+                    | None -> fail "seed must be an integer, got %S" v)
+                | "cycles", v -> (
+                    match int_of_string_opt v with
+                    | Some n when n >= 0 -> cycles := Some n
+                    | _ -> fail "cycles must be a non-negative integer")
+                | k, _ -> fail "unknown run option %S" k)
+              opts;
+            cur := Some (!seed, !cycles, [])
+        | _ -> (
+            match !cur with
+            | None -> fail "stimulus line before any 'run' header"
+            | Some (seed, cycles, stim) ->
+                let pokes =
+                  if line = "-" then []
+                  else
+                    List.map
+                      (fun tok ->
+                        let path, v = split_kv tok in
+                        match int_of_string_opt v with
+                        | None -> fail "poke value must be an integer, got %S" v
+                        | Some v when v <= 1 -> (path, [ bit v ])
+                        | Some v -> (
+                            match Zeus.Elaborate.resolve_path design path with
+                            | Error e -> fail "%s" e
+                            | Ok nets ->
+                                ( path,
+                                  Zeus.Cval.sctree_leaves
+                                    (Zeus.Cval.bin v (List.length nets)) )))
+                      (toks line)
+                in
+                cur := Some (seed, cycles, pokes :: stim)))
+    (String.split_on_char '\n' src);
+  flush ();
+  List.rev !runs
+
 let sim_cmd =
   let cycles =
     Arg.(value & opt int 4 & info [ "n"; "cycles" ] ~doc:"Cycles to simulate.")
@@ -235,8 +321,10 @@ let sim_cmd =
           ~doc:
             "Scheduling engine: $(b,firing), $(b,firing-strict), \
              $(b,fixpoint), $(b,relaxation), $(b,incremental) \
-             (default), $(b,parallel) or $(b,compiled).  All engines \
-             compute identical values.")
+             (default), $(b,parallel-level) or $(b,compiled).  All \
+             engines compute identical values.  With $(b,--batch) this \
+             picks the per-run template; $(b,compiled) additionally \
+             packs runs $(b,--lanes) at a time.")
   in
   let jobs =
     Arg.(
@@ -244,9 +332,36 @@ let sim_cmd =
       & opt (some int) None
       & info [ "j"; "jobs" ] ~docv:"N"
           ~doc:
-            "Domains for $(b,--engine parallel) (default: the \
-             recommended domain count).  Results are bit-identical at \
-             any value; only the work distribution changes.")
+            "Domains for $(b,--engine parallel-level) chunking and for \
+             $(b,--batch) run sharding (default: the recommended domain \
+             count).  Results are bit-identical at any value; only the \
+             work distribution changes.")
+  in
+  let batch_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "batch" ] ~docv:"FILE"
+          ~doc:
+            "Batch throughput mode: read a stimulus file describing many \
+             independent runs — a $(b,run [seed=N] [cycles=N]) header per \
+             run, then one line of space-separated $(i,path=value) pokes \
+             per cycle ($(b,-) for a cycle with no new pokes, $(b,#) for \
+             comments) — and shard whole runs across $(b,--jobs) domains \
+             with no cross-run barriers.  Prints each run's watched \
+             signals after its final cycle and its runtime errors; the \
+             per-cycle options (watch printing, waves, VCD, trace, \
+             explain, activity) do not apply.")
+  in
+  let lanes =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "lanes" ] ~docv:"K"
+          ~doc:
+            "With $(b,--batch --engine compiled): how many equal-length \
+             runs one bytecode pass evaluates at once (default 8).  \
+             Results are bit-identical at any value.")
   in
   let grain =
     Arg.(
@@ -263,10 +378,11 @@ let sim_cmd =
       & info [ "stats" ]
           ~doc:
             "After the run, print the work breakdown: total node visits, \
-             for the parallel engine the per-level fan-out, barrier \
-             and per-domain visit counters, and for the compiled engine \
+             for the parallel-level engine the per-level fan-out, barrier \
+             and per-domain visit counters, for the compiled engine \
              the program size, vector coverage and one-time compile \
-             time (all but the compile time deterministic).")
+             time, and for $(b,--batch) the run/job/lane counters (all \
+             but the compile time deterministic).")
   in
   let optimize =
     Arg.(
@@ -277,13 +393,58 @@ let sim_cmd =
              simulating: constant and unobservable logic is dropped; \
              observable values are unchanged on any engine.")
   in
+  let run_batch_mode design ~engine ~jobs ~lanes ~optimize ~stats ~watch bf =
+    match
+      try Ok (parse_batch_file design ~watch (load bf))
+      with Failure m -> Error m
+    with
+    | Error m ->
+        Fmt.epr "batch file %s: %s@." bf m;
+        1
+    | Ok [] ->
+        Fmt.epr "batch file %s: no runs@." bf;
+        1
+    | Ok runs ->
+        let tmpl = Zeus.Sim.create ~engine ~jobs:1 ~optimize design in
+        let results, st = Zeus.Sim.run_batch ?jobs ~lanes tmpl runs in
+        List.iteri
+          (fun i (res : Zeus.Sim.batch_result) ->
+            Fmt.pr "run %d:" i;
+            List.iter
+              (fun (p, bits) ->
+                Fmt.pr " %s=%a" p
+                  Fmt.(list ~sep:nop Zeus.Logic.pp)
+                  bits)
+              res.Zeus.Sim.bres_watched;
+            Fmt.pr "@.";
+            List.iter
+              (fun (e : Zeus.Sim.runtime_error) ->
+                Fmt.pr "runtime error (run %d, cycle %d) [%s] %s: %s@." i
+                  e.Zeus.Sim.err_cycle e.Zeus.Sim.err_code e.Zeus.Sim.err_net
+                  e.Zeus.Sim.err_message)
+              res.Zeus.Sim.bres_errors)
+          results;
+        if stats then
+          Fmt.pr
+            "batch: runs=%d jobs=%d lanes=%d lane-groups=%d lane-runs=%d \
+             serial-runs=%d cycles=%d@."
+            st.Zeus.Sim.bs_runs st.Zeus.Sim.bs_jobs st.Zeus.Sim.bs_lanes
+            st.Zeus.Sim.bs_lane_groups st.Zeus.Sim.bs_lane_runs
+            st.Zeus.Sim.bs_serial_runs st.Zeus.Sim.bs_cycles;
+        0
+  in
   let run file cycles pokes peeks do_reset trace wave explain activity vcd_out
-      engine jobs grain stats optimize =
+      engine jobs grain stats optimize batch_file lanes =
     match Zeus.compile (load file) with
     | Error diags ->
         report_diags diags;
         1
-    | Ok design ->
+    | Ok design -> (
+        match batch_file with
+        | Some bf ->
+            run_batch_mode design ~engine ~jobs ~lanes ~optimize ~stats
+              ~watch:peeks bf
+        | None ->
         let sim = Zeus.Sim.create ~engine ?jobs ~grain ~optimize design in
         List.iter (fun (p, v) ->
             if v <= 1 then Zeus.Sim.poke sim p [ (if v = 1 then Zeus.Logic.One else Zeus.Logic.Zero) ]
@@ -366,14 +527,14 @@ let sim_cmd =
             Fmt.pr "runtime error (cycle %d) [%s] %s: %s@." e.Zeus.Sim.err_cycle
               e.Zeus.Sim.err_code e.Zeus.Sim.err_net e.Zeus.Sim.err_message)
           (Zeus.Sim.runtime_errors sim);
-        0
+        0)
   in
   Cmd.v
     (Cmd.info "sim" ~doc:"Simulate a design for N cycles.")
     Term.(
       const run $ file_arg $ cycles $ pokes $ peeks $ do_reset $ trace $ wave
       $ explain $ activity $ vcd_out $ engine $ jobs $ grain $ stats
-      $ optimize)
+      $ optimize $ batch_file $ lanes)
 
 let lint_cmd =
   let format =
@@ -759,11 +920,28 @@ let fuzz_cmd =
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress output.")
   in
-  let run count seed corpus_dir shrink_budget comb_only quiet =
+  let batch =
+    Arg.(
+      value & flag
+      & info [ "batch" ]
+          ~doc:
+            "Shard the detection phase (generate + oracle matrix) across \
+             $(b,--jobs) domains; shrinking and repro writing stay serial, \
+             so the output is byte-identical to a serial run.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt int 4
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:"Domains for $(b,--batch) detection (default 4).")
+  in
+  let run count seed corpus_dir shrink_budget comb_only quiet batch jobs =
     let profile = if comb_only then Zeus.Gen.comb else Zeus.Gen.full in
     let log = if quiet then ignore else fun s -> Fmt.epr "%s@." s in
     let summary =
-      Zeus.Fuzz.run ~profile ~shrink_budget ~log ~count ~seed ~corpus_dir ()
+      Zeus.Fuzz.run ~profile ~shrink_budget ~log ~batch ~jobs ~count ~seed
+        ~corpus_dir ()
     in
     match summary.Zeus.Fuzz.failures with
     | [] ->
@@ -793,7 +971,8 @@ let fuzz_cmd =
           the oracle matrix (pretty-print round trip, re-elaboration, all \
           simulator engines, lint vs runtime conflicts), with shrinking.")
     Term.(
-      const run $ count $ seed $ corpus_dir $ shrink_budget $ comb_only $ quiet)
+      const run $ count $ seed $ corpus_dir $ shrink_budget $ comb_only $ quiet
+      $ batch $ jobs)
 
 let corpus_cmd =
   let name_arg =

@@ -37,8 +37,8 @@ let gen_case ~profile ~seed ~index =
   let stim = G.generate1 ~rand (Gen_prog.gen_stimulus ~profile prog) in
   (prog, stim)
 
-let first_divergence (prog, stim) =
-  match Oracle.check ~src:(Gen_prog.to_zeus prog) ~stim with
+let first_divergence ?jobs (prog, stim) =
+  match Oracle.check ?jobs ~src:(Gen_prog.to_zeus prog) stim with
   | [] -> None
   | d :: _ -> Some d
 
@@ -95,32 +95,62 @@ let write_repro ~corpus_dir ~seed ~index ~divergence (prog, stim) =
   base ^ ".zeus"
 
 (* Run [count] cases.  Failing cases are shrunk and written to
-   [corpus_dir]; progress goes to [log] (stderr in the CLI). *)
+   [corpus_dir]; progress goes to [log] (stderr in the CLI).
+
+   [batch] shards the detection phase — generate case, run the oracle
+   matrix — across [jobs] domains of the process-wide pool: each domain
+   owns a contiguous index slice, checking with single-domain oracles
+   (pool fork-join regions do not nest).  Shrinking, repro writing and
+   logging stay on the caller, in index order, after the join, so the
+   summary and the corpus are byte-identical to a serial run: cases are
+   deterministic in (seed, index) and the oracle verdict is independent
+   of [jobs]. *)
 let run ?(profile = Gen_prog.full) ?(shrink_budget = 600)
-    ?(log = ignore) ~count ~seed ~corpus_dir () =
+    ?(log = ignore) ?(batch = false) ?(jobs = 4) ~count ~seed ~corpus_dir () =
   let failures = ref [] in
-  for index = 0 to count - 1 do
-    let case = gen_case ~profile ~seed ~index in
-    match first_divergence case with
-    | None -> ()
-    | Some d ->
-        log
-          (Printf.sprintf "case %d diverged %s; shrinking..." index
-             (Fmt.str "%a" Oracle.pp_divergence d));
-        let (prog, stim), d = shrink ~budget:shrink_budget ~oracle:d.Oracle.oracle (case, d) in
-        let zeus_file =
-          match corpus_dir with
-          | None -> None
-          | Some dir ->
-              Some (write_repro ~corpus_dir:dir ~seed ~index ~divergence:d (prog, stim))
-        in
-        log
-          (Printf.sprintf "case %d shrunk to %d-line repro%s" index
-             (List.length
-                (String.split_on_char '\n' (Gen_prog.to_zeus prog)))
-             (match zeus_file with
-             | Some f -> Printf.sprintf " (%s)" f
-             | None -> ""));
-        failures := { seed; index; divergence = d; prog; stim; zeus_file } :: !failures
-  done;
+  let handle index case (d : Oracle.divergence) =
+    log
+      (Printf.sprintf "case %d diverged %s; shrinking..." index
+         (Fmt.str "%a" Oracle.pp_divergence d));
+    let (prog, stim), d = shrink ~budget:shrink_budget ~oracle:d.Oracle.oracle (case, d) in
+    let zeus_file =
+      match corpus_dir with
+      | None -> None
+      | Some dir ->
+          Some (write_repro ~corpus_dir:dir ~seed ~index ~divergence:d (prog, stim))
+    in
+    log
+      (Printf.sprintf "case %d shrunk to %d-line repro%s" index
+         (List.length
+            (String.split_on_char '\n' (Gen_prog.to_zeus prog)))
+         (match zeus_file with
+         | Some f -> Printf.sprintf " (%s)" f
+         | None -> ""));
+    failures := { seed; index; divergence = d; prog; stim; zeus_file } :: !failures
+  in
+  if batch && count > 1 then begin
+    let jobs = max 1 (min (min jobs Zeus_sim.Pool.max_jobs) count) in
+    log (Printf.sprintf "batch detection: %d cases over %d domain(s)" count jobs);
+    let diverged = Array.make count None in
+    Zeus_sim.Pool.run ~jobs (fun d ->
+        let lo = count * d / jobs and hi = count * (d + 1) / jobs in
+        for index = lo to hi - 1 do
+          let case = gen_case ~profile ~seed ~index in
+          match first_divergence ~jobs:1 case with
+          | None -> ()
+          | Some dv -> diverged.(index) <- Some (case, dv)
+        done);
+    Array.iteri
+      (fun index -> function
+        | None -> ()
+        | Some (case, dv) -> handle index case dv)
+      diverged
+  end
+  else
+    for index = 0 to count - 1 do
+      let case = gen_case ~profile ~seed ~index in
+      match first_divergence case with
+      | None -> ()
+      | Some d -> handle index case d
+    done;
   { tested = count; failures = List.rev !failures }

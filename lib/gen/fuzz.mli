@@ -25,7 +25,10 @@ val gen_case :
   Gen_prog.prog * Gen_prog.stimulus
 
 val first_divergence :
-  Gen_prog.prog * Gen_prog.stimulus -> Oracle.divergence option
+  ?jobs:int -> Gen_prog.prog * Gen_prog.stimulus -> Oracle.divergence option
+(** First row of {!Oracle.check} to fail, if any.  [jobs] is threaded
+    to the oracle; batch workers pass [~jobs:1] (pool regions do not
+    nest). *)
 
 val shrink :
   budget:int ->
@@ -40,6 +43,8 @@ val run :
   ?profile:Gen_prog.profile ->
   ?shrink_budget:int ->
   ?log:(string -> unit) ->
+  ?batch:bool ->
+  ?jobs:int ->
   count:int ->
   seed:int ->
   corpus_dir:string option ->
@@ -47,4 +52,10 @@ val run :
   summary
 (** Run [count] cases; shrink each failure and, when [corpus_dir] is
     given, write [repro_<seed>_<index>.zeus] (divergence + replay
-    instructions in the header comment) and a matching [.pokes] file. *)
+    instructions in the header comment) and a matching [.pokes] file.
+
+    [batch] (default [false]) shards the detection phase across [jobs]
+    (default 4) domains of the process-wide pool — contiguous index
+    slices, single-domain oracles inside each worker.  Shrinking and
+    repro writing happen serially after the join, in index order, so
+    the summary and corpus files are byte-identical to a serial run. *)

@@ -44,6 +44,16 @@
                        checks the shipped table against the reference
                        run: a class proved const-0/1 with a producer
                        must read exactly that constant every cycle;
+   O7 "batch:<name>"   the batch engine ({!Sim.run_batch}) is
+                       bit-identical to serial: a mix of full-length and
+                       truncated runs with distinct per-run seeds,
+                       sharded over the pool and (for a Compiled
+                       template) packed 8 lanes wide, produces the same
+                       per-cycle snapshots and runtime-error sets as
+                       stepping each run on a fresh serial incremental
+                       handle — checked with every engine as the batch
+                       template, so both the lane path and the serial
+                       fallback are exercised;
    O5 "modular-vs-elaborated" the modular summary analysis never
                        contradicts the elaborated pipeline in its sound
                        direction: a net the elaborated lint proved in
@@ -140,8 +150,11 @@ let errors_to_string errs =
     (List.map (fun (c, n, code) -> Printf.sprintf "%s@%d[%s]" n c code) errs)
 
 (* The full matrix.  Returns every divergence found (empty = agreement
-   everywhere). *)
-let check ~src ~(stim : Gen_prog.stimulus) : divergence list =
+   everywhere).  [jobs] shapes the Parallel engine's chunking and the
+   batch row's sharding; batch workers already inside a pool region
+   must pass [~jobs:1] (Pool regions do not nest, but [Pool.run ~jobs:1]
+   short-circuits to a plain call). *)
+let check ?(jobs = 4) ~src (stim : Gen_prog.stimulus) : divergence list =
   match Parser.program src with
   | None, bag ->
       [ { oracle = "parse";
@@ -198,11 +211,11 @@ let check ~src ~(stim : Gen_prog.stimulus) : divergence list =
           List.rev !divs
       | Ok design ->
           (* O3: the seven-engine matrix, cycle-by-cycle *)
-          let reference = run_engine design Sim.Firing stim in
+          let reference = run_engine ~jobs design Sim.Firing stim in
           List.iter
             (fun engine ->
               if engine <> Sim.Firing then begin
-                let r = run_engine design engine stim in
+                let r = run_engine ~jobs design engine stim in
                 (match first_snap_mismatch reference.snaps r.snaps with
                 | None -> ()
                 | Some (cycle, diffs) ->
@@ -220,6 +233,93 @@ let check ~src ~(stim : Gen_prog.stimulus) : divergence list =
                        (errors_to_string reference.errors))
               end)
             Sim.all_engines;
+          (* O7: the batch engine, against fresh serial runs — a mix of
+             full and truncated runs with distinct per-run seeds, so the
+             lane grouping, the sharding and the per-run RANDOM streams
+             are all load-bearing *)
+          if stim <> [] then begin
+            let stim_arr =
+              Array.of_list
+                (List.map (List.map (fun (p, v) -> (p, [ v ]))) stim)
+            in
+            let ncycles = Array.length stim_arr in
+            let mk ~cycles ~seed =
+              {
+                Sim.br_stim = Array.sub stim_arr 0 cycles;
+                br_cycles = cycles;
+                br_seed = Some seed;
+                br_watch = [];
+              }
+            in
+            let half = max 1 (ncycles / 2) in
+            let runs =
+              [
+                mk ~cycles:ncycles ~seed:11;
+                mk ~cycles:half ~seed:12;
+                mk ~cycles:ncycles ~seed:13;
+                mk ~cycles:ncycles ~seed:11;
+                mk ~cycles:half ~seed:14;
+              ]
+            in
+            let serial (r : Sim.batch_run) =
+              let sim =
+                Sim.create ~engine:Sim.Incremental ?seed:r.Sim.br_seed design
+              in
+              let snaps = ref [] in
+              for c = 0 to r.Sim.br_cycles - 1 do
+                if c < Array.length r.Sim.br_stim then
+                  List.iter
+                    (fun (p, bits) -> Sim.poke sim p bits)
+                    r.Sim.br_stim.(c);
+                Sim.step sim;
+                snaps := Sim.snapshot sim :: !snaps
+              done;
+              ( List.rev !snaps,
+                List.sort compare
+                  (List.map
+                     (fun (e : Sim.runtime_error) ->
+                       (e.Sim.err_cycle, e.Sim.err_net, e.Sim.err_code))
+                     (Sim.runtime_errors sim)) )
+            in
+            let refs = List.map serial runs in
+            List.iter
+              (fun engine ->
+                let tmpl = Sim.create ~engine ~jobs:1 design in
+                let results, _ =
+                  Sim.run_batch ~jobs ~lanes:8 ~snapshots:true tmpl runs
+                in
+                List.iteri
+                  (fun i (res : Sim.batch_result) ->
+                    let ref_snaps, ref_errs = List.nth refs i in
+                    (match
+                       first_snap_mismatch ref_snaps res.Sim.bres_snaps
+                     with
+                    | None -> ()
+                    | Some (cycle, diffs) ->
+                        add
+                          ("batch:" ^ Sim.engine_name engine)
+                          (Printf.sprintf
+                             "run %d snapshot differs from serial at cycle \
+                              %d (%d nets)"
+                             i cycle diffs));
+                    let errs =
+                      List.sort compare
+                        (List.map
+                           (fun (e : Sim.runtime_error) ->
+                             (e.Sim.err_cycle, e.Sim.err_net, e.Sim.err_code))
+                           res.Sim.bres_errors)
+                    in
+                    if errs <> ref_errs then
+                      add
+                        ("batch:" ^ Sim.engine_name engine)
+                        (Printf.sprintf
+                           "run %d runtime errors differ from serial: {%s} \
+                            vs {%s}"
+                           i (errors_to_string errs)
+                           (errors_to_string ref_errs)))
+                  results)
+              Sim.all_engines
+          end;
           (* O6: the proof-carrying reduction, on all seven engines *)
           (match
              try Some (Reduce.run design)
@@ -252,7 +352,7 @@ let check ~src ~(stim : Gen_prog.stimulus) : divergence list =
               in
               List.iter
                 (fun engine ->
-                  let ro = run_engine r.Reduce.design engine stim in
+                  let ro = run_engine ~jobs r.Reduce.design engine stim in
                   let rec go cycle ss os =
                     match (ss, os) with
                     | [], [] -> ()
@@ -318,7 +418,7 @@ let check ~src ~(stim : Gen_prog.stimulus) : divergence list =
                 ("pretty-printed source does not compile: "
                 ^ diags_to_string diags)
           | Ok design2 -> (
-              let r2 = run_engine design2 Sim.Firing stim in
+              let r2 = run_engine ~jobs design2 Sim.Firing stim in
               match first_snap_mismatch reference.snaps r2.snaps with
               | None -> ()
               | Some (cycle, diffs) ->

@@ -11,6 +11,12 @@
                      identical snapshots per cycle and identical
                      runtime-error sets (subsumes "Incremental agrees
                      with Fixpoint cycle-by-cycle")
+    batch:<name>     the batch engine ({!Sim.run_batch}) is
+                     bit-identical to serial: full and truncated runs
+                     with distinct per-run seeds, sharded over the pool
+                     and lane-packed for a Compiled template, match
+                     fresh serial incremental handles per cycle and per
+                     runtime-error set — with every engine as template
     lint-vs-runtime  a net lint proved Safe never raises the runtime
                      multiple-drive check
     opt-identity:<name>
@@ -62,5 +68,9 @@ val run_engine :
   ?jobs:int -> ?grain:int ->
   Zeus_sem.Elaborate.design -> Sim.engine -> Gen_prog.stimulus -> run
 
-val check : src:string -> stim:Gen_prog.stimulus -> divergence list
-(** Run the whole matrix; [[]] means agreement everywhere. *)
+val check : ?jobs:int -> src:string -> Gen_prog.stimulus -> divergence list
+(** Run the whole matrix; [[]] means agreement everywhere.  [jobs]
+    (default 4) shapes the Parallel engine's chunking and the batch
+    row's sharding; a caller already inside a {!Zeus_sim.Pool} region
+    (e.g. a batch-fuzz worker) must pass [~jobs:1] — pool regions do
+    not nest, and [jobs = 1] short-circuits past the pool. *)

@@ -288,272 +288,337 @@ let sync_poke st c (v : Logic.t option) =
    non-NOINFL produce, so on guard 1 the driving mask follows the
    source's non-NOINFL lanes: [sa lor lnot sb]. *)
 
-(* Execute one clock cycle.  [poked] backs the scalar seed ops (the
-   packed mirror backs the wide ones); register state lives in the
-   packed planes.  Returns the classes that saw a drive conflict this
-   cycle (unsorted). *)
-let run_cycle (prog : prog) (st : state) ~(poked : Logic.t option array)
-    ~seed ~cycle =
-  Array.fill st.driven 0 (Array.length st.driven) 0;
-  let conflicts = ref [] in
+(* Execute one clock cycle over K independent lanes — the batch
+   engine's multi-stimulus mode.  Lane [li] is a whole independent run:
+   its own packed planes ([sts.(li)]), its own testbench pokes
+   ([pokeds.(li)]) and its own RANDOM seed ([seeds.(li)]); the opcode
+   array is walked ONCE with each op applied to every lane, so the
+   dispatch cost is amortized K ways while the per-lane word ops stay
+   exactly the single-run ones.  Returns, per lane, the classes that
+   saw a drive conflict this cycle (unsorted) — conflicts in one lane
+   never leak into a sibling.
+
+   The single-run [run_cycle] below is the one-lane instance of this
+   loop, so there is exactly one copy of the bytecode semantics. *)
+let run_lanes (prog : prog) (sts : state array)
+    ~(pokeds : Logic.t option array array) ~(seeds : int array) ~cycle =
+  let nl = Array.length sts in
+  let confs = Array.make nl [] in
+  for li = 0 to nl - 1 do
+    let st = sts.(li) in
+    Array.fill st.driven 0 (Array.length st.driven) 0
+  done;
   let ops = prog.ops in
   for k = 0 to Array.length ops - 1 do
     match Array.unsafe_get ops k with
     | Oseed { cls; kind } ->
-        let code =
-          match poked.(cls) with
-          | Some v -> encode v
-          | None ->
-              if kind >= 0 then
-                get_bit st.ra kind lor (get_bit st.rb kind lsl 1)
-              else if kind = seed_clk then code_one
-              else if kind = seed_rset then code_zero
-              else code_x
-        in
-        set_code st cls code
+        for li = 0 to nl - 1 do
+          let st = Array.unsafe_get sts li in
+          let code =
+            match (Array.unsafe_get pokeds li).(cls) with
+            | Some v -> encode v
+            | None ->
+                if kind >= 0 then
+                  get_bit st.ra kind lor (get_bit st.rb kind lsl 1)
+                else if kind = seed_clk then code_one
+                else if kind = seed_rset then code_zero
+                else code_x
+          in
+          set_code st cls code
+        done
     | Ogate { gate; args; out; prod; kbool } ->
-        let v =
-          if gate = gnot then not1.(read_code st args.(0))
-          else if gate = gequal then begin
-            let half = Array.length args / 2 in
-            let acc = ref code_one in
-            for i = 0 to half - 1 do
-              acc :=
-                and2.((!acc lsl 2)
-                      lor equal2.((read_code st args.(i) lsl 2)
-                                  lor read_code st args.(i + half)))
-            done;
-            !acc
-          end
+        for li = 0 to nl - 1 do
+          let st = Array.unsafe_get sts li in
+          let v =
+            if gate = gnot then not1.(read_code st args.(0))
+            else if gate = gequal then begin
+              let half = Array.length args / 2 in
+              let acc = ref code_one in
+              for i = 0 to half - 1 do
+                acc :=
+                  and2.((!acc lsl 2)
+                        lor equal2.((read_code st args.(i) lsl 2)
+                                    lor read_code st args.(i + half)))
+              done;
+              !acc
+            end
+            else begin
+              let tbl = if gate = gand || gate = gnand then and2 else
+                        if gate = gxor then xor2 else or2 in
+              let acc = ref (if gate = gand || gate = gnand then code_one
+                             else code_zero) in
+              for i = 0 to Array.length args - 1 do
+                acc := tbl.((!acc lsl 2) lor read_code st args.(i))
+              done;
+              if gate = gnand || gate = gnor then not1.(!acc) else !acc
+            end
+          in
+          if prod >= 0 then Bytes.unsafe_set st.scratch prod (Char.unsafe_chr v)
           else begin
-            let tbl = if gate = gand || gate = gnand then and2 else
-                      if gate = gxor then xor2 else or2 in
-            let acc = ref (if gate = gand || gate = gnand then code_one
-                           else code_zero) in
-            for i = 0 to Array.length args - 1 do
-              acc := tbl.((!acc lsl 2) lor read_code st args.(i))
-            done;
-            if gate = gnand || gate = gnor then not1.(!acc) else !acc
+            set_code st out (if kbool then bool_code v else v);
+            set_bit st.driven out (if v = code_z then 0 else 1)
           end
-        in
-        if prod >= 0 then Bytes.unsafe_set st.scratch prod (Char.unsafe_chr v)
-        else begin
-          set_code st out (if kbool then bool_code v else v);
-          set_bit st.driven out (if v = code_z then 0 else 1)
-        end
+        done
     | Orandom { out; prod } ->
-        let v = if Prand.bool ~seed ~net:out ~cycle then code_one
-                else code_zero in
-        if prod >= 0 then Bytes.unsafe_set st.scratch prod (Char.unsafe_chr v)
-        else begin
-          set_code st out v;
-          set_bit st.driven out 1
-        end
-    | Odriver { guard; src; out; prod; kbool } ->
-        let v =
-          if guard = no_guard then read_code st src
-          else
-            match bool_code (read_code st guard) with
-            | 0 -> code_z
-            | 1 -> read_code st src
-            | _ -> code_x
-        in
-        if prod >= 0 then Bytes.unsafe_set st.scratch prod (Char.unsafe_chr v)
-        else begin
-          set_code st out (if kbool then bool_code v else v);
-          set_bit st.driven out (if v = code_z then 0 else 1)
-        end
-    | Oresolve { out; prods; kbool } ->
-        let drives = ref 0 and dval = ref code_z in
-        for i = 0 to Array.length prods - 1 do
-          let c = Char.code (Bytes.unsafe_get st.scratch prods.(i)) in
-          if c <> code_z then begin
-            incr drives;
-            dval := (if !drives = 1 then c else code_x)
+        for li = 0 to nl - 1 do
+          let st = Array.unsafe_get sts li in
+          let v =
+            if Prand.bool ~seed:(Array.unsafe_get seeds li) ~net:out ~cycle
+            then code_one
+            else code_zero
+          in
+          if prod >= 0 then Bytes.unsafe_set st.scratch prod (Char.unsafe_chr v)
+          else begin
+            set_code st out v;
+            set_bit st.driven out 1
           end
-        done;
-        let v =
-          if kbool then if !drives = 0 then code_x else bool_code !dval
-          else !dval
-        in
-        set_code st out v;
-        set_bit st.driven out (if !drives > 0 then 1 else 0);
-        if !drives >= 2 then conflicts := out :: !conflicts
+        done
+    | Odriver { guard; src; out; prod; kbool } ->
+        for li = 0 to nl - 1 do
+          let st = Array.unsafe_get sts li in
+          let v =
+            if guard = no_guard then read_code st src
+            else
+              match bool_code (read_code st guard) with
+              | 0 -> code_z
+              | 1 -> read_code st src
+              | _ -> code_x
+          in
+          if prod >= 0 then Bytes.unsafe_set st.scratch prod (Char.unsafe_chr v)
+          else begin
+            set_code st out (if kbool then bool_code v else v);
+            set_bit st.driven out (if v = code_z then 0 else 1)
+          end
+        done
+    | Oresolve { out; prods; kbool } ->
+        for li = 0 to nl - 1 do
+          let st = Array.unsafe_get sts li in
+          let drives = ref 0 and dval = ref code_z in
+          for i = 0 to Array.length prods - 1 do
+            let c = Char.code (Bytes.unsafe_get st.scratch prods.(i)) in
+            if c <> code_z then begin
+              incr drives;
+              dval := (if !drives = 1 then c else code_x)
+            end
+          done;
+          let v =
+            if kbool then if !drives = 0 then code_x else bool_code !dval
+            else !dval
+          in
+          set_code st out v;
+          set_bit st.driven out (if !drives > 0 then 1 else 0);
+          if !drives >= 2 then confs.(li) <- out :: confs.(li)
+        done
     | Olatch { reg; cls; seeded } ->
-        let v = get_code st cls in
-        let latch =
-          if seeded then v <> code_z else get_bit st.driven cls = 1
-        in
-        if latch then begin
-          let c = bool_code v in
-          set_bit st.ra reg (c land 1);
-          set_bit st.rb reg (c lsr 1)
-        end
+        for li = 0 to nl - 1 do
+          let st = Array.unsafe_get sts li in
+          let v = get_code st cls in
+          let latch =
+            if seeded then v <> code_z else get_bit st.driven cls = 1
+          in
+          if latch then begin
+            let c = bool_code v in
+            set_bit st.ra reg (c land 1);
+            set_bit st.rb reg (c lsr 1)
+          end
+        done
     | Ovseed { cls; len } ->
         (* producer-less non-register classes: the poke if present,
            else UNDEF (all-ones in both planes) *)
-        let p = ref 0 in
-        while !p < len do
-          let pos = cls + !p in
-          let k = min (bits - (pos land 31)) (len - !p) in
-          let m = read32 st.pm pos in
-          let pva = read32 st.pva pos and pvb = read32 st.pvb pos in
-          write32 st.a pos k ((m land pva) lor lnot m);
-          write32 st.b pos k ((m land pvb) lor lnot m);
-          p := !p + k
+        for li = 0 to nl - 1 do
+          let st = Array.unsafe_get sts li in
+          let p = ref 0 in
+          while !p < len do
+            let pos = cls + !p in
+            let k = min (bits - (pos land 31)) (len - !p) in
+            let m = read32 st.pm pos in
+            let pva = read32 st.pva pos and pvb = read32 st.pvb pos in
+            write32 st.a pos k ((m land pva) lor lnot m);
+            write32 st.b pos k ((m land pvb) lor lnot m);
+            p := !p + k
+          done
         done
     | Ovregseed { reg; cls; len } ->
-        let p = ref 0 in
-        while !p < len do
-          let pos = cls + !p in
-          let k = min (bits - (pos land 31)) (len - !p) in
-          let m = read32 st.pm pos in
-          let ra = read32 st.ra (reg + !p) and rb = read32 st.rb (reg + !p) in
-          let pva = read32 st.pva pos and pvb = read32 st.pvb pos in
-          write32 st.a pos k ((m land pva) lor (lnot m land ra));
-          write32 st.b pos k ((m land pvb) lor (lnot m land rb));
-          p := !p + k
+        for li = 0 to nl - 1 do
+          let st = Array.unsafe_get sts li in
+          let p = ref 0 in
+          while !p < len do
+            let pos = cls + !p in
+            let k = min (bits - (pos land 31)) (len - !p) in
+            let m = read32 st.pm pos in
+            let ra = read32 st.ra (reg + !p)
+            and rb = read32 st.rb (reg + !p) in
+            let pva = read32 st.pva pos and pvb = read32 st.pvb pos in
+            write32 st.a pos k ((m land pva) lor (lnot m land ra));
+            write32 st.b pos k ((m land pvb) lor (lnot m land rb));
+            p := !p + k
+          done
         done
     | Ovcopy { src; dst; len; kbool; dr } ->
-        let p = ref 0 in
-        while !p < len do
-          let pos = dst + !p in
-          let k = min (bits - (pos land 31)) (len - !p) in
-          let sa = src32a st src !p and sb = src32b st src !p in
-          write32 st.a pos k (if kbool then sa lor sb else sa);
-          write32 st.b pos k sb;
-          if dr then write32 st.driven pos k (sa lor lnot sb);
-          p := !p + k
-        done
-    | Ovnot { src; dst; len; dr } ->
-        let p = ref 0 in
-        while !p < len do
-          let pos = dst + !p in
-          let k = min (bits - (pos land 31)) (len - !p) in
-          let sa = src32a st src !p and sb = src32b st src !p in
-          write32 st.a pos k (lnot sa lor sb);
-          write32 st.b pos k sb;
-          if dr then write32 st.driven pos k mask32;
-          p := !p + k
-        done
-    | Ovdriver { guard; src; dst; len; kbool; dr } ->
-        let g = read_code st guard in
-        let p = ref 0 in
-        while !p < len do
-          let pos = dst + !p in
-          let k = min (bits - (pos land 31)) (len - !p) in
-          (if g = code_zero then begin
-             (* all lanes NOINFL (UNDEF through a boolean read) *)
-             write32 st.a pos k (if kbool then mask32 else 0);
-             write32 st.b pos k mask32;
-             if dr then write32 st.driven pos k 0
-           end
-           else if g = code_one then begin
-             let sa = src32a st src !p and sb = src32b st src !p in
-             let m = sa lor (lnot sb land mask32) in
-             let vb = (m land sb) lor (lnot m land mask32) in
-             let va = m land sa in
-             write32 st.a pos k (if kbool then va lor vb else va);
-             write32 st.b pos k vb;
-             if dr then write32 st.driven pos k m
-           end
-           else begin
-             (* undefined guard: UNDEF everywhere, all lanes driving *)
-             write32 st.a pos k mask32;
-             write32 st.b pos k mask32;
-             if dr then write32 st.driven pos k mask32
-           end);
-          p := !p + k
-        done
-    | Ovmux2 { g1; s1; g2; s2; dst; len; kbool; dr } ->
-        (* per-driver mode is loop-invariant: 0 = guard 0 (NOINFL),
-           1 = guard 1 (source window), 2 = undefined guard (UNDEF) *)
-        let gc1 = read_code st g1 and gc2 = read_code st g2 in
-        if
-          (gc1 = code_one && gc2 = code_zero)
-          || (gc1 = code_zero && gc2 = code_one)
-        then begin
-          (* the common case — exactly one definite guard — degenerates
-             to a single guarded copy: no conflicts, one source window *)
-          let s = if gc1 = code_one then s1 else s2 in
+        for li = 0 to nl - 1 do
+          let st = Array.unsafe_get sts li in
           let p = ref 0 in
           while !p < len do
             let pos = dst + !p in
             let k = min (bits - (pos land 31)) (len - !p) in
-            let sa = src32a st s !p and sb = src32b st s !p in
-            let m = sa lor (lnot sb land mask32) in
-            let vb = (m land sb) lor (lnot m land mask32) in
-            let va = m land sa in
-            write32 st.a pos k (if kbool then va lor vb else va);
-            write32 st.b pos k vb;
-            if dr then write32 st.driven pos k m;
+            let sa = src32a st src !p and sb = src32b st src !p in
+            write32 st.a pos k (if kbool then sa lor sb else sa);
+            write32 st.b pos k sb;
+            if dr then write32 st.driven pos k (sa lor lnot sb);
             p := !p + k
           done
-        end
-        else begin
-        let md1 =
-          if gc1 = code_zero then 0 else if gc1 = code_one then 1 else 2
-        and md2 =
-          if gc2 = code_zero then 0 else if gc2 = code_one then 1 else 2
-        in
-        let p = ref 0 in
-        while !p < len do
-          let pos = dst + !p in
-          let k = min (bits - (pos land 31)) (len - !p) in
-          let sa1 = if md1 = 1 then src32a st s1 !p else 0
-          and sb1 = if md1 = 1 then src32b st s1 !p else 0 in
-          let m1 =
-            if md1 = 0 then 0
-            else if md1 = 2 then mask32
-            else sa1 lor (lnot sb1 land mask32)
-          in
-          let p1a = if md1 = 2 then mask32 else sa1
-          and p1b = if md1 = 2 then mask32 else sb1 in
-          let sa2 = if md2 = 1 then src32a st s2 !p else 0
-          and sb2 = if md2 = 1 then src32b st s2 !p else 0 in
-          let m2 =
-            if md2 = 0 then 0
-            else if md2 = 2 then mask32
-            else sa2 lor (lnot sb2 land mask32)
-          in
-          let p2a = if md2 = 2 then mask32 else sa2
-          and p2b = if md2 = 2 then mask32 else sb2 in
-          let both = m1 land m2 in
-          let only1 = m1 land lnot m2 and only2 = m2 land lnot m1 in
-          let none = lnot (m1 lor m2) in
-          let va = (only1 land p1a) lor (only2 land p2a) lor both in
-          let vb = (only1 land p1b) lor (only2 land p2b) lor both lor none in
-          write32 st.a pos k (if kbool then va lor vb else va);
-          write32 st.b pos k vb;
-          if dr then write32 st.driven pos k (m1 lor m2);
-          (* window values: lane j of this chunk is bit j *)
-          let conf = both land (mask32 lsr (bits - k)) in
-          if conf <> 0 then
-            for j = 0 to k - 1 do
-              if (conf lsr j) land 1 = 1 then
-                conflicts := (dst + !p + j) :: !conflicts
-            done;
-          p := !p + k
         done
-        end
-    | Ovlatch { reg; cls; len; seeded } ->
-        let p = ref 0 in
-        while !p < len do
-          let pos = reg + !p in
-          let k = min (bits - (pos land 31)) (len - !p) in
-          let va = read32 st.a (cls + !p) and vb = read32 st.b (cls + !p) in
-          let m =
-            if seeded then va lor (lnot vb land mask32)
-            else read32 st.driven (cls + !p)
+    | Ovnot { src; dst; len; dr } ->
+        for li = 0 to nl - 1 do
+          let st = Array.unsafe_get sts li in
+          let p = ref 0 in
+          while !p < len do
+            let pos = dst + !p in
+            let k = min (bits - (pos land 31)) (len - !p) in
+            let sa = src32a st src !p and sb = src32b st src !p in
+            write32 st.a pos k (lnot sa lor sb);
+            write32 st.b pos k sb;
+            if dr then write32 st.driven pos k mask32;
+            p := !p + k
+          done
+        done
+    | Ovdriver { guard; src; dst; len; kbool; dr } ->
+        for li = 0 to nl - 1 do
+          let st = Array.unsafe_get sts li in
+          let g = read_code st guard in
+          let p = ref 0 in
+          while !p < len do
+            let pos = dst + !p in
+            let k = min (bits - (pos land 31)) (len - !p) in
+            (if g = code_zero then begin
+               (* all lanes NOINFL (UNDEF through a boolean read) *)
+               write32 st.a pos k (if kbool then mask32 else 0);
+               write32 st.b pos k mask32;
+               if dr then write32 st.driven pos k 0
+             end
+             else if g = code_one then begin
+               let sa = src32a st src !p and sb = src32b st src !p in
+               let m = sa lor (lnot sb land mask32) in
+               let vb = (m land sb) lor (lnot m land mask32) in
+               let va = m land sa in
+               write32 st.a pos k (if kbool then va lor vb else va);
+               write32 st.b pos k vb;
+               if dr then write32 st.driven pos k m
+             end
+             else begin
+               (* undefined guard: UNDEF everywhere, all lanes driving *)
+               write32 st.a pos k mask32;
+               write32 st.b pos k mask32;
+               if dr then write32 st.driven pos k mask32
+             end);
+            p := !p + k
+          done
+        done
+    | Ovmux2 { g1; s1; g2; s2; dst; len; kbool; dr } ->
+        for li = 0 to nl - 1 do
+          let st = Array.unsafe_get sts li in
+          (* per-driver mode is loop-invariant: 0 = guard 0 (NOINFL),
+             1 = guard 1 (source window), 2 = undefined guard (UNDEF) *)
+          let gc1 = read_code st g1 and gc2 = read_code st g2 in
+          if
+            (gc1 = code_one && gc2 = code_zero)
+            || (gc1 = code_zero && gc2 = code_one)
+          then begin
+            (* the common case — exactly one definite guard — degenerates
+               to a single guarded copy: no conflicts, one source window *)
+            let s = if gc1 = code_one then s1 else s2 in
+            let p = ref 0 in
+            while !p < len do
+              let pos = dst + !p in
+              let k = min (bits - (pos land 31)) (len - !p) in
+              let sa = src32a st s !p and sb = src32b st s !p in
+              let m = sa lor (lnot sb land mask32) in
+              let vb = (m land sb) lor (lnot m land mask32) in
+              let va = m land sa in
+              write32 st.a pos k (if kbool then va lor vb else va);
+              write32 st.b pos k vb;
+              if dr then write32 st.driven pos k m;
+              p := !p + k
+            done
+          end
+          else begin
+          let md1 =
+            if gc1 = code_zero then 0 else if gc1 = code_one then 1 else 2
+          and md2 =
+            if gc2 = code_zero then 0 else if gc2 = code_one then 1 else 2
           in
-          let oa = read32 st.ra pos and ob = read32 st.rb pos in
-          write32 st.ra pos k ((m land (va lor vb)) lor (lnot m land oa));
-          write32 st.rb pos k ((m land vb) lor (lnot m land ob));
-          p := !p + k
+          let p = ref 0 in
+          while !p < len do
+            let pos = dst + !p in
+            let k = min (bits - (pos land 31)) (len - !p) in
+            let sa1 = if md1 = 1 then src32a st s1 !p else 0
+            and sb1 = if md1 = 1 then src32b st s1 !p else 0 in
+            let m1 =
+              if md1 = 0 then 0
+              else if md1 = 2 then mask32
+              else sa1 lor (lnot sb1 land mask32)
+            in
+            let p1a = if md1 = 2 then mask32 else sa1
+            and p1b = if md1 = 2 then mask32 else sb1 in
+            let sa2 = if md2 = 1 then src32a st s2 !p else 0
+            and sb2 = if md2 = 1 then src32b st s2 !p else 0 in
+            let m2 =
+              if md2 = 0 then 0
+              else if md2 = 2 then mask32
+              else sa2 lor (lnot sb2 land mask32)
+            in
+            let p2a = if md2 = 2 then mask32 else sa2
+            and p2b = if md2 = 2 then mask32 else sb2 in
+            let both = m1 land m2 in
+            let only1 = m1 land lnot m2 and only2 = m2 land lnot m1 in
+            let none = lnot (m1 lor m2) in
+            let va = (only1 land p1a) lor (only2 land p2a) lor both in
+            let vb = (only1 land p1b) lor (only2 land p2b) lor both lor none in
+            write32 st.a pos k (if kbool then va lor vb else va);
+            write32 st.b pos k vb;
+            if dr then write32 st.driven pos k (m1 lor m2);
+            (* window values: lane j of this chunk is bit j *)
+            let conf = both land (mask32 lsr (bits - k)) in
+            if conf <> 0 then
+              for j = 0 to k - 1 do
+                if (conf lsr j) land 1 = 1 then
+                  confs.(li) <- (dst + !p + j) :: confs.(li)
+              done;
+            p := !p + k
+          done
+          end
+        done
+    | Ovlatch { reg; cls; len; seeded } ->
+        for li = 0 to nl - 1 do
+          let st = Array.unsafe_get sts li in
+          let p = ref 0 in
+          while !p < len do
+            let pos = reg + !p in
+            let k = min (bits - (pos land 31)) (len - !p) in
+            let va = read32 st.a (cls + !p) and vb = read32 st.b (cls + !p) in
+            let m =
+              if seeded then va lor (lnot vb land mask32)
+              else read32 st.driven (cls + !p)
+            in
+            let oa = read32 st.ra pos and ob = read32 st.rb pos in
+            write32 st.ra pos k ((m land (va lor vb)) lor (lnot m land oa));
+            write32 st.rb pos k ((m land vb) lor (lnot m land ob));
+            p := !p + k
+          done
         done
   done;
-  st.ran <- true;
-  !conflicts
+  for li = 0 to nl - 1 do
+    sts.(li).ran <- true
+  done;
+  confs
+
+(* Execute one clock cycle for a single run.  [poked] backs the scalar
+   seed ops (the packed mirror backs the wide ones); register state
+   lives in the packed planes.  Returns the classes that saw a drive
+   conflict this cycle (unsorted). *)
+let run_cycle (prog : prog) (st : state) ~(poked : Logic.t option array)
+    ~seed ~cycle =
+  (run_lanes prog [| st |] ~pokeds:[| poked |] ~seeds:[| seed |] ~cycle).(0)
 
 (* ------------------------------------------------------------------ *)
 (* Change sweep (toggles + trace)                                       *)

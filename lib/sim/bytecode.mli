@@ -148,8 +148,21 @@ val sync_poke : state -> int -> Logic.t option -> unit
 
 (** {1 Execution} *)
 
+(** [run_lanes prog sts ~pokeds ~seeds ~cycle] executes one clock cycle
+    over [Array.length sts] independent lanes — the batch engine's
+    multi-stimulus mode.  Lane [li] is a whole independent run with its
+    own packed planes [sts.(li)], pokes [pokeds.(li)] and RANDOM seed
+    [seeds.(li)]; the opcode array is walked once with every op applied
+    to all lanes, amortizing dispatch across the lanes.  Returns the
+    per-lane drive-conflict classes (unsorted); a conflict in one lane
+    never affects a sibling.  All three arrays must have equal length. *)
+val run_lanes :
+  prog -> state array -> pokeds:Logic.t option array array ->
+  seeds:int array -> cycle:int -> int list array
+
 (** [run_cycle prog st ~poked ~seed ~cycle] executes one clock cycle
-    and returns the classes whose resolution saw a drive conflict
+    for a single run (the one-lane instance of {!run_lanes}) and
+    returns the classes whose resolution saw a drive conflict
     (unsorted; the caller reports them in class order). *)
 val run_cycle :
   prog -> state -> poked:Logic.t option array -> seed:int -> cycle:int ->

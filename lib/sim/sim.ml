@@ -80,7 +80,12 @@ let engine_name = function
   | Fixpoint -> "fixpoint"
   | Relaxation -> "relaxation"
   | Incremental -> "incremental"
-  | Parallel -> "parallel"
+  (* demoted from "parallel" when the batch engine (run_batch) took
+     over throughput work: per-level chunking loses to the serial
+     incremental path at every domain count (BENCH_par.json), so the
+     engine is kept for the differential matrix under a name that says
+     what it parallelizes *)
+  | Parallel -> "parallel-level"
   | Compiled -> "compiled"
 
 let all_engines =
@@ -1268,3 +1273,286 @@ let snapshot t =
       Array.init g.Graph.n_nets (fun i ->
           let c = g.Graph.canon.(i) in
           if g.Graph.rep.(c) = i then t.values.(c) else None)
+
+(* ------------------------------------------------------------------ *)
+(* Batch engine: whole independent runs sharded over the pool           *)
+(* ------------------------------------------------------------------ *)
+
+(* The parallelism Zeus actually has is many independent runs (fuzz
+   cases, stimulus vectors, regression corpora), not the per-level
+   chunking of [Parallel]: sharding whole runs needs zero cross-run
+   barriers, and the splitmix RANDOM — a pure function of (seed, class,
+   cycle) — makes every run replay deterministically wherever it lands.
+
+   Two execution paths, both bit-identical to a serial run:
+
+   - the compiled lane path: up to [lanes] consecutive runs with equal
+     cycle counts are packed into one {!Bytecode.run_lanes} walk, each
+     lane owning its packed planes, pokes and seed — one dispatch pass
+     evaluates K scenarios;
+   - the serial fallback (interpreted engines, combinational-cycle
+     designs, [lanes = 1], zero-cycle runs): a fresh per-run handle
+     stepped with the template's engine.
+
+   Inner handles always run jobs=1: the pool is owned by this sharding
+   layer and its fork-join protocol does not nest. *)
+
+type batch_run = {
+  br_stim : (string * Logic.t list) list array;
+      (* pokes applied before cycle i; cycles past the array keep the
+         last poked values, like a quiescent testbench *)
+  br_cycles : int;
+  br_seed : int option; (* per-run RANDOM seed; default the template's *)
+  br_watch : string list; (* paths peeked after the final cycle *)
+}
+
+type batch_result = {
+  bres_snapshot : Logic.t option array; (* after the final cycle *)
+  bres_snaps : Logic.t option array list; (* per cycle, when requested *)
+  bres_errors : runtime_error list;
+  bres_watched : (string * Logic.t list) list;
+}
+
+(* deterministic functions of (design, runs, jobs, lanes): no
+   wall-clock, so they are golden-testable under --stats *)
+type batch_stats = {
+  bs_runs : int;
+  bs_jobs : int;
+  bs_lanes : int; (* requested lane width *)
+  bs_lane_groups : int; (* run_lanes groups executed *)
+  bs_lane_runs : int; (* runs evaluated through the lane path *)
+  bs_serial_runs : int; (* runs evaluated one at a time *)
+  bs_cycles : int; (* total cycles across all runs *)
+}
+
+(* A fresh handle sharing the immutable compile artifacts (graph,
+   schedule, bytecode program) of [t] but owning every piece of mutable
+   run state — the per-run clone of the batch engine's serial path. *)
+let fresh_like t ~seed =
+  let n = Array.length t.values in
+  let n_nodes = Array.length t.produced in
+  {
+    t with
+    values = Array.make n None;
+    produced = Array.make n_nodes None;
+    remaining = Array.make n 0;
+    drives_seen = Array.make n 0;
+    mux_value = Array.make n Logic.Noinfl;
+    fired = Array.make n false;
+    reg_state =
+      Array.map (fun (r : Netlist.reg) -> r.Netlist.rinit) t.g.Graph.regs;
+    poked = Array.make n None;
+    cycle = 0;
+    seed;
+    errors = [];
+    node_visits = 0;
+    trace = [];
+    trace_enabled = false;
+    prev_values = Array.make n None;
+    toggles = Array.make n 0;
+    started = false;
+    epoch = 0;
+    node_mark = Array.make n_nodes 0;
+    net_mark = Array.make n 0;
+    node_buckets = Array.make (Array.length t.node_buckets) [];
+    net_buckets = Array.make (Array.length t.net_buckets) [];
+    any_scheduled = false;
+    seed_dirty = Array.make n false;
+    seed_dirty_list = [];
+    in_conflict = Array.make n false;
+    conflict_list = [];
+    reg_dirty = Array.make (Array.length t.reg_dirty) false;
+    reg_dirty_list = [];
+    cstate = Option.map Bytecode.create_state t.cprog;
+    (* inner handles never touch the pool (see above) *)
+    par_serial = true;
+    jobs = 1;
+    dom_out = Array.make 1 [];
+    dom_changed = Array.make 1 [];
+    dom_regs = Array.make 1 [];
+    dom_conf = Array.make 1 [];
+    dom_visits = Array.make 1 0;
+    ps_levels = 0;
+    ps_chunked = 0;
+    ps_barriers = 0;
+    ps_node_tasks = 0;
+    ps_net_tasks = 0;
+    ps_max_fanout = 0;
+  }
+
+(* one run, one fresh handle, the template's engine; [resolve] is the
+   caller-built path table so workers never touch the elaborator *)
+let batch_exec_serial tmpl run ~resolve ~snapshots =
+  let t = fresh_like tmpl ~seed:(Option.value run.br_seed ~default:tmpl.seed) in
+  let snaps = ref [] in
+  for c = 0 to run.br_cycles - 1 do
+    if c < Array.length run.br_stim then
+      List.iter
+        (fun (p, bits) -> poke_nets t (resolve p) bits)
+        run.br_stim.(c);
+    step t;
+    if snapshots then snaps := snapshot t :: !snaps
+  done;
+  {
+    bres_snapshot = snapshot t;
+    bres_snaps = List.rev !snaps;
+    bres_errors = runtime_errors t;
+    bres_watched = List.map (fun p -> (p, peek_nets t (resolve p))) run.br_watch;
+  }
+
+(* a group of runs with one shared cycle count, one lane each *)
+let batch_exec_lanes tmpl prog runs ~resolve ~snapshots =
+  let g = tmpl.g in
+  let nl = Array.length runs in
+  let n = g.Graph.n_classes in
+  let sts = Array.init nl (fun _ -> Bytecode.create_state prog) in
+  let pokeds = Array.init nl (fun _ -> Array.make n None) in
+  let seeds =
+    Array.map (fun r -> Option.value r.br_seed ~default:tmpl.seed) runs
+  in
+  let errors = Array.make nl [] (* newest first, like [t.errors] *)
+  and snaps = Array.make nl [] in
+  let cycles = runs.(0).br_cycles in
+  let lane_snapshot li =
+    let st = sts.(li) in
+    if not (Bytecode.ran st) then Array.make g.Graph.n_nets None
+    else
+      Array.init g.Graph.n_nets (fun i ->
+          let c = g.Graph.canon.(i) in
+          if g.Graph.rep.(c) = i then Some (Bytecode.get st c) else None)
+  in
+  let lane_value li id =
+    let v =
+      if Bytecode.ran sts.(li) then Bytecode.get sts.(li) g.Graph.canon.(id)
+      else Logic.Undef
+    in
+    match g.Graph.net_kind.(id) with
+    | Etype.KBool -> Logic.booleanize v
+    | Etype.KMux -> v
+  in
+  for c = 0 to cycles - 1 do
+    for li = 0 to nl - 1 do
+      let run = runs.(li) in
+      if c < Array.length run.br_stim then
+        List.iter
+          (fun (p, bits) ->
+            let nets = resolve p in
+            if List.length nets <> List.length bits then
+              invalid_arg "Sim.run_batch: width mismatch";
+            List.iter2
+              (fun id v ->
+                let cls = g.Graph.canon.(id) in
+                pokeds.(li).(cls) <- Some v;
+                Bytecode.sync_poke sts.(li) cls (Some v))
+              nets bits)
+          run.br_stim.(c)
+    done;
+    let confs = Bytecode.run_lanes prog sts ~pokeds ~seeds ~cycle:c in
+    for li = 0 to nl - 1 do
+      List.iter
+        (fun cls ->
+          errors.(li) <-
+            {
+              err_cycle = c;
+              err_net = g.Graph.names.(cls);
+              err_code = Diag.Code.drive_conflict;
+              err_message =
+                Fmt.str
+                  "more than one driving assignment in cycle %d — burning \
+                   transistors (value forced to UNDEF)"
+                  c;
+            }
+            :: errors.(li))
+        (List.sort compare confs.(li));
+      if snapshots then snaps.(li) <- lane_snapshot li :: snaps.(li)
+    done
+  done;
+  Array.init nl (fun li ->
+      {
+        bres_snapshot = lane_snapshot li;
+        bres_snaps = List.rev snaps.(li);
+        bres_errors = List.rev errors.(li);
+        bres_watched =
+          List.map
+            (fun p -> (p, List.map (lane_value li) (resolve p)))
+            runs.(li).br_watch;
+      })
+
+let run_batch ?jobs ?(lanes = 8) ?(snapshots = false) t runs =
+  let runs = Array.of_list runs in
+  let nruns = Array.length runs in
+  let jobs =
+    let requested =
+      match jobs with
+      | Some j -> j
+      | None -> Domain.recommended_domain_count ()
+    in
+    max 1 (min (min requested Pool.max_jobs) (max 1 nruns))
+  in
+  let lanes = max 1 lanes in
+  (* resolve every stimulus/watch path once, on the caller, so workers
+     share a read-only table (and bad paths fail before any fan-out) *)
+  let paths = Hashtbl.create 64 in
+  let resolve p =
+    match Hashtbl.find_opt paths p with
+    | Some nets -> nets
+    | None ->
+        let nets = resolve_nets t p in
+        Hashtbl.add paths p nets;
+        nets
+  in
+  Array.iter
+    (fun r ->
+      Array.iter (List.iter (fun (p, _) -> ignore (resolve p))) r.br_stim;
+      List.iter (fun p -> ignore (resolve p)) r.br_watch)
+    runs;
+  let results = Array.make nruns None in
+  (* per-domain counters, merged after the join: contiguous sharding
+     makes them (and the results) deterministic for a given [jobs] *)
+  let d_groups = Array.make jobs 0
+  and d_lane_runs = Array.make jobs 0
+  and d_serial_runs = Array.make jobs 0 in
+  let exec_slice d =
+    let lo = nruns * d / jobs and hi = nruns * (d + 1) / jobs in
+    let i = ref lo in
+    while !i < hi do
+      let j = !i in
+      match t.cprog with
+      | Some prog when lanes > 1 && runs.(j).br_cycles > 0 ->
+          (* greedy lane group: consecutive runs sharing a cycle count *)
+          let k = ref (j + 1) in
+          while
+            !k < hi && !k - j < lanes && runs.(!k).br_cycles = runs.(j).br_cycles
+          do
+            incr k
+          done;
+          let group = Array.sub runs j (!k - j) in
+          let rs = batch_exec_lanes t prog group ~resolve ~snapshots in
+          Array.iteri (fun o r -> results.(j + o) <- Some r) rs;
+          d_groups.(d) <- d_groups.(d) + 1;
+          d_lane_runs.(d) <- d_lane_runs.(d) + (!k - j);
+          i := !k
+      | _ ->
+          results.(j) <- Some (batch_exec_serial t runs.(j) ~resolve ~snapshots);
+          d_serial_runs.(d) <- d_serial_runs.(d) + 1;
+          incr i
+    done
+  in
+  if nruns > 0 then Pool.run ~jobs exec_slice;
+  let sum = Array.fold_left ( + ) 0 in
+  let stats =
+    {
+      bs_runs = nruns;
+      bs_jobs = jobs;
+      bs_lanes = lanes;
+      bs_lane_groups = sum d_groups;
+      bs_lane_runs = sum d_lane_runs;
+      bs_serial_runs = sum d_serial_runs;
+      bs_cycles = Array.fold_left (fun acc r -> acc + r.br_cycles) 0 runs;
+    }
+  in
+  ( Array.to_list
+      (Array.map
+         (function Some r -> r | None -> assert false (* all slots filled *))
+         results),
+    stats )

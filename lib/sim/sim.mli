@@ -46,7 +46,13 @@ type engine =
           pure function of (seed, class, cycle) ({!Prand}), and the
           per-cycle trace is sorted by class id within each level.
           [jobs <= 1] (and designs narrower than [grain]) short-circuit
-          to the serial incremental path: no pool, no barriers. *)
+          to the serial incremental path: no pool, no barriers.
+
+          {b Demoted} to CLI name [parallel-level]: per-level chunking
+          loses to the serial incremental engine at every domain count
+          (BENCH_par.json), so it is kept for the differential matrix
+          only — throughput work goes through {!run_batch}, which
+          shards whole independent runs with zero cross-run barriers. *)
   | Compiled
       (** the levelized schedule lowered once to flat bytecode
           ({!Compile}, {!Bytecode}): dense opcode array, operand
@@ -212,3 +218,64 @@ val total_toggles : t -> int
 val set_trace : t -> bool -> unit
 
 val trace_last_cycle : t -> (string * Logic.t) list
+
+(** {1 Batch engine}
+
+    Throughput mode: many {e independent} runs of one design, sharded
+    whole across the domain pool with zero cross-run barriers.  Each
+    run replays deterministically wherever it lands because RANDOM
+    draws are a pure function of (seed, class, cycle); when the
+    template handle is {!Compiled} (and the design acyclic), up to
+    [lanes] runs with equal cycle counts are packed into one
+    {!Bytecode.run_lanes} pass — one dispatch walk evaluates K
+    scenarios, each lane owning its packed planes, pokes and seed.
+    Results are bit-identical to stepping each run serially on a fresh
+    handle (the [batch_identity] property and oracle row O7). *)
+
+(** One independent run: per-cycle pokes, a cycle count, an optional
+    per-run RANDOM seed and paths to read back at the end. *)
+type batch_run = {
+  br_stim : (string * Logic.t list) list array;
+      (** pokes applied before cycle [i]; cycles beyond the array keep
+          the previously poked values, like a quiescent testbench *)
+  br_cycles : int;
+  br_seed : int option;  (** default: the template handle's seed *)
+  br_watch : string list;  (** paths peeked after the final cycle *)
+}
+
+type batch_result = {
+  bres_snapshot : Logic.t option array;  (** after the final cycle *)
+  bres_snaps : Logic.t option array list;
+      (** per-cycle snapshots, oldest first — only with [~snapshots] *)
+  bres_errors : runtime_error list;
+  bres_watched : (string * Logic.t list) list;
+}
+
+(** Work breakdown of a batch — deterministic functions of (design,
+    runs, [jobs], [lanes]): no wall clock, so golden-testable. *)
+type batch_stats = {
+  bs_runs : int;
+  bs_jobs : int;  (** effective domain count used for sharding *)
+  bs_lanes : int;  (** requested lane width *)
+  bs_lane_groups : int;  (** {!Bytecode.run_lanes} groups executed *)
+  bs_lane_runs : int;  (** runs evaluated through the lane path *)
+  bs_serial_runs : int;  (** runs evaluated one at a time *)
+  bs_cycles : int;  (** total cycles across all runs *)
+}
+
+(** [run_batch t runs] executes every run independently and returns the
+    results in order.  [t] is a template: it is never mutated, and its
+    design/engine/seed/optimize choices are shared by all runs (so the
+    graph, schedule and bytecode program are built once per batch, not
+    once per run).  Contiguous slices of runs are sharded over [jobs]
+    domains (default {!Domain.recommended_domain_count}, clamped to the
+    pool size and the run count); within a slice, consecutive runs with
+    equal cycle counts are packed [lanes] (default 8) at a time through
+    the compiled lane path when [t] compiled, everything else falls
+    back to a fresh serial handle per run.  [snapshots] additionally
+    collects a snapshot after every cycle of every run (for the
+    batch-vs-serial oracle).  Results and stats are deterministic for a
+    given [jobs] — independent of scheduling. *)
+val run_batch :
+  ?jobs:int -> ?lanes:int -> ?snapshots:bool -> t -> batch_run list ->
+  batch_result list * batch_stats

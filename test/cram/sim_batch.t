@@ -1,0 +1,116 @@
+Golden outputs for the batch engine: zeusc sim --batch FILE runs a
+whole stimulus deck of independent runs through one template handle,
+sharding runs over the domain pool and lane-packing equal-cycle runs
+through the compiled engine.  Values are bit-identical to running each
+deck entry serially, per-run seeds drive per-run RANDOM streams, and
+--stats prints the deterministic work breakdown (no wall-clock).
+
+  $ zeusc corpus arbiter > arbiter.zeus
+  $ zeusc corpus routing4 > routing4.zeus
+
+The contested arbiter, three deck entries: two distinct seeds plus a
+repeat of the first — the repeated seed reproduces the first run's coin
+flips exactly, the middle seed draws its own:
+
+  $ cat > arbiter.deck <<'EOF'
+  > # both requesters contend for six cycles; seed picks the coin flips
+  > run seed=1 cycles=6
+  > arb.req1=1 arb.req2=1
+  > run seed=2 cycles=6
+  > arb.req1=1 arb.req2=1
+  > run seed=1 cycles=6
+  > arb.req1=1 arb.req2=1
+  > EOF
+  $ zeusc sim arbiter.zeus --batch arbiter.deck -j 2 -w arb.gnt1 -w arb.gnt2
+  run 0: arb.gnt1=1 arb.gnt2=U
+  run 1: arb.gnt1=U arb.gnt2=1
+  run 2: arb.gnt1=1 arb.gnt2=U
+
+The domain count never shows in the values, only in the breakdown:
+
+  $ zeusc sim arbiter.zeus --batch arbiter.deck -j 1 -w arb.gnt1 -w arb.gnt2
+  run 0: arb.gnt1=1 arb.gnt2=U
+  run 1: arb.gnt1=U arb.gnt2=1
+  run 2: arb.gnt1=1 arb.gnt2=U
+  $ zeusc sim arbiter.zeus --batch arbiter.deck -j 3 -w arb.gnt1 -w arb.gnt2
+  run 0: arb.gnt1=1 arb.gnt2=U
+  run 1: arb.gnt1=U arb.gnt2=1
+  run 2: arb.gnt1=1 arb.gnt2=U
+
+A deck entry without a seed reads the template's default RANDOM
+stream, so it reproduces a plain serial zeusc sim run exactly:
+
+  $ cat > arbiter1.deck <<'EOF'
+  > run cycles=6
+  > arb.req1=1 arb.req2=1
+  > EOF
+  $ zeusc sim arbiter.zeus --batch arbiter1.deck -j 1 -w arb.gnt1 -w arb.gnt2
+  run 0: arb.gnt1=U arb.gnt2=1
+  $ zeusc sim arbiter.zeus --engine incremental -n 6 -p arb.req1=1 -p arb.req2=1 -w arb.gnt1 -w arb.gnt2 | tail -1
+  cycle 6: arb.gnt1=U arb.gnt2=1
+
+The work breakdown is deterministic in (design, deck, jobs, lanes).
+With the default incremental template every run takes the serial
+fallback; a compiled template lane-packs all three equal-cycle runs
+into one dispatch group:
+
+  $ zeusc sim arbiter.zeus --batch arbiter.deck -j 2 --stats -w arb.gnt1 -w arb.gnt2 | tail -1
+  batch: runs=3 jobs=2 lanes=8 lane-groups=0 lane-runs=0 serial-runs=3 cycles=18
+  $ zeusc sim arbiter.zeus --batch arbiter.deck -j 2 --engine compiled --lanes 8 --stats -w arb.gnt1 -w arb.gnt2
+  run 0: arb.gnt1=1 arb.gnt2=U
+  run 1: arb.gnt1=U arb.gnt2=1
+  run 2: arb.gnt1=1 arb.gnt2=U
+  batch: runs=3 jobs=2 lanes=8 lane-groups=2 lane-runs=3 serial-runs=0 cycles=18
+
+The routing network: per-run header bits steer each run's butterfly
+independently (bit 1 of a 10-bit port is the header; values poke
+BIN(v,10) MSB-first, so 512+k sets the header and 0+k clears it):
+
+  $ cat > routing4.deck <<'EOF'
+  > run cycles=2
+  > net.input[0]=513 net.input[1]=2 net.input[2]=3 net.input[3]=4
+  > run cycles=2
+  > net.input[0]=5 net.input[1]=2 net.input[2]=3 net.input[3]=4
+  > EOF
+  $ zeusc sim routing4.zeus --batch routing4.deck -j 1 --engine compiled -w net.output[0]
+  run 0: net.output[0]=0000000010
+  run 1: net.output[0]=0000000101
+
+Drive conflicts stay isolated per run: only the deck entry that poked
+both fighting guards reports Z101, its neighbours stay clean — and the
+conflicting run still lane-packs with them (one group):
+
+  $ cat > conflict.zeus <<'EOF'
+  > TYPE c = COMPONENT (IN x,y: boolean; OUT out: boolean) IS
+  > SIGNAL h: multiplex;
+  > BEGIN
+  >   IF x THEN h := 1 END;
+  >   IF y THEN h := 0 END;
+  >   out := h
+  > END;
+  > SIGNAL top: c;
+  > EOF
+  $ cat > conflict.deck <<'EOF'
+  > run cycles=2
+  > top.x=1 top.y=0
+  > run cycles=2
+  > top.x=1 top.y=1
+  > run cycles=2
+  > top.x=0 top.y=1
+  > EOF
+  $ zeusc sim conflict.zeus --batch conflict.deck -j 1 --engine compiled --lanes 8 --stats -w top.out
+  run 0: top.out=1
+  run 1: top.out=U
+  runtime error (run 1, cycle 0) [Z101] top.h: more than one driving assignment in cycle 0 — burning transistors (value forced to UNDEF)
+  runtime error (run 1, cycle 1) [Z101] top.h: more than one driving assignment in cycle 1 — burning transistors (value forced to UNDEF)
+  run 2: top.out=0
+  batch: runs=3 jobs=1 lanes=8 lane-groups=1 lane-runs=3 serial-runs=0 cycles=6
+
+A malformed deck fails with a line-numbered message:
+
+  $ cat > bad.deck <<'EOF'
+  > top.x=1
+  > EOF
+  $ zeusc sim conflict.zeus --batch bad.deck
+  batch file bad.deck: line 1: stimulus line before any 'run' header
+  [1]

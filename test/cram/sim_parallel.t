@@ -1,7 +1,10 @@
-Golden outputs for the domain-parallel engine: --engine parallel with an
-explicit domain count is bit-identical to the serial engines, and
---stats prints its deterministic work breakdown (no wall-clock numbers,
-so the output is stable enough to lock down).
+Golden outputs for the per-level domain-parallel engine (demoted to an
+explicit opt-in now that throughput work goes through the batch engine):
+--engine parallel-level with an explicit domain count is bit-identical
+to the serial engines, and --stats prints its deterministic work
+breakdown (no wall-clock numbers, so the output is stable enough to
+lock down).  An unambiguous prefix still selects it: --engine parallel
+resolves to parallel-level.
 
   $ zeusc corpus blackjack > blackjack.zeus
   $ zeusc corpus section8 > section8.zeus
@@ -12,7 +15,7 @@ the full evaluation, after which every warm cycle is quiescent — the
 parallel engine, like the incremental one, does zero work, and the
 stats block shows no levels, barriers or domain visits at all:
 
-  $ zeusc sim section8.zeus --engine parallel --jobs 4 --grain 1 -n 4 --stats -p top.a=1 -p top.b=1 -p top.x=1 -p top.y=0 -w top.out -w top.rout
+  $ zeusc sim section8.zeus --engine parallel-level --jobs 4 --grain 1 -n 4 --stats -p top.a=1 -p top.b=1 -p top.x=1 -p top.y=0 -w top.out -w top.rout
   cycle 1: top.out=1 top.rout=U
   cycle 2: top.out=1 top.rout=U
   cycle 3: top.out=1 top.rout=U
@@ -35,7 +38,7 @@ Blackjack holds standing drive conflicts and a cyclic schedule, so the
 parallel engine falls back to full (serial) passes — values and the
 error trace still match the serial engines exactly:
 
-  $ zeusc sim blackjack.zeus --engine parallel --jobs 4 --grain 1 -n 3 -w bj.state.out 2>&1 | head -6
+  $ zeusc sim blackjack.zeus --engine parallel-level --jobs 4 --grain 1 -n 3 -w bj.state.out 2>&1 | head -6
   cycle 1: bj.state.out=UUU
   cycle 2: bj.state.out=UUU
   cycle 3: bj.state.out=UUU
@@ -56,7 +59,7 @@ any engine.  The coin redraw dirties the cone every cycle, so here the
 warm levels really do fan out across the pool (chunked levels, barriers
 and per-domain visits are all non-zero — and still deterministic):
 
-  $ zeusc sim arbiter.zeus --engine parallel --jobs 4 --grain 1 -n 6 --stats -p arb.req1=1 -p arb.req2=1 -w arb.gnt1 -w arb.gnt2
+  $ zeusc sim arbiter.zeus --engine parallel-level --jobs 4 --grain 1 -n 6 --stats -p arb.req1=1 -p arb.req2=1 -w arb.gnt1 -w arb.gnt2
   cycle 1: arb.gnt1=1 arb.gnt2=U
   cycle 2: arb.gnt1=U arb.gnt2=1
   cycle 3: arb.gnt1=1 arb.gnt2=U
@@ -66,7 +69,7 @@ and per-domain visits are all non-zero — and still deterministic):
   node visits: 42
   parallel: jobs=4 levels=15 chunked=6 barriers=12 node-tasks=18 net-tasks=21 max-fanout=2
   domain visits: 6 6 0 6
-  $ zeusc sim arbiter.zeus --engine parallel --jobs 2 --grain 1 -n 6 -p arb.req1=1 -p arb.req2=1 -w arb.gnt1 -w arb.gnt2
+  $ zeusc sim arbiter.zeus --engine parallel-level --jobs 2 --grain 1 -n 6 -p arb.req1=1 -p arb.req2=1 -w arb.gnt1 -w arb.gnt2
   cycle 1: arb.gnt1=1 arb.gnt2=U
   cycle 2: arb.gnt1=U arb.gnt2=1
   cycle 3: arb.gnt1=1 arb.gnt2=U

@@ -86,7 +86,7 @@ let prop_oracle_matrix =
   QCheck.Test.make ~count:250 ~name:"oracle_matrix_full_language"
     (Gen.arbitrary ())
     (fun (p, stim) ->
-      match Oracle.check ~src:(Gen.to_zeus p) ~stim with
+      match Oracle.check ~src:(Gen.to_zeus p) stim with
       | [] -> true
       | d :: _ ->
           QCheck.Test.fail_reportf "%a@.%s" Oracle.pp_divergence d

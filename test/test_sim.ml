@@ -906,6 +906,78 @@ let test_vcd_to_file () =
       close_in ic;
       Alcotest.(check string) "file holds the dump" (Vcd.contents vcd) data)
 
+(* ------------------------------------------------------------------ *)
+(* Batch lane extraction at the 32-class word boundary                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The compiled engine packs 32 classes per word in each of its two
+   planes, and a batch lane group runs up to 8 scenarios through one
+   dispatch pass.  Lane extraction must not bleed between lanes or
+   across the word boundary, so these designs put the highest class
+   index just below, exactly at, and just above 32: [pairs]
+   passthrough in/out pairs plus an optional dangling input give
+   2*pairs(+1) net classes. *)
+let lane_src ~pairs ~extra =
+  Printf.sprintf
+    "TYPE t = COMPONENT (IN x: ARRAY[1..%d] OF boolean%s; OUT z: \
+     ARRAY[1..%d] OF boolean) IS BEGIN FOR i := 1 TO %d DO z[i] := x[i] END \
+     END;\nSIGNAL s: t;"
+    pairs
+    (if extra then "; IN y: boolean" else "")
+    pairs pairs
+
+let test_batch_lane_boundary () =
+  List.iter
+    (fun (pairs, extra, nets) ->
+      let d = compile (lane_src ~pairs ~extra) in
+      let probe = Sim.create d in
+      Alcotest.(check int)
+        (Printf.sprintf "net classes (pairs=%d, extra=%b)" pairs extra)
+        nets
+        (Array.length (Sim.snapshot probe));
+      (* one distinct three-valued pattern per lane, so a bit leaking
+         into a neighbouring lane or word changes some snapshot *)
+      let pattern r =
+        List.init pairs (fun i ->
+            match (i + r) mod 3 with
+            | 0 -> Logic.One
+            | 1 -> Logic.Zero
+            | _ -> Logic.Undef)
+      in
+      let mk r =
+        {
+          Sim.br_stim = [| [ ("s.x", pattern r) ] |];
+          br_cycles = 2;
+          br_seed = None;
+          br_watch = [ "s.z" ];
+        }
+      in
+      let runs = List.init 8 mk in
+      let tmpl = Sim.create ~engine:Sim.Compiled ~jobs:1 d in
+      let results, stats = Sim.run_batch ~jobs:1 ~lanes:8 tmpl runs in
+      Alcotest.(check int) "one lane group" 1 stats.Sim.bs_lane_groups;
+      Alcotest.(check int) "all runs lane-packed" 8 stats.Sim.bs_lane_runs;
+      List.iteri
+        (fun r (res : Sim.batch_result) ->
+          (* the passthrough output reads back each lane's own poke *)
+          (match res.Sim.bres_watched with
+          | [ ("s.z", bits) ] ->
+              if bits <> pattern r then
+                Alcotest.failf
+                  "lane %d (pairs=%d): output does not match its own poke" r
+                  pairs
+          | _ -> Alcotest.fail "expected exactly the watched bus");
+          (* and the whole snapshot matches a fresh serial handle *)
+          let sim = Sim.create ~engine:Sim.Incremental d in
+          Sim.poke sim "s.x" (pattern r);
+          Sim.step sim;
+          Sim.step sim;
+          if res.Sim.bres_snapshot <> Sim.snapshot sim then
+            Alcotest.failf "lane %d (pairs=%d): snapshot differs from serial"
+              r pairs)
+        results)
+    [ (14, true, 31); (15, false, 32); (15, true, 33) ]
+
 let () =
   Alcotest.run "sim"
     [
@@ -988,6 +1060,11 @@ let () =
             test_compiled_restart_reentry;
           Alcotest.test_case "deterministic program stats" `Quick
             test_compiled_stats_deterministic;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "lane extraction at 31/32/33 nets" `Quick
+            test_batch_lane_boundary;
         ] );
       ( "vcd",
         [
