@@ -18,6 +18,14 @@
    output — that prints a note and passes.
 
    Usage: check_bench [--tolerance 0.25] BASELINE CURRENT
+          check_bench --update-baselines [--baselines-dir DIR] [FILE...]
+
+   The second form rewrites the committed baselines from a fresh run
+   instead of the hand-edit workflow: each FILE (default: every
+   BENCH_*.json in the current directory) is copied over
+   DIR/<basename> (default bench/baselines/).  Run the smoke bench
+   first so the counters reflect the smoke-mode workload sizes the CI
+   guard compares against.
 
    The parser is deliberately tiny: it scans for "key": value pairs and
    keeps a running path of the enclosing "design"/"family" labels so a
@@ -125,11 +133,64 @@ let parse_file file =
   done;
   (List.rev !entries, !false_agrees)
 
+(* --update-baselines: copy fresh BENCH_*.json files over the committed
+   baselines (byte-for-byte, wall-clock fields included — they are
+   ignored by the comparison anyway and keep the file honest about the
+   machine it came from) *)
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc s;
+  close_out oc
+
+let update_baselines dir files =
+  let files =
+    match files with
+    | [] ->
+        Sys.readdir "."
+        |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f > 6
+               && String.sub f 0 6 = "BENCH_"
+               && Filename.check_suffix f ".json")
+        |> List.sort compare
+    | fs -> fs
+  in
+  if files = [] then begin
+    prerr_endline
+      "check_bench --update-baselines: no BENCH_*.json files found \
+       (run the smoke bench first: dune exec bench/main.exe -- --smoke)";
+    exit 1
+  end;
+  if not (Sys.file_exists dir && Sys.is_directory dir) then begin
+    Printf.eprintf "check_bench --update-baselines: no such directory %s\n"
+      dir;
+    exit 1
+  end;
+  List.iter
+    (fun src ->
+      let dst = Filename.concat dir (Filename.basename src) in
+      copy_file src dst;
+      Printf.printf "updated %s from %s\n" dst src)
+    files;
+  exit 0
+
 let () =
   let args = ref [] in
+  let update = ref false in
+  let baselines_dir = ref "bench/baselines" in
   let rec parse = function
     | "--tolerance" :: t :: rest ->
         tolerance := float_of_string t;
+        parse rest
+    | "--update-baselines" :: rest ->
+        update := true;
+        parse rest
+    | "--baselines-dir" :: d :: rest ->
+        baselines_dir := d;
         parse rest
     | x :: rest ->
         args := x :: !args;
@@ -137,6 +198,7 @@ let () =
     | [] -> ()
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !update then update_baselines !baselines_dir (List.rev !args);
   match List.rev !args with
   | [ baseline; current ] ->
       let base_entries, _ = parse_file baseline in

@@ -19,12 +19,16 @@
      E17 compiled           compiled bytecode engine vs incremental
      E18 batch              batch engine (whole-run sharding + lane
                             packing), runs/second vs serial incremental
+     E19 prove              bounded sequential prover: proof cost and
+                            the compiled engine with conflict checks
+                            discharged
 
    `dune exec bench/main.exe` prints all report tables and then runs the
    timing benchmarks (pass --no-timing to skip them).  E13 also writes
    machine-readable results to BENCH_sim.json, E14 to BENCH_modular.json,
    E15 to BENCH_par.json, E16 to BENCH_opt.json, E17 to
-   BENCH_compiled.json and E18 to BENCH_batch.json.  Pass --smoke to run
+   BENCH_compiled.json, E18 to BENCH_batch.json and E19 to
+   BENCH_prove.json.  Pass --smoke to run
    only the (shortened) simulator, modular, parallel, reduction and
    batch benches and the JSON dumps — the CI mode; --batch-smoke runs
    E18 alone at 2 domains (the CI batch artifact job). *)
@@ -1495,6 +1499,164 @@ let e18_batch ~runs:nruns ~cycles ~jobs () =
   e18_write_json rows "BENCH_batch.json"
 
 (* ------------------------------------------------------------------ *)
+(* E19: the bounded sequential prover + conflict-check discharge        *)
+(* ------------------------------------------------------------------ *)
+
+type e19_row = {
+  v_design : string;
+  v_cycles : int;
+  v_regs : int;
+  v_nrc_nets : int; (* needs-runtime-check before the prover *)
+  v_upgraded_nets : int; (* ... upgraded to safe-sequential *)
+  v_splits : int;
+  v_prove_secs : float;
+  v_check_ops : int; (* compiled engine, no discharge *)
+  v_plain_secs : float;
+  v_disch_check_ops : int; (* ... with --discharge *)
+  v_discharged_ops : int;
+  v_disch_secs : float;
+  v_agree : bool; (* final snapshots identical with and without *)
+}
+
+(* Register-heavy machines whose driver exclusivity is sequential —
+   the regime the prover targets — plus one registerless E15 workload
+   as the no-op control (proof cost on a purely combinational design).
+   Each workload is (name, source, warm-up pokes, per-cycle stimulus);
+   the stimulus pokes only defined values, which is the environment
+   assumption discharge lives under. *)
+let e19_workloads =
+  [
+    ( "pqueue(8x4)/ins-ext",
+      Corpus.priority_queue ~slots:8 ~width:4,
+      (fun sim ->
+        Sim.poke_bool sim "pq.ins" false;
+        Sim.poke_bool sim "pq.ext" false;
+        Sim.poke_int sim "pq.din" 0),
+      fun sim c ->
+        (* alternate insert / idle / extract / idle *)
+        Sim.poke_bool sim "pq.ins" (c land 3 = 0);
+        Sim.poke_bool sim "pq.ext" (c land 3 = 2);
+        Sim.poke_int sim "pq.din" (c land 15) );
+    ( "sorter(8x4)/reload",
+      Corpus.sorter ~n:8 ~w:4,
+      (fun sim ->
+        Sim.poke_bool sim "srt.load" false;
+        for i = 1 to 8 do
+          Sim.poke_int sim (Printf.sprintf "srt.din[%d]" i) 0
+        done),
+      fun sim c ->
+        (* reload a fresh vector every 10 cycles, sort in between *)
+        Sim.poke_bool sim "srt.load" (c mod 10 = 0);
+        for i = 1 to 8 do
+          Sim.poke_int sim
+            (Printf.sprintf "srt.din[%d]" i)
+            ((c + (3 * i)) land 15)
+        done );
+    ( "htree(256)/root-toggle",
+      Corpus.htree 256,
+      (fun sim -> Sim.poke_bool sim "a.in" false),
+      fun sim c -> Sim.poke_bool sim "a.in" (c land 1 = 1) );
+  ]
+
+let e19_write_json rows path =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"experiments\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"design\": %S, \"cycles\": %d,\n\
+           \     \"prove\": {\"registers\": %d, \"nrc_nets\": %d, \
+            \"upgraded_nets\": %d, \"splits\": %d, \"seconds\": %.6f},\n\
+           \     \"plain\": {\"check_ops\": %d, \"seconds\": %.6f},\n\
+           \     \"discharged\": {\"check_ops\": %d, \"discharged_ops\": \
+            %d, \"seconds\": %.6f,\n\
+           \       \"speedup\": %.2f, \"snapshots_agree\": %b}}"
+           r.v_design r.v_cycles r.v_regs r.v_nrc_nets r.v_upgraded_nets
+           r.v_splits r.v_prove_secs r.v_check_ops r.v_plain_secs
+           r.v_disch_check_ops r.v_discharged_ops r.v_disch_secs
+           (r.v_plain_secs /. Float.max 1e-9 r.v_disch_secs)
+           r.v_agree))
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "wrote %s@." path
+
+let e19_prove ~cycles () =
+  section "E19"
+    "bounded sequential prover: proof cost, upgraded nets, and the \
+     compiled engine with conflict checks discharged";
+  let bench (name, src, warm, stim) =
+    let d = compile src in
+    let lint = Lint.run d in
+    let nrc =
+      Array.fold_left
+        (fun acc (v : Lint.net_verdict) ->
+          match v.Lint.v_class with
+          | Lint.Needs_runtime_check -> acc + 1
+          | _ -> acc)
+        0
+        (Array.of_list lint.Lint.verdicts)
+    in
+    let t0 = Unix.gettimeofday () in
+    let sp = Seqprove.run ~lint d in
+    let prove_secs = Unix.gettimeofday () -. t0 in
+    let disch = Seqprove.discharged d sp in
+    let run ?discharged () =
+      let sim = Sim.create ~engine:Sim.Compiled ?discharged d in
+      warm sim;
+      Sim.step sim;
+      (* cold-start cycle (and the one-time compile) excluded *)
+      let t0 = Unix.gettimeofday () in
+      for c = 1 to cycles do
+        stim sim c;
+        Sim.step sim
+      done;
+      let secs = Unix.gettimeofday () -. t0 in
+      let stats =
+        match Sim.compiled_stats sim with Some s -> s | None -> assert false
+      in
+      (secs, stats, sim)
+    in
+    let ps, pstats, psim = run () in
+    let ds, dstats, dsim = run ~discharged:(fun c -> disch.(c)) () in
+    {
+      v_design = name;
+      v_cycles = cycles;
+      v_regs = List.length sp.Seqprove.sp_regs;
+      v_nrc_nets = nrc;
+      v_upgraded_nets = List.length sp.Seqprove.sp_upgraded;
+      v_splits = sp.Seqprove.sp_splits;
+      v_prove_secs = prove_secs;
+      v_check_ops = pstats.Sim.c_check_ops;
+      v_plain_secs = ps;
+      v_disch_check_ops = dstats.Sim.c_check_ops;
+      v_discharged_ops = dstats.Sim.c_discharged_ops;
+      v_disch_secs = ds;
+      v_agree = Sim.snapshot dsim = Sim.snapshot psim;
+    }
+  in
+  let rows = List.map bench e19_workloads in
+  Fmt.pr "  %-26s %5s %5s %8s %8s %9s %8s %8s %9s %6s@." "workload" "regs"
+    "nrc" "upgrade" "splits" "prove-s" "chkops" "dischrg" "secs" "agree";
+  List.iter
+    (fun r ->
+      Fmt.pr "  %-26s %5d %5d %8d %8d %9.4f %8d %8s %9.4f %6s@." r.v_design
+        r.v_regs r.v_nrc_nets r.v_upgraded_nets r.v_splits r.v_prove_secs
+        r.v_check_ops "-" r.v_plain_secs "-";
+      Fmt.pr "  %-26s %5s %5s %8s %8s %9s %8d %8d %9.4f %6s@."
+        "  (discharged)" "" "" "" "" "" r.v_disch_check_ops
+        r.v_discharged_ops r.v_disch_secs
+        (if r.v_agree then "yes" else "NO"))
+    rows;
+  Fmt.pr "(proof counters are design-deterministic; wall-clock is \
+          machine-dependent)@.";
+  e19_write_json rows "BENCH_prove.json"
+
+(* ------------------------------------------------------------------ *)
 (* Timing benchmarks (Bechamel)                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -1590,7 +1752,8 @@ let () =
     e15_parallel ~cycles:20 ();
     e16_opt ~cycles:20 ();
     e17_compiled ~cycles:50 ();
-    e18_batch ~runs:16 ~cycles:10 ~jobs:4 ()
+    e18_batch ~runs:16 ~cycles:10 ~jobs:4 ();
+    e19_prove ~cycles:50 ()
   end
   else begin
     Fmt.pr "Zeus reproduction benchmark suite (every table/figure of the \
@@ -1614,5 +1777,6 @@ let () =
     e16_opt ~cycles:100 ();
     e17_compiled ~cycles:200 ();
     e18_batch ~runs:32 ~cycles:25 ~jobs:4 ();
+    e19_prove ~cycles:200 ();
     if timing then run_timing ()
   end

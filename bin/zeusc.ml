@@ -29,6 +29,27 @@ let load path =
 let report_diags diags =
   List.iter (fun d -> Fmt.epr "%a@." Zeus.Diag.pp d) diags
 
+(* every subcommand with --suppress validates against the one Z-code
+   registry the same way: unknown codes are a usage error (exit 2) *)
+let validate_suppress ~cmd suppress =
+  match Zeus.Diag.Code.unknown suppress with
+  | [] -> ()
+  | unknown ->
+      Fmt.epr "%s: unknown diagnostic code%s %s for --suppress; valid codes: %s@."
+        cmd
+        (if List.length unknown > 1 then "s" else "")
+        (String.concat ", " unknown)
+        (Zeus.Diag.Code.valid_codes_message ());
+      exit 2
+
+let drop_suppressed suppress diags =
+  List.filter
+    (fun (d : Zeus.Diag.t) ->
+      match d.Zeus.Diag.code with
+      | Some c -> not (List.mem c suppress)
+      | None -> true)
+    diags
+
 let file_arg =
   Arg.(
     required
@@ -393,7 +414,21 @@ let sim_cmd =
              simulating: constant and unobservable logic is dropped; \
              observable values are unchanged on any engine.")
   in
-  let run_batch_mode design ~engine ~jobs ~lanes ~optimize ~stats ~watch bf =
+  let discharge =
+    Arg.(
+      value & flag
+      & info [ "discharge" ]
+          ~doc:
+            "Run the static conflict provers ($(b,zeusc lint) + \
+             $(b,zeusc prove)) first and compile the runtime \
+             drive-conflict checks of proved-safe nets away \
+             ($(b,--engine compiled) only; other engines are \
+             unaffected).  Values never change — the proofs assume \
+             inputs are poked to defined values, so only the Z101 \
+             reporting is elided.")
+  in
+  let run_batch_mode design ~engine ~jobs ~lanes ~optimize ~discharged ~stats
+      ~watch bf =
     match
       try Ok (parse_batch_file design ~watch (load bf))
       with Failure m -> Error m
@@ -405,7 +440,7 @@ let sim_cmd =
         Fmt.epr "batch file %s: no runs@." bf;
         1
     | Ok runs ->
-        let tmpl = Zeus.Sim.create ~engine ~jobs:1 ~optimize design in
+        let tmpl = Zeus.Sim.create ~engine ~jobs:1 ~optimize ?discharged design in
         let results, st = Zeus.Sim.run_batch ?jobs ~lanes tmpl runs in
         List.iteri
           (fun i (res : Zeus.Sim.batch_result) ->
@@ -434,18 +469,29 @@ let sim_cmd =
         0
   in
   let run file cycles pokes peeks do_reset trace wave explain activity vcd_out
-      engine jobs grain stats optimize batch_file lanes =
+      engine jobs grain stats optimize discharge batch_file lanes =
     match Zeus.compile (load file) with
     | Error diags ->
         report_diags diags;
         1
     | Ok design -> (
+        let discharged =
+          if not discharge then None
+          else begin
+            let arr =
+              Zeus.Seqprove.discharged design (Zeus.Seqprove.run design)
+            in
+            Some (fun id -> id >= 0 && id < Array.length arr && arr.(id))
+          end
+        in
         match batch_file with
         | Some bf ->
-            run_batch_mode design ~engine ~jobs ~lanes ~optimize ~stats
-              ~watch:peeks bf
+            run_batch_mode design ~engine ~jobs ~lanes ~optimize ~discharged
+              ~stats ~watch:peeks bf
         | None ->
-        let sim = Zeus.Sim.create ~engine ?jobs ~grain ~optimize design in
+        let sim =
+          Zeus.Sim.create ~engine ?jobs ~grain ~optimize ?discharged design
+        in
         List.iter (fun (p, v) ->
             if v <= 1 then Zeus.Sim.poke sim p [ (if v = 1 then Zeus.Logic.One else Zeus.Logic.Zero) ]
             else Zeus.Sim.poke_int sim p v)
@@ -516,10 +562,11 @@ let sim_cmd =
           | Some s ->
               Fmt.pr
                 "compiled: ops=%d scalar=%d vector=%d vector-lanes=%d \
-                 visits-per-cycle=%d@."
+                 visits-per-cycle=%d check-ops=%d discharged-ops=%d@."
                 s.Zeus.Sim.c_ops s.Zeus.Sim.c_scalar_ops
                 s.Zeus.Sim.c_vector_ops s.Zeus.Sim.c_vector_lanes
-                s.Zeus.Sim.c_visits_per_cycle;
+                s.Zeus.Sim.c_visits_per_cycle s.Zeus.Sim.c_check_ops
+                s.Zeus.Sim.c_discharged_ops;
               Fmt.pr "compile time: %.3fs@." s.Zeus.Sim.c_compile_secs)
         end;
         List.iter
@@ -534,7 +581,7 @@ let sim_cmd =
     Term.(
       const run $ file_arg $ cycles $ pokes $ peeks $ do_reset $ trace $ wave
       $ explain $ activity $ vcd_out $ engine $ jobs $ grain $ stats
-      $ optimize $ batch_file $ lanes)
+      $ optimize $ discharge $ batch_file $ lanes)
 
 let lint_cmd =
   let format =
@@ -580,42 +627,54 @@ let lint_cmd =
              fails, 'warning' (default) fails on errors, 'none' fails on \
              any finding.")
   in
-  let run file format budget suppress max_severity modular =
-    let valid_codes = List.map fst Zeus.Diag.Code.all in
-    let unknown = List.filter (fun c -> not (List.mem c valid_codes)) suppress in
-    if unknown <> [] then begin
-      Fmt.epr "lint: unknown diagnostic code%s %s for --suppress; valid codes: %s@."
-        (if List.length unknown > 1 then "s" else "")
-        (String.concat ", " unknown)
-        (String.concat ", " valid_codes);
-      exit 2
-    end;
+  let sequential =
+    Arg.(
+      value & flag
+      & info [ "sequential" ]
+          ~doc:
+            "Run the bounded sequential prover ($(b,zeusc prove)) as a \
+             pre-pass: needs-runtime-check nets whose drivers are \
+             exclusive in every register state reachable from power-up \
+             are upgraded to safe-sequential, and the Z6xx \
+             reset-coverage findings are appended.")
+  in
+  let run file format budget suppress max_severity modular sequential =
+    validate_suppress ~cmd:"lint" suppress;
     let src = load file in
     match Zeus.compile src with
     | Error diags ->
         report_diags diags;
         1
     | Ok design ->
-        let proven_safe =
-          if not modular then None
+        let proven_safe, modular_findings =
+          if not modular then (None, [])
           else
             match Zeus.Parser.program src with
             | Some prog, _ ->
                 let r = Zeus.Summary.analyze ~symbolic:false prog in
                 let proven = r.Zeus.Summary.proven_conflict_safe in
                 Fmt.pr "modular pre-pass: %s@." (Zeus.Summary.summary_line r);
-                Some (fun t -> List.mem t proven)
-            | None, _ -> None
+                (Some (fun t -> List.mem t proven), r.Zeus.Summary.findings)
+            | None, _ -> (None, [])
         in
         let report = Zeus.Lint.run ~budget ?proven_safe design in
-        let findings =
-          List.filter
-            (fun (d : Zeus.Diag.t) ->
-              match d.Zeus.Diag.code with
-              | Some c -> not (List.mem c suppress)
-              | None -> true)
-            report.Zeus.Lint.findings
+        let report =
+          { report with
+            Zeus.Lint.findings = modular_findings @ report.Zeus.Lint.findings }
         in
+        let report, seq_summary =
+          if not sequential then (report, None)
+          else
+            let sp = Zeus.Seqprove.run ~budget ~lint:report design in
+            let merged = sp.Zeus.Seqprove.sp_lint in
+            ( {
+                merged with
+                Zeus.Lint.findings =
+                  merged.Zeus.Lint.findings @ sp.Zeus.Seqprove.sp_findings;
+              },
+              Some (Zeus.Seqprove.summary sp) )
+        in
+        let findings = drop_suppressed suppress report.Zeus.Lint.findings in
         let report = { report with Zeus.Lint.findings } in
         (match format with
         | `Json -> print_endline (Zeus.Lint.json_of_report report)
@@ -629,6 +688,7 @@ let lint_cmd =
                   v.Zeus.Lint.v_detail)
               report.Zeus.Lint.verdicts;
             report_diags findings;
+            Option.iter (Fmt.pr "sequential: %s@.") seq_summary;
             Fmt.pr "%s@." (Zeus.Lint.summary report));
         let worst =
           List.fold_left
@@ -653,7 +713,108 @@ let lint_cmd =
           dead hardware, with stable Zxxx diagnostic codes.")
     Term.(
       const run $ file_arg $ format $ budget $ suppress $ max_severity
-      $ modular)
+      $ modular $ sequential)
+
+let prove_cmd =
+  let depth =
+    Arg.(
+      value
+      & opt int Zeus.Seqprove.default_depth
+      & info [ "depth" ] ~docv:"K"
+          ~doc:
+            "Cycles of the bounded reset trajectory and the concrete \
+             witness search.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int Zeus.Lint.default_budget
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Case-split budget of the per-state exclusivity prover (per \
+             driver pair per fixpoint iteration).")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,text) (default) or $(b,json).")
+  in
+  let regs =
+    Arg.(
+      value & flag
+      & info [ "regs" ]
+          ~doc:
+            "Also print the per-register reachability table (power-up \
+             mask, fixpoint mask and the reset trajectory).")
+  in
+  let suppress =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "suppress" ] ~docv:"CODE"
+          ~doc:"Drop findings with this diagnostic code (repeatable).")
+  in
+  let run file depth budget format regs suppress =
+    validate_suppress ~cmd:"prove" suppress;
+    match Zeus.compile (load file) with
+    | Error diags ->
+        report_diags diags;
+        1
+    | Ok design ->
+        let rep = Zeus.Seqprove.run ~depth ~budget design in
+        let findings = drop_suppressed suppress rep.Zeus.Seqprove.sp_findings in
+        let rep = { rep with Zeus.Seqprove.sp_findings = findings } in
+        (match format with
+        | `Json -> print_endline (Zeus.Seqprove.json_of_report rep)
+        | `Text ->
+            if regs then
+              List.iter
+                (fun (r : Zeus.Seqprove.reg_trace) ->
+                  Fmt.pr "register %-28s init=%s reachable=%s reset: %s@."
+                    r.Zeus.Seqprove.rt_name
+                    (Zeus.Seqprove.mask_to_string r.Zeus.Seqprove.rt_init)
+                    (Zeus.Seqprove.mask_to_string r.Zeus.Seqprove.rt_fix)
+                    (String.concat " -> "
+                       (Array.to_list
+                          (Array.map Zeus.Seqprove.mask_to_string
+                             r.Zeus.Seqprove.rt_reset))))
+                rep.Zeus.Seqprove.sp_regs;
+            List.iter
+              (fun (_, name) -> Fmt.pr "upgraded '%s': safe-sequential@." name)
+              rep.Zeus.Seqprove.sp_upgraded;
+            report_diags findings;
+            List.iter
+              (fun (w : Zeus.Seqprove.witness) ->
+                Fmt.pr "witness '%s' conflicts at cycle %d:@."
+                  w.Zeus.Seqprove.w_name w.Zeus.Seqprove.w_cycle;
+                Array.iteri
+                  (fun c pokes ->
+                    Fmt.pr "  cycle %d:%s@." c
+                      (String.concat ""
+                         (List.map
+                            (fun (_, p, v) ->
+                              Fmt.str " %s=%s" p (Zeus.Logic.to_string v))
+                            pokes)))
+                  w.Zeus.Seqprove.w_trace)
+              rep.Zeus.Seqprove.sp_witnesses;
+            Fmt.pr "%s@." (Zeus.Seqprove.summary rep));
+        if
+          List.exists
+            (fun (d : Zeus.Diag.t) -> d.Zeus.Diag.severity = Zeus.Diag.Error)
+            findings
+        then 1
+        else 0
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:
+         "Bounded sequential prover: k-cycle symbolic reachability over \
+          register state — upgrades needs-runtime-check nets to \
+          safe-sequential, lints reset coverage (Z601/Z602) and searches \
+          for concrete conflict witnesses (Z603).")
+    Term.(const run $ file_arg $ depth $ budget $ format $ regs $ suppress)
 
 let layout_cmd =
   let top =
@@ -1009,6 +1170,7 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            check_cmd; pp_cmd; stats_cmd; tree_cmd; lint_cmd; sim_cmd; layout_cmd;
-            place_cmd; optimize_cmd; opt_cmd; dot_cmd; fuzz_cmd; corpus_cmd;
+            check_cmd; pp_cmd; stats_cmd; tree_cmd; lint_cmd; prove_cmd;
+            sim_cmd; layout_cmd; place_cmd; optimize_cmd; opt_cmd; dot_cmd;
+            fuzz_cmd; corpus_cmd;
           ]))

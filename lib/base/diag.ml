@@ -25,7 +25,8 @@ type kind =
    predicts carry the same code.  Z1xx: drive conflicts (section 4.7's
    "burning transistors"); Z2xx: UNDEF reachability; Z3xx: dead
    hardware; Z4xx: the modular (per-component-type) summary analysis;
-   Z5xx: the whole-design abstract interpretation behind [zeusc opt].
+   Z5xx: the whole-design abstract interpretation behind [zeusc opt];
+   Z6xx: the bounded sequential prover behind [zeusc prove].
    Codes are append-only — never renumber. *)
 module Code = struct
   let drive_conflict = "Z101"
@@ -43,6 +44,9 @@ module Code = struct
   let absint_constant = "Z501"
   let absint_stuck = "Z502"
   let absint_unobservable = "Z503"
+  let seq_uninitialized = "Z601"
+  let seq_undef_escape = "Z602"
+  let seq_conflict_reachable = "Z603"
 
   let all =
     [
@@ -96,9 +100,35 @@ module Code = struct
         "the net is driven but cannot reach any register or root output \
          port — the logic producing it is unobservable and zeusc opt \
          removes it" );
+      ( seq_uninitialized,
+        "register is never initialized within the proof depth: k cycles \
+         after a RSET pulse it can still hold UNDEF (reset coverage)" );
+      ( seq_undef_escape,
+        "power-up UNDEF escapes the reset cone: after reset settles, an \
+         observable net (one feeding a register or root output) can still \
+         read UNDEF that originates in an uninitialized register" );
+      ( seq_conflict_reachable,
+        "a runtime drive conflict is reachable within k cycles of power-up: \
+         the sequential prover found a concrete stimulus trace that makes \
+         two drivers of the net fire in the same cycle" );
     ]
 
   let description c = List.assoc_opt c all
+
+  (* Uniform --suppress validation used by every subcommand: the unknown
+     codes, in user order, de-duplicated.  Empty means all valid. *)
+  let unknown codes =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun c ->
+        let bad = not (List.mem_assoc c all) in
+        let fresh = not (Hashtbl.mem seen c) in
+        Hashtbl.replace seen c ();
+        bad && fresh)
+      codes
+
+  let valid_codes_message () =
+    String.concat ", " (List.map fst all)
 end
 
 type t = {

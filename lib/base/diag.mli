@@ -57,10 +57,25 @@ module Code : sig
 
   val absint_unobservable : string  (** Z503 *)
 
+  val seq_uninitialized : string  (** Z601 *)
+
+  val seq_undef_escape : string  (** Z602 *)
+
+  val seq_conflict_reachable : string  (** Z603 *)
+
   (** Every code with its one-line meaning, in code order. *)
   val all : (string * string) list
 
   val description : string -> string option
+
+  (** [unknown codes] is the sub-list of [codes] that are not registered,
+      in user order, de-duplicated — the uniform [--suppress] validation
+      every subcommand shares.  Empty means all codes are valid. *)
+  val unknown : string list -> string list
+
+  (** The comma-separated list of all registered codes, for error
+      messages. *)
+  val valid_codes_message : unit -> string
 end
 
 type t = {

@@ -87,6 +87,22 @@ type item =
   | Inst of { name : string; a : bexp; b : bexp } (* fzsub: z := NAND(p,q) *)
   | Chain of { name : string; depth : int; input : bexp }
       (* fzchain(depth): a recursive register delay line *)
+  | Tog of { name : string; init : bool; a : bexp; b : bexp }
+      (* an initialized register whose input is multiplexed by its own
+         state:
+           IF t.out THEN t.in := a END; IF NOT t.out THEN t.in := b END
+         The flow-insensitive lint injects UNDEF into the multi-driven
+         input and demotes it to needs-runtime-check; the sequential
+         prover sees the register never leaves {0,1} from its declared
+         power-up value and upgrades it to safe-sequential (exercises
+         zeusc prove and oracle row O8). *)
+  | Rchain of { name : string; len : int; input : bexp }
+      (* reset-dependent register chain: the head is initialized by the
+         RSET pulse, the tail shifts —
+           IF RSET THEN nq1.in := 0 END; IF NOT RSET THEN nq1.in := input END;
+           nqk.in := nq(k-1).out
+         — so definedness is sequential in origin (Z601/Z602 material
+         when the chain outruns the proof depth). *)
 
 type prog = {
   n_in : int;
@@ -100,18 +116,22 @@ type prog = {
 
 let item_readables = function
   | Wire { name; _ } | Mux { name; _ } -> [ name ]
-  | Reg { name; _ } -> [ name ^ ".out" ]
+  | Reg { name; _ } | Tog { name; _ } -> [ name ^ ".out" ]
   | Arr { name; len; _ } ->
       List.init len (fun k -> Printf.sprintf "%s[%d]" name (k + 1))
   | Inst { name; _ } -> [ name ^ ".z" ]
   | Chain { name; _ } -> [ name ^ ".q" ]
+  | Rchain { name; len; _ } ->
+      List.init len (fun k -> Printf.sprintf "%sq%d.out" name (k + 1))
 
 (* Instance-port readables: the unused-port rule of section 4.1 demands
    that they are read somewhere once a sibling port is assigned. *)
 let item_port_readables = function
-  | Reg { name; _ } -> [ name ^ ".out" ]
+  | Reg { name; _ } | Tog { name; _ } -> [ name ^ ".out" ]
   | Inst { name; _ } -> [ name ^ ".z" ]
   | Chain { name; _ } -> [ name ^ ".q" ]
+  | Rchain { name; len; _ } ->
+      List.init len (fun k -> Printf.sprintf "%sq%d.out" name (k + 1))
   | Wire _ | Mux _ | Arr _ -> []
 
 let input_names p = List.init p.n_in (fun i -> Printf.sprintf "x%d" i)
@@ -132,6 +152,8 @@ let item_exps = function
       if len > 1 then [ init; extra ] else [ init ]
   | Inst { a; b; _ } -> [ a; b ]
   | Chain { input; _ } -> [ input ]
+  | Tog { a; b; _ } -> [ a; b ]
+  | Rchain { input; _ } -> [ input ]
 
 let referenced p =
   let refs =
@@ -219,6 +241,11 @@ let decl_of_item = function
       Printf.sprintf "%s: ARRAY[1..%d] OF boolean" name len
   | Inst { name; _ } -> Printf.sprintf "%s: fzsub" name
   | Chain { name; depth; _ } -> Printf.sprintf "%s: fzchain(%d)" name depth
+  | Tog { name; init; _ } ->
+      Printf.sprintf "%s: REG(%d)" name (if init then 1 else 0)
+  | Rchain { name; len; _ } ->
+      String.concat ";\n       "
+        (List.init len (fun k -> Printf.sprintf "%sq%d: REG" name (k + 1)))
 
 let stmts_of_item buf = function
   | Wire { name; exp } ->
@@ -269,6 +296,23 @@ let stmts_of_item buf = function
   | Chain { name; input; _ } ->
       Buffer.add_string buf
         (Printf.sprintf "  %s.d := %s;\n" name (render_exp input))
+  | Tog { name; a; b; _ } ->
+      Buffer.add_string buf
+        (Printf.sprintf "  IF %s.out THEN %s.in := %s END;\n" name name
+           (render_exp a));
+      Buffer.add_string buf
+        (Printf.sprintf "  IF NOT %s.out THEN %s.in := %s END;\n" name name
+           (render_exp b))
+  | Rchain { name; len; input } ->
+      Buffer.add_string buf
+        (Printf.sprintf "  IF RSET THEN %sq1.in := 0 END;\n" name);
+      Buffer.add_string buf
+        (Printf.sprintf "  IF NOT RSET THEN %sq1.in := %s END;\n" name
+           (render_exp input));
+      for k = 2 to len do
+        Buffer.add_string buf
+          (Printf.sprintf "  %sq%d.in := %sq%d.out;\n" name k name (k - 1))
+      done
 
 let to_zeus p =
   let buf = Buffer.create 1024 in
@@ -333,7 +377,9 @@ let gate_eval g vs =
 
 let is_combinational p =
   List.for_all
-    (function Wire _ | Arr _ | Inst _ -> true | Mux _ | Reg _ | Chain _ -> false)
+    (function
+      | Wire _ | Arr _ | Inst _ -> true
+      | Mux _ | Reg _ | Chain _ | Tog _ | Rchain _ -> false)
     p.items
   && not (List.mem "RSET" (referenced p))
 
@@ -366,7 +412,7 @@ let eval_comb p (inputs : Logic.t array) : (string * Logic.t) list =
           done
       | Inst { name; a; b } ->
           Hashtbl.replace env (name ^ ".z") (Logic.nand_list [ eval a; eval b ])
-      | Mux _ | Reg _ | Chain _ -> assert false)
+      | Mux _ | Reg _ | Chain _ | Tog _ | Rchain _ -> assert false)
     p.items;
   List.map (fun (port, src) -> (port, value src)) (out_ports p)
 
@@ -447,6 +493,8 @@ type skel =
   | Karr of int
   | Kinst
   | Kchain of int
+  | Ktog
+  | Krchain of int
 
 let gen_skel profile =
   G.frequency
@@ -463,6 +511,10 @@ let gen_skel profile =
        else [])
     @ (if profile.seq then
          [ (3, G.return Kreg); (1, G.map (fun d -> Kchain d) (G.int_range 1 4)) ]
+       else [])
+    @ (if profile.seq && profile.mux then [ (2, G.return Ktog) ] else [])
+    @ (if profile.seq && profile.rset then
+         [ (1, G.map (fun n -> Krchain n) (G.int_range 1 3)) ]
        else [])
     @ if profile.inst then [ (1, G.return Kinst) ] else [])
 
@@ -481,7 +533,9 @@ let name_skels skels =
       | Kreg -> (k, fresh "r")
       | Karr _ -> (k, fresh "a")
       | Kinst -> (k, fresh "i")
-      | Kchain _ -> (k, fresh "c"))
+      | Kchain _ -> (k, fresh "c")
+      | Ktog -> (k, fresh "t")
+      | Krchain _ -> (k, fresh "rc"))
     skels
 
 let gen ?(profile = full) () : prog G.t =
@@ -494,8 +548,11 @@ let gen ?(profile = full) () : prog G.t =
                 List.concat_map
                   (fun (k, name) ->
                     match k with
-                    | Kreg -> [ name ^ ".out" ]
+                    | Kreg | Ktog -> [ name ^ ".out" ]
                     | Kchain _ -> [ name ^ ".q" ]
+                    | Krchain len ->
+                        List.init len (fun k ->
+                            Printf.sprintf "%sq%d.out" name (k + 1))
                     | _ -> [])
                   named
               in
@@ -540,6 +597,13 @@ let gen ?(profile = full) () : prog G.t =
                             (exp env)
                       | Kchain depth ->
                           G.map (fun input -> Chain { name; depth; input })
+                            (exp env)
+                      | Ktog ->
+                          G.bind G.bool (fun init ->
+                              G.map2 (fun a b -> Tog { name; init; a; b })
+                                (exp env) (exp env))
+                      | Krchain len ->
+                          G.map (fun input -> Rchain { name; len; input })
                             (exp env)
                     in
                     G.bind item (fun it ->
@@ -603,6 +667,8 @@ let map_item_exps f = function
   | Arr a -> Arr { a with init = f a.init; extra = f a.extra }
   | Inst i -> Inst { i with a = f i.a; b = f i.b }
   | Chain c -> Chain { c with input = f c.input }
+  | Tog t -> Tog { t with a = f t.a; b = f t.b }
+  | Rchain c -> Rchain { c with input = f c.input }
 
 let patch_item removed =
   map_item_exps
@@ -660,6 +726,12 @@ let item_variants it =
   | Chain ({ input; depth; _ } as c) ->
       (if depth > 1 then [ Chain { c with depth = depth - 1 } ] else [])
       @ List.map (fun e' -> Chain { c with input = e' }) (shrink_exp input)
+  | Tog ({ a; b; _ } as t) ->
+      List.map (fun a' -> Tog { t with a = a' }) (shrink_exp a)
+      @ List.map (fun b' -> Tog { t with b = b' }) (shrink_exp b)
+  | Rchain ({ input; _ } as c) ->
+      (* len shrinks via shorten_arr's whole-program sibling below *)
+      List.map (fun e' -> Rchain { c with input = e' }) (shrink_exp input)
 
 (* shorten an array in place: references to the dropped elements
    collapse to constant 0 *)
@@ -670,6 +742,17 @@ let shorten_arr p idx =
       let items =
         List.mapi
           (fun i it -> if i = idx then Arr { a with len = len - 1 } else it)
+          p.items
+        |> List.map (patch_item removed)
+      in
+      let outs = List.filter (fun o -> not (List.mem o removed)) p.outs in
+      Some { p with items; outs }
+  | Rchain ({ len; name; _ } as c) when len > 1 ->
+      (* drop the tail register; references to it collapse to 0 *)
+      let removed = [ Printf.sprintf "%sq%d.out" name len ] in
+      let items =
+        List.mapi
+          (fun i it -> if i = idx then Rchain { c with len = len - 1 } else it)
           p.items
         |> List.map (patch_item removed)
       in

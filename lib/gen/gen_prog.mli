@@ -52,6 +52,13 @@ type item =
   | Arr of { name : string; len : int; init : bexp; step : gate; extra : bexp }
   | Inst of { name : string; a : bexp; b : bexp }
   | Chain of { name : string; depth : int; input : bexp }
+  | Tog of { name : string; init : bool; a : bexp; b : bexp }
+      (** an initialized register multiplexed by its own state — the
+          flow-insensitive lint demotes it to needs-runtime-check, the
+          bounded sequential prover upgrades it to safe-sequential *)
+  | Rchain of { name : string; len : int; input : bexp }
+      (** reset-dependent register chain: head initialized under RSET,
+          tail shifts — definedness is sequential in origin *)
 
 type prog = {
   n_in : int;

@@ -54,6 +54,16 @@
                        handle — checked with every engine as the batch
                        template, so both the lane path and the serial
                        fallback are exercised;
+   O8 "prove-vs-runtime" the bounded sequential prover against the same
+                       runtime, three ways: a net upgraded to
+                       [Safe_sequential] never raises the runtime
+                       multiple-drive check (under O4's defined-
+                       environment carve-out); a Z603 witness trace,
+                       replayed poke-for-poke, reproduces the promised
+                       drive conflict at the stated cycle; and running
+                       the compiled engine with the proved checks
+                       discharged changes no value — only Z101 reports
+                       on statically-proved nets may disappear;
    O5 "modular-vs-elaborated" the modular summary analysis never
                        contradicts the elaborated pipeline in its sound
                        direction: a net the elaborated lint proved in
@@ -466,6 +476,128 @@ let check ?(jobs = 4) ~src (stim : Gen_prog.stimulus) : divergence list =
                      net cycle))
             reference.errors
           end;
+          (* O8: the bounded sequential prover against the same runtime *)
+          (match
+             try Some (Seqprove.run ~lint design)
+             with exn ->
+               add "prove-vs-runtime"
+                 ("Seqprove.run raised: " ^ Printexc.to_string exn);
+               None
+           with
+          | None -> ()
+          | Some sp ->
+              (* (a) Safe_sequential upgrades share lint's environment
+                 assumption, so they get O4's carve-out *)
+              if env_defined then
+                List.iter
+                  (fun (cycle, net, code) ->
+                    if
+                      code = Diag.Code.drive_conflict
+                      && List.exists
+                           (fun (_, n) -> n = net)
+                           sp.Seqprove.sp_upgraded
+                    then
+                      add "prove-vs-runtime"
+                        (Printf.sprintf
+                           "net '%s' proved safe-sequential but conflicted \
+                            at runtime (cycle %d)"
+                           net cycle))
+                  reference.errors;
+              (* (b) every Z603 witness must replay: the promised
+                 conflict fires on the stated net at the stated cycle *)
+              List.iter
+                (fun (w : Seqprove.witness) ->
+                  let sim = Sim.create ~engine:Sim.Incremental design in
+                  Array.iter
+                    (fun pokes ->
+                      List.iter
+                        (fun (_, name, v) -> Sim.poke sim name [ v ])
+                        pokes;
+                      Sim.step sim)
+                    w.Seqprove.w_trace;
+                  let hit =
+                    List.exists
+                      (fun (e : Sim.runtime_error) ->
+                        e.Sim.err_net = w.Seqprove.w_name
+                        && e.Sim.err_code = Diag.Code.drive_conflict
+                        && e.Sim.err_cycle = w.Seqprove.w_cycle)
+                      (Sim.runtime_errors sim)
+                  in
+                  if not hit then
+                    add "prove-vs-runtime"
+                      (Printf.sprintf
+                         "Z603 witness for '%s' does not replay: no drive \
+                          conflict at cycle %d"
+                         w.Seqprove.w_name w.Seqprove.w_cycle))
+                sp.Seqprove.sp_witnesses;
+              (* (c) discharging the proved checks must not change a
+                 single value, on any stimulus — only Z101 reports on
+                 statically-proved nets may disappear *)
+              let disch = Seqprove.discharged design sp in
+              if Array.exists Fun.id disch then begin
+                let pred id =
+                  id >= 0 && id < Array.length disch && disch.(id)
+                in
+                let sim =
+                  Sim.create ~engine:Sim.Compiled ~discharged:pred design
+                in
+                let snaps =
+                  List.map
+                    (fun pokes ->
+                      List.iter
+                        (fun (path, v) -> Sim.poke sim path [ v ])
+                        pokes;
+                      Sim.step sim;
+                      Sim.snapshot sim)
+                    stim
+                in
+                (match first_snap_mismatch reference.snaps snaps with
+                | None -> ()
+                | Some (cycle, diffs) ->
+                    add "prove-vs-runtime"
+                      (Printf.sprintf
+                         "discharged compiled run changes values at cycle \
+                          %d (%d nets)"
+                         cycle diffs));
+                let errs =
+                  List.sort compare
+                    (List.map
+                       (fun (e : Sim.runtime_error) ->
+                         (e.Sim.err_cycle, e.Sim.err_net, e.Sim.err_code))
+                       (Sim.runtime_errors sim))
+                in
+                let statically_proved net =
+                  List.exists
+                    (fun (v : Lint.net_verdict) ->
+                      v.Lint.v_name = net
+                      && (v.Lint.v_class = Lint.Safe
+                         || v.Lint.v_class = Lint.Safe_sequential))
+                    sp.Seqprove.sp_lint.Lint.verdicts
+                in
+                List.iter
+                  (fun (cycle, net, code) ->
+                    if not (List.mem (cycle, net, code) reference.errors)
+                    then
+                      add "prove-vs-runtime"
+                        (Printf.sprintf
+                           "discharged compiled run invents error %s@%d[%s]"
+                           net cycle code))
+                  errs;
+                List.iter
+                  (fun (cycle, net, code) ->
+                    if
+                      (not (List.mem (cycle, net, code) errs))
+                      && not
+                           (code = Diag.Code.drive_conflict
+                           && statically_proved net)
+                    then
+                      add "prove-vs-runtime"
+                        (Printf.sprintf
+                           "discharged compiled run drops error %s@%d[%s] \
+                            on an unproven net"
+                           net cycle code))
+                  reference.errors
+              end);
           (* O5, part 3: a type the summaries proved conflict-safe must
              not own a net the elaborated prover showed in conflict — the
              modular pre-pass would silently hide the Z101 *)

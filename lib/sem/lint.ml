@@ -64,11 +64,13 @@ open Zeus_base
 
 type classification =
   | Safe
+  | Safe_sequential
   | Conflict
   | Needs_runtime_check
 
 let classification_to_string = function
   | Safe -> "safe"
+  | Safe_sequential -> "safe-sequential"
   | Conflict -> "conflict"
   | Needs_runtime_check -> "needs-runtime-check"
 
@@ -204,6 +206,11 @@ let make_expander design =
     nodes = 0;
     fresh_opq = 0;
   }
+
+(* read-only views for the sequential prover (Seqprove) *)
+let expander_netlist st = st.nl
+let is_free_root st c = c >= 0 && c < Array.length st.free_root && st.free_root.(c)
+let is_undef_root st v = Hashtbl.mem st.undef_roots v
 
 let rec expand st id =
   let c = Netlist.canonical st.nl id in
@@ -969,12 +976,19 @@ let count cls report =
   List.length (List.filter (fun v -> v.v_class = cls) report.verdicts)
 
 let summary report =
+  (* the sequential-prover upgrade count appears only when non-zero, so
+     the plain-lint output is unchanged by the seqprove pass existing *)
+  let seq =
+    match count Safe_sequential report with
+    | 0 -> ""
+    | n -> Printf.sprintf ", %d safe-sequential" n
+  in
   Printf.sprintf
-    "%d multi-driven net%s: %d safe, %d conflict, %d needs-runtime-check; %d \
-     finding%s (%d case splits)"
+    "%d multi-driven net%s: %d safe%s, %d conflict, %d needs-runtime-check; \
+     %d finding%s (%d case splits)"
     (List.length report.verdicts)
     (if List.length report.verdicts = 1 then "" else "s")
-    (count Safe report) (count Conflict report)
+    (count Safe report) seq (count Conflict report)
     (count Needs_runtime_check report)
     (List.length report.findings)
     (if List.length report.findings = 1 then "" else "s")
@@ -1010,8 +1024,9 @@ let json_loc (loc : Loc.t) =
 
 (* Bump whenever the shape of the JSON report changes, so downstream
    tooling can detect incompatible output.  1: first versioned schema
-   (unversioned output predates it). *)
-let json_schema_version = 1
+   (unversioned output predates it); 2: summary gained
+   [safe_sequential] (the sequential-prover upgrade count). *)
+let json_schema_version = 2
 
 let json_of_report report =
   let b = Buffer.create 1024 in
@@ -1046,9 +1061,11 @@ let json_of_report report =
     report.findings;
   Buffer.add_string b
     (Printf.sprintf
-       "\n  ],\n  \"summary\": {\"nets\":%d,\"safe\":%d,\"conflict\":%d,\"needs_runtime_check\":%d,\"findings\":%d,\"splits\":%d}\n}"
+       "\n  ],\n  \"summary\": {\"nets\":%d,\"safe\":%d,\"safe_sequential\":%d,\"conflict\":%d,\"needs_runtime_check\":%d,\"findings\":%d,\"splits\":%d}\n}"
        (List.length report.verdicts)
-       (count Safe report) (count Conflict report)
+       (count Safe report)
+       (count Safe_sequential report)
+       (count Conflict report)
        (count Needs_runtime_check report)
        (List.length report.findings)
        report.splits);

@@ -55,6 +55,11 @@ val solve : budget:int -> splits:int ref -> bexp -> sat_result
 
 type classification =
   | Safe  (** every pair of drivers proved mutually exclusive *)
+  | Safe_sequential
+      (** not provable combinationally, but the bounded sequential
+          prover ({!Seqprove}) showed no reachable register state can
+          make two drivers fire together — the runtime check can be
+          discharged under the defined-inputs environment assumption *)
   | Conflict  (** two drivers can fire in one cycle; witness attached *)
   | Needs_runtime_check
       (** not decided within budget, or exclusivity depends on values
@@ -95,8 +100,74 @@ val default_budget : int
 val run :
   ?budget:int -> ?proven_safe:(string -> bool) -> Elaborate.design -> report
 
+(** [count cls report] — verdicts with classification [cls]. *)
+val count : classification -> report -> int
+
 (** "N multi-driven nets: ... ; M findings (S case splits)" *)
 val summary : report -> string
+
+(** {2 Internals shared with the sequential prover}
+
+    The guard expander and the four-valued value-set machinery are
+    exposed (read-only) so {!Seqprove} can lift the same guard
+    formulas and transfer functions to per-cycle reachability without
+    duplicating the netlist walk. *)
+
+(** The memoizing guard expander of the conflict prover: walks the
+    netlist backwards from a net to a [bexp] over free variables
+    (testbench inputs, register outputs, RANDOM sources — their
+    canonical class ids) and opaque leaves. *)
+type expander
+
+val make_expander : Elaborate.design -> expander
+
+(** [expand st id] — the boolean formula for net [id] (any alias of
+    the class).  Memoized; bounded by an internal node cap past which
+    leaves become opaque. *)
+val expand : expander -> int -> bexp
+
+(** [drive_cond st guard] — the condition under which a driver with
+    this guard produces a driving (non-NOINFL) value: [Btrue] for an
+    unconditional driver, and the expanded guard otherwise (an UNDEF
+    guard also drives). *)
+val drive_cond : expander -> Netlist.src option -> bexp
+
+val expander_netlist : expander -> Netlist.t
+
+(** Is this canonical class a free root (testbench input, register
+    output, RANDOM source)?  Variable ids in expanded formulas are
+    canonical class ids, so this classifies [Bvar]s. *)
+val is_free_root : expander -> int -> bool
+
+(** Did the expansion record this (possibly negative) opaque id as one
+    that can read UNDEF (an undriven net or a literal-UNDEF
+    constant)? *)
+val is_undef_root : expander -> int -> bool
+
+(** {3 Value-set masks}
+
+    The four-valued dataflow of pass 2, as bitmasks over
+    {!Zeus_base.Logic.t} values. *)
+
+val m_zero : int
+
+val m_one : int
+val m_undef : int
+val m_noinfl : int
+val mask_of : Zeus_base.Logic.t -> int
+
+(** NOINFL reads back as UNDEF (an undriven mux net). *)
+val booleanize_mask : int -> int
+
+(** The transfer function of a gate over input value-set masks
+    (inputs are booleanized first, as the simulator does). *)
+val gate_mask : Netlist.gate_op -> int list -> int
+
+(** The flow-insensitive value-set fixpoint: for every canonical net,
+    the mask of values it can ever carry, plus the producer-less
+    (undriven) flags.  Inputs are assumed defined ({0,1}); register
+    outputs start from power-up. *)
+val value_sets : Elaborate.design -> int array * bool array
 
 (** The schema version carried in the [version] member of the JSON
     report; bumped on any incompatible change to the output shape. *)

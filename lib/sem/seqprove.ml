@@ -1,0 +1,1032 @@
+(* The bounded sequential prover: k-cycle symbolic reachability over
+   the elaborated netlist.
+
+   The combinational prover (Lint pass 1) demotes any net whose driver
+   exclusivity depends on register state to needs-runtime-check; the
+   value-set pass is flow-insensitive, so a register that is *ever*
+   multi-driven is assumed UNDEF-capable forever, which demotes every
+   guard over it.  This module re-runs both with state sensitivity:
+
+   - Registers are tracked as value-set masks (Lint.m_zero & co.), one
+     per register, starting at the power-up value.  One abstract cycle
+     evaluates the combinational masks with register outputs reading
+     the current state (not the cross-cycle union), and the
+     conflict-injects-UNDEF rule only fires when the class's producer
+     pairs are not exclusive *in this state* — each pair is re-proved
+     with the bounded DPLL solver after substituting the state masks
+     into the guard formulas.  Substitution is the sound boolean
+     over-approximation of the four-valued evaluation:
+       {0}         |-> false
+       {1}         |-> true
+       {0,1}       |-> the shared variable (boolean case)
+       contains U  |-> a fresh variable *per occurrence*
+     The per-occurrence renaming is what makes UNSAT sound under
+     Kleene semantics: whenever booleanize(eval4 g) is 1 or UNDEF
+     (both of which drive), some per-occurrence boolean completion of
+     the UNDEF leaves evaluates g to 1 — by induction, renamed
+     occurrences are independent across subtrees.  So if every
+     completion refutes g1 /\ g2, no reachable state makes both
+     drivers fire.  Opaque leaves (combinational cycles, multi-driven
+     guard nets) are renamed the same way, which is a further sound
+     weakening.
+
+   - Union-accumulating the transfer function converges in <= 4R+1
+     iterations (masks only grow).  The fixpoint over-approximates
+     every state reachable from power-up under defined inputs; a
+     needs-runtime-check class whose pairs are exclusive at the
+     fixpoint is upgraded to Safe_sequential and its runtime conflict
+     check can be discharged (Compile consults [discharged]).
+
+   - A cycle-indexed trajectory (RSET = {1} for one cycle, {0} after,
+     starting from the fixpoint = "any reachable pre-reset state")
+     yields the reset-coverage lints: Z601 when a register can still
+     hold UNDEF depth cycles after the pulse, Z602 when an observable
+     net still reads UNDEF after reset settles *and* the UNDEF
+     vanishes once the registers' UNDEF bits are stripped — i.e. the
+     power-up UNDEF escapes the reset cone, rather than being a
+     combinational artefact already reported by Z2xx.
+
+   - For small acyclic designs without RANDOM, a concrete breadth-first
+     search over register states (inputs enumerated over {0,1})
+     produces Z603: an actual stimulus trace that makes two drivers of
+     an unproven net fire in one cycle.  The mini-evaluator mirrors
+     the simulator exactly (guards booleanized, an UNDEF guard drives
+     UNDEF, two driving values force UNDEF and count as a conflict,
+     registers keep their value on an all-NOINFL input), and oracle
+     row O8 replays the traces through the real engines.
+
+   Everything shares Lint's environment assumption: inputs are poked
+   to defined values.  Discharge is therefore opt-in at simulation
+   time (zeusc sim --discharge). *)
+
+open Zeus_base
+
+type witness = {
+  w_class : int;
+  w_name : string;
+  w_cycle : int;
+  w_trace : (int * string * Logic.t) list array;
+}
+
+type reg_trace = {
+  rt_name : string;
+  rt_out : int;
+  rt_init : int;
+  rt_fix : int;
+  rt_reset : int array;
+}
+
+type report = {
+  sp_depth : int;
+  sp_regs : reg_trace list;
+  sp_upgraded : (int * string) list;
+  sp_findings : Diag.t list;
+  sp_witnesses : witness list;
+  sp_splits : int;
+  sp_lint : Lint.report;
+}
+
+let default_depth = 8
+
+(* ------------------------------------------------------------------ *)
+(* Context: the netlist pre-resolved to canonical classes               *)
+(* ------------------------------------------------------------------ *)
+
+type asrc =
+  | Aconst of Logic.t
+  | Anet of int (* canonical class *)
+
+type aprod =
+  | Agate of Netlist.gate_op * asrc array
+  | Adriver of asrc option * asrc (* guard, source *)
+
+type ctx = {
+  design : Elaborate.design;
+  nl : Netlist.t;
+  n : int;
+  is_canon : bool array;
+  prods : aprod list array; (* per canonical class, creation order *)
+  producers : int array;
+  kmux : bool array;
+  is_input : bool array;
+  clk : int;
+  rset : int;
+  regs : Netlist.reg array;
+  rin_cls : int array; (* per register, canonical class of rin *)
+  rout_cls : int array;
+  reg_ix_of_out : (int, int list) Hashtbl.t;
+  members : Netlist.net list array; (* per canonical class, id order *)
+  has_random : bool;
+  st : Lint.expander;
+  conds : (int, Lint.bexp array) Hashtbl.t; (* NRC class -> drive conds *)
+  verdict_of : (int, Lint.classification) Hashtbl.t;
+  mutable fresh : int; (* per-occurrence renamed variables *)
+}
+
+let make_ctx (design : Elaborate.design) (lintrep : Lint.report) =
+  let nl = design.Elaborate.netlist in
+  let n = Netlist.net_count nl in
+  let canon id = Netlist.canonical nl id in
+  let is_canon = Array.init n (fun c -> canon c = c) in
+  let asrc_of = function
+    | Netlist.Sconst v -> Aconst v
+    | Netlist.Snet id -> Anet (canon id)
+  in
+  let prods = Array.make n [] in
+  let producers = Array.make n 0 in
+  let has_random = ref false in
+  List.iter
+    (fun (g : Netlist.gate) ->
+      if g.Netlist.op = Netlist.Grandom then has_random := true;
+      let c = canon g.Netlist.output in
+      prods.(c) <-
+        Agate (g.Netlist.op, Array.of_list (List.map asrc_of g.Netlist.inputs))
+        :: prods.(c);
+      producers.(c) <- producers.(c) + 1)
+    (Netlist.gates nl);
+  List.iter
+    (fun (d : Netlist.driver) ->
+      let c = canon d.Netlist.target in
+      prods.(c) <-
+        Adriver (Option.map asrc_of d.Netlist.guard, asrc_of d.Netlist.source)
+        :: prods.(c);
+      producers.(c) <- producers.(c) + 1)
+    (Netlist.drivers nl);
+  Array.iteri (fun c l -> prods.(c) <- List.rev l) prods;
+  let kmux = Array.make n false in
+  let members = Array.make n [] in
+  Array.iter
+    (fun (net : Netlist.net) ->
+      let c = canon net.Netlist.id in
+      if net.Netlist.kind = Etype.KMux then kmux.(c) <- true;
+      members.(c) <- net :: members.(c))
+    (Netlist.nets_array nl);
+  Array.iteri (fun c l -> members.(c) <- List.rev l) members;
+  let is_input = Array.make n false in
+  List.iter (fun id -> is_input.(canon id) <- true) (Check.top_input_nets design);
+  let regs = Array.of_list (Netlist.regs nl) in
+  let rin_cls = Array.map (fun (r : Netlist.reg) -> canon r.Netlist.rin) regs in
+  let rout_cls = Array.map (fun (r : Netlist.reg) -> canon r.Netlist.rout) regs in
+  let reg_ix_of_out = Hashtbl.create 16 in
+  Array.iteri
+    (fun i c ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt reg_ix_of_out c) in
+      Hashtbl.replace reg_ix_of_out c (prev @ [ i ]))
+    rout_cls;
+  let st = Lint.make_expander design in
+  let verdict_of = Hashtbl.create 64 in
+  let conds = Hashtbl.create 64 in
+  List.iter
+    (fun (v : Lint.net_verdict) ->
+      Hashtbl.replace verdict_of v.Lint.v_net v.Lint.v_class;
+      if v.Lint.v_class = Lint.Needs_runtime_check then begin
+        let c = v.Lint.v_net in
+        (* drive conditions per producer, in creation order — a gate
+           always drives; a driver drives when its guard is 1 or
+           undefined (drive_cond).  Expansion is forced here, once. *)
+        let cs =
+          List.map
+            (function
+              | Agate _ -> Lint.Btrue
+              | Adriver (g, _) ->
+                  let g =
+                    Option.map
+                      (function
+                        | Aconst v -> Netlist.Sconst v
+                        | Anet c -> Netlist.Snet c)
+                      g
+                  in
+                  Lint.drive_cond st g)
+            prods.(c)
+        in
+        Hashtbl.replace conds c (Array.of_list cs)
+      end)
+    lintrep.Lint.verdicts;
+  {
+    design;
+    nl;
+    n;
+    is_canon;
+    prods;
+    producers;
+    kmux;
+    is_input;
+    clk = canon design.Elaborate.clk_net;
+    rset = canon design.Elaborate.rset_net;
+    regs;
+    rin_cls;
+    rout_cls;
+    reg_ix_of_out;
+    members;
+    has_random = !has_random;
+    st;
+    conds;
+    verdict_of;
+    fresh = -1_000_000;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Per-state exclusivity                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* state mask of a register-output variable, or None when the variable
+   is not a (pure) register output *)
+let state_mask_of_var ctx reg_masks v =
+  match Hashtbl.find_opt ctx.reg_ix_of_out v with
+  | Some idxs when ctx.producers.(v) = 0 ->
+      Some (List.fold_left (fun a i -> a lor reg_masks.(i)) 0 idxs)
+  | Some _ -> None (* register output with extra producers: opaque *)
+  | None -> if v >= 0 && v < ctx.n then Some (Lint.m_zero lor Lint.m_one) else None
+
+(* substitute the state into a guard formula; UNDEF-capable and opaque
+   leaves become fresh per-occurrence variables (sound for UNSAT under
+   four-valued evaluation, see the header comment) *)
+let substitute ctx reg_masks e =
+  let fresh_var () =
+    ctx.fresh <- ctx.fresh - 1;
+    Lint.Bvar ctx.fresh
+  in
+  let rec go e =
+    match e with
+    | Lint.Btrue | Lint.Bfalse -> e
+    | Lint.Bvar v -> (
+        if v < 0 || v >= ctx.n then fresh_var ()
+        else if ctx.is_input.(v) then Lint.Bvar v (* env-defined: {0,1} *)
+        else
+          match state_mask_of_var ctx reg_masks v with
+          | None -> fresh_var ()
+          | Some m ->
+              let m = Lint.booleanize_mask m in
+              if m land Lint.m_undef <> 0 then fresh_var ()
+              else if m = Lint.m_zero then Lint.Bfalse
+              else if m = Lint.m_one then Lint.Btrue
+              else Lint.Bvar v)
+    | Lint.Bopq _ -> fresh_var ()
+    | Lint.Bnot a -> Lint.bnot (go a)
+    | Lint.Band l -> Lint.band (List.map go l)
+    | Lint.Bor l -> Lint.bor (List.map go l)
+    | Lint.Bxor (a, b) -> Lint.bxor (go a) (go b)
+  in
+  go e
+
+(* are all producer pairs of this class exclusive in this state? *)
+let class_exclusive ctx ~budget ~splits ~reg_masks conds =
+  let np = Array.length conds in
+  let sub = Array.map (substitute ctx reg_masks) conds in
+  try
+    for i = 0 to np - 1 do
+      for j = i + 1 to np - 1 do
+        match Lint.band [ sub.(i); sub.(j) ] with
+        | Lint.Bfalse -> ()
+        | f -> (
+            match Lint.solve ~budget ~splits f with
+            | Lint.Unsat -> ()
+            | Lint.Sat _ | Lint.Budget_out -> raise Exit)
+      done
+    done;
+    true
+  with Exit -> false
+
+(* the per-class exclusivity decision for one abstract state; only
+   needs-runtime-check classes are re-proved (Safe transfers, Conflict
+   never does) *)
+let compute_exclusive ctx ~budget ~splits ~reg_masks =
+  let tbl = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun c conds ->
+      Hashtbl.replace tbl c (class_exclusive ctx ~budget ~splits ~reg_masks conds))
+    ctx.conds;
+  fun c ->
+    match Hashtbl.find_opt ctx.verdict_of c with
+    | Some Lint.Safe | Some Lint.Safe_sequential -> true
+    | Some Lint.Conflict -> false
+    | Some Lint.Needs_runtime_check -> (
+        match Hashtbl.find_opt tbl c with Some b -> b | None -> false)
+    | None -> false
+
+(* ------------------------------------------------------------------ *)
+(* One abstract cycle                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* combinational value-set masks for one cycle: register outputs read
+   the state, inputs are defined, RSET reads [rset_mask], and the
+   conflict-injects-UNDEF rule is gated on [exclusive] *)
+let cycle_masks ctx ~rset_mask ~reg_masks ~exclusive =
+  let sets = Array.make ctx.n 0 in
+  let mask_of_src = function
+    | Aconst v -> Lint.mask_of v
+    | Anet c -> sets.(c)
+  in
+  let base = Array.make ctx.n 0 in
+  for c = 0 to ctx.n - 1 do
+    if ctx.is_canon.(c) then
+      base.(c) <-
+        (if ctx.is_input.(c) then
+           if c = ctx.rset then rset_mask else Lint.m_zero lor Lint.m_one
+         else
+           match Hashtbl.find_opt ctx.reg_ix_of_out c with
+           | Some idxs -> List.fold_left (fun a i -> a lor reg_masks.(i)) 0 idxs
+           | None -> if ctx.producers.(c) = 0 then Lint.m_undef else 0)
+  done;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for c = 0 to ctx.n - 1 do
+      if ctx.is_canon.(c) then begin
+        let driving = ref 0 in
+        let m = ref base.(c) in
+        List.iter
+          (fun p ->
+            let pm =
+              match p with
+              | Agate (op, ins) ->
+                  Lint.gate_mask op (List.map mask_of_src (Array.to_list ins))
+              | Adriver (None, src) -> mask_of_src src
+              | Adriver (Some g, src) ->
+                  let gm = Lint.booleanize_mask (mask_of_src g) in
+                  (if gm land Lint.m_one <> 0 then mask_of_src src else 0)
+                  lor (if gm land Lint.m_zero <> 0 then Lint.m_noinfl else 0)
+                  lor (if gm land Lint.m_undef <> 0 then Lint.m_undef else 0)
+            in
+            if pm land lnot Lint.m_noinfl <> 0 then incr driving;
+            m := !m lor pm)
+          ctx.prods.(c);
+        let m =
+          !m lor (if !driving >= 2 && not (exclusive c) then Lint.m_undef else 0)
+        in
+        let m = sets.(c) lor m in
+        if m <> sets.(c) then begin
+          sets.(c) <- m;
+          changed := true
+        end
+      end
+    done
+  done;
+  (* per class: can every producer be silent in the same cycle?  Only
+     then can a register input keep its stored value — one driver whose
+     guard is never 0 (a reset pulse, say) forces a latch no matter how
+     many silent siblings it has *)
+  let all_silent = Array.make ctx.n false in
+  for c = 0 to ctx.n - 1 do
+    if ctx.is_canon.(c) && ctx.prods.(c) <> [] then
+      all_silent.(c) <-
+        List.for_all
+          (fun p ->
+            match p with
+            | Agate _ -> false
+            | Adriver (None, src) ->
+                mask_of_src src land Lint.m_noinfl <> 0
+            | Adriver (Some g, src) ->
+                Lint.booleanize_mask (mask_of_src g) land Lint.m_zero <> 0
+                || mask_of_src src land Lint.m_noinfl <> 0)
+          ctx.prods.(c)
+  done;
+  (sets, all_silent)
+
+(* the register latch: values latch when some driver fires; the stored
+   value survives only when every driver can be silent in the same
+   cycle ([all_silent]); producer-less inputs latch pokes (defined, by
+   the environment assumption) *)
+let next_regs ctx (sets, all_silent) reg_masks =
+  Array.mapi
+    (fun i (_ : Netlist.reg) ->
+      let rc = ctx.rin_cls.(i) in
+      let old = reg_masks.(i) in
+      if ctx.producers.(rc) = 0 then
+        if ctx.is_input.(rc) then old lor Lint.m_zero lor Lint.m_one else old
+      else begin
+        let m = sets.(rc) in
+        let latched = m land (Lint.m_zero lor Lint.m_one lor Lint.m_undef) in
+        latched
+        lor (if all_silent.(rc) || latched = 0 then old else 0)
+      end)
+    ctx.regs
+
+(* ------------------------------------------------------------------ *)
+(* Reachability fixpoint and reset trajectory                           *)
+(* ------------------------------------------------------------------ *)
+
+let any_input_mask = Lint.m_zero lor Lint.m_one
+
+(* union-accumulated fixpoint from power-up: an over-approximation of
+   every reachable register state (RSET free, inputs defined) *)
+let powerup_fixpoint ctx ~budget ~splits =
+  let reg_masks =
+    Array.map (fun (r : Netlist.reg) -> Lint.mask_of r.Netlist.rinit) ctx.regs
+  in
+  let limit = (4 * Array.length ctx.regs) + 2 in
+  let continue_ = ref true in
+  let iters = ref 0 in
+  while !continue_ && !iters < limit do
+    incr iters;
+    let exclusive = compute_exclusive ctx ~budget ~splits ~reg_masks in
+    let sets = cycle_masks ctx ~rset_mask:any_input_mask ~reg_masks ~exclusive in
+    let next = next_regs ctx sets reg_masks in
+    continue_ := false;
+    Array.iteri
+      (fun i m ->
+        let u = reg_masks.(i) lor m in
+        if u <> reg_masks.(i) then begin
+          reg_masks.(i) <- u;
+          continue_ := true
+        end)
+      next
+  done;
+  reg_masks
+
+(* forward images through a RSET pulse: index 0 = the pre-reset state
+   (the fixpoint), index i = the state i cycles after the pulse began
+   (the pulse itself is cycle 1, RSET = {1}; {0} afterwards) *)
+let reset_trajectory ctx ~budget ~splits ~depth start =
+  let traj = Array.make (depth + 1) [||] in
+  traj.(0) <- Array.copy start;
+  let cur = ref (Array.copy start) in
+  for i = 1 to depth do
+    let rset_mask = if i = 1 then Lint.m_one else Lint.m_zero in
+    let exclusive = compute_exclusive ctx ~budget ~splits ~reg_masks:!cur in
+    let sets = cycle_masks ctx ~rset_mask ~reg_masks:!cur ~exclusive in
+    cur := next_regs ctx sets !cur;
+    traj.(i) <- Array.copy !cur
+  done;
+  traj
+
+(* ------------------------------------------------------------------ *)
+(* Reporting helpers                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* representative user-visible net of a class, for findings (the lint
+   discipline: read or output-pin, no '#', prefer a real location) *)
+let class_rep ctx c =
+  let visible =
+    List.filter
+      (fun (net : Netlist.net) ->
+        (not (String.contains net.Netlist.name '#'))
+        && (net.Netlist.reads > 0
+           ||
+           match net.Netlist.pin with
+           | Some (_, (Etype.Out | Etype.Inout)) -> true
+           | _ -> false))
+      ctx.members.(c)
+  in
+  match
+    List.filter (fun (n : Netlist.net) -> not (Loc.is_dummy n.Netlist.loc)) visible
+  with
+  | net :: _ -> Some net
+  | [] -> ( match visible with net :: _ -> Some net | [] -> None)
+
+let mask_to_string m =
+  let parts =
+    List.filter_map
+      (fun (bit, s) -> if m land bit <> 0 then Some s else None)
+      [
+        (Lint.m_zero, "0");
+        (Lint.m_one, "1");
+        (Lint.m_undef, "U");
+        (Lint.m_noinfl, "Z");
+      ]
+  in
+  "{" ^ String.concat "," parts ^ "}"
+
+(* ------------------------------------------------------------------ *)
+(* Z601 / Z602                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let reset_coverage ctx bag ~budget ~splits ~depth traj =
+  let endst = traj.(depth) in
+  (* Z601: a register that can still hold UNDEF depth cycles after the
+     reset pulse began *)
+  Array.iteri
+    (fun i (r : Netlist.reg) ->
+      if endst.(i) land Lint.m_undef <> 0 then
+        let loc = (Netlist.net ctx.nl r.Netlist.rout).Netlist.loc in
+        Diag.Bag.warning bag ~code:Diag.Code.seq_uninitialized Diag.Lint_error
+          loc
+          "register '%s' can still hold UNDEF %d cycle%s after a RSET pulse \
+           — no reset path initializes it (reachable: %s)"
+          r.Netlist.rpath depth
+          (if depth = 1 then "" else "s")
+          (mask_to_string endst.(i)))
+    ctx.regs;
+  (* Z602: an observable net that reads UNDEF after reset settles,
+     where stripping the registers' UNDEF bits removes the UNDEF — the
+     power-up UNDEF escapes the reset cone (purely combinational UNDEF
+     sources are Z2xx territory and unaffected by the strip) *)
+  let exclusive =
+    compute_exclusive ctx ~budget ~splits ~reg_masks:endst
+  in
+  let sets, _ =
+    cycle_masks ctx ~rset_mask:Lint.m_zero ~reg_masks:endst ~exclusive
+  in
+  let stripped =
+    Array.map
+      (fun m ->
+        let s = m land lnot Lint.m_undef in
+        if s = 0 then m else s)
+      endst
+  in
+  let exclusive' =
+    compute_exclusive ctx ~budget ~splits ~reg_masks:stripped
+  in
+  let sets', _ =
+    cycle_masks ctx ~rset_mask:Lint.m_zero ~reg_masks:stripped
+      ~exclusive:exclusive'
+  in
+  let live = Optimize.observable ctx.design in
+  for c = 0 to ctx.n - 1 do
+    if
+      ctx.is_canon.(c) && live.(c)
+      && (not (Hashtbl.mem ctx.reg_ix_of_out c))
+      && (not ctx.is_input.(c))
+      && Lint.booleanize_mask sets.(c) land Lint.m_undef <> 0
+      && Lint.booleanize_mask sets'.(c) land Lint.m_undef = 0
+    then
+      match class_rep ctx c with
+      | Some net ->
+          Diag.Bag.warning bag ~code:Diag.Code.seq_undef_escape Diag.Lint_error
+            net.Netlist.loc
+            "'%s' can still read UNDEF after reset settles, and the UNDEF \
+             originates in uninitialized register state — power-up UNDEF \
+             escapes the reset cone into an observable net"
+            net.Netlist.name
+      | None -> ()
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Z603: concrete bounded reachability with witness traces              *)
+(* ------------------------------------------------------------------ *)
+
+(* hard caps keeping the concrete search cheap; past them the search
+   is skipped (the abstract passes already ran) *)
+let max_search_inputs = 5
+let max_search_regs = 20
+let max_search_classes = 3000
+let max_search_states = 1024
+let max_witnesses = 4
+
+let gate_eval op (ins : Logic.t list) =
+  let ins = List.map Logic.booleanize ins in
+  match (op : Netlist.gate_op) with
+  | Netlist.Gand -> Logic.and_list ins
+  | Netlist.Gor -> Logic.or_list ins
+  | Netlist.Gnand -> Logic.nand_list ins
+  | Netlist.Gnor -> Logic.nor_list ins
+  | Netlist.Gxor -> Logic.xor_list ins
+  | Netlist.Gnot -> ( match ins with [ v ] -> Logic.not_ v | _ -> Logic.Undef)
+  | Netlist.Gequal ->
+      let len = List.length ins in
+      if len mod 2 <> 0 then Logic.Undef
+      else
+        let a = List.filteri (fun i _ -> i < len / 2) ins
+        and b = List.filteri (fun i _ -> i >= len / 2) ins in
+        Logic.and_list (List.map2 Logic.equal2 a b)
+  | Netlist.Grandom -> Logic.Undef (* excluded by has_random *)
+
+(* one concrete cycle, mirroring the simulator: returns the resolved
+   values, the conflicting classes and the next register state, or
+   None when the sweep fails to stabilize (combinational cycle) *)
+let concrete_cycle ctx (state : Logic.t array) (pokes : (int * Logic.t) list) =
+  let values = Array.make ctx.n Logic.Undef in
+  let root = Array.make ctx.n false in
+  (* seeds: CLK is One, RSET defaults to Zero, pokes override *)
+  for c = 0 to ctx.n - 1 do
+    if ctx.is_canon.(c) && ctx.is_input.(c) then begin
+      root.(c) <- true;
+      values.(c) <-
+        (if c = ctx.clk then Logic.One
+         else if c = ctx.rset then Logic.Zero
+         else Logic.Undef)
+    end
+  done;
+  List.iter
+    (fun (c, v) -> if root.(c) then values.(c) <- Logic.booleanize v)
+    pokes;
+  Array.iteri
+    (fun i c ->
+      if ctx.producers.(c) = 0 then begin
+        root.(c) <- true;
+        values.(c) <- state.(i)
+      end)
+    ctx.rout_cls;
+  let value_of_src = function
+    | Aconst v -> v
+    | Anet c -> values.(c)
+  in
+  let drives = Array.make ctx.n 0 in
+  let resolve c =
+    let d = ref 0 in
+    let value = ref Logic.Noinfl in
+    List.iter
+      (fun p ->
+        let pv =
+          match p with
+          | Agate (op, ins) ->
+              gate_eval op (List.map value_of_src (Array.to_list ins))
+          | Adriver (None, src) -> value_of_src src
+          | Adriver (Some g, src) -> (
+              match Logic.booleanize (value_of_src g) with
+              | Logic.Zero -> Logic.Noinfl
+              | Logic.One -> value_of_src src
+              | _ -> Logic.Undef)
+        in
+        if pv <> Logic.Noinfl then begin
+          incr d;
+          if !d = 1 then value := pv
+        end)
+      ctx.prods.(c);
+    drives.(c) <- !d;
+    let v =
+      if !d >= 2 then Logic.Undef
+      else if !d = 1 then !value
+      else if ctx.kmux.(c) then Logic.Noinfl
+      else Logic.Undef
+    in
+    if ctx.kmux.(c) then v else Logic.booleanize v
+  in
+  let stable = ref false in
+  let sweeps = ref 0 in
+  let cap = ctx.n + 8 in
+  while (not !stable) && !sweeps < cap do
+    incr sweeps;
+    stable := true;
+    for c = 0 to ctx.n - 1 do
+      if ctx.is_canon.(c) && (not root.(c)) && ctx.prods.(c) <> [] then begin
+        let v = resolve c in
+        if v <> values.(c) then begin
+          values.(c) <- v;
+          stable := false
+        end
+      end
+    done
+  done;
+  if not !stable then None
+  else begin
+    let conflicts = ref [] in
+    for c = ctx.n - 1 downto 0 do
+      if ctx.is_canon.(c) && (not root.(c)) && drives.(c) >= 2 then
+        conflicts := c :: !conflicts
+    done;
+    let next =
+      Array.mapi
+        (fun i (_ : Netlist.reg) ->
+          let rc = ctx.rin_cls.(i) in
+          if ctx.producers.(rc) = 0 then
+            if root.(rc) && ctx.is_input.(rc) then Logic.booleanize values.(rc)
+            else state.(i)
+          else if drives.(rc) >= 1 then Logic.booleanize values.(rc)
+          else state.(i))
+        ctx.regs
+    in
+    Some (values, !conflicts, next)
+  end
+
+let state_key state =
+  String.init (Array.length state) (fun i -> Logic.to_char state.(i))
+
+let concrete_search ctx ~depth =
+  if ctx.has_random then []
+  else if Array.length ctx.regs > max_search_regs then []
+  else if ctx.n > max_search_classes then []
+  else if
+    (* register outputs must be pure state for the mini-evaluator *)
+    Hashtbl.fold
+      (fun c idxs bad ->
+        bad || ctx.producers.(c) > 0 || List.length idxs > 1)
+      ctx.reg_ix_of_out false
+  then []
+  else begin
+    let targets =
+      Hashtbl.fold
+        (fun c v acc -> if v = Lint.Needs_runtime_check then c :: acc else acc)
+        ctx.verdict_of []
+    in
+    if targets = [] then []
+    else begin
+      (* enumerated inputs: every top input except CLK (held at One) *)
+      let ins =
+        List.sort_uniq compare
+          (List.filter_map
+             (fun id ->
+               let c = Netlist.canonical ctx.nl id in
+               if c = ctx.clk then None else Some c)
+             (Check.top_input_nets ctx.design))
+      in
+      if List.length ins > max_search_inputs then []
+      else begin
+        let ins = Array.of_list ins in
+        let ni = Array.length ins in
+        let combos =
+          Array.init (1 lsl ni) (fun bits ->
+              Array.to_list
+                (Array.mapi
+                   (fun k c ->
+                     (c, if bits land (1 lsl k) <> 0 then Logic.One else Logic.Zero))
+                   ins))
+        in
+        let name_of c = (Netlist.net ctx.nl c).Netlist.name in
+        let init =
+          Array.map (fun (r : Netlist.reg) -> r.Netlist.rinit) ctx.regs
+        in
+        let visited = Hashtbl.create 64 in
+        Hashtbl.replace visited (state_key init) ();
+        let queue = Queue.create () in
+        Queue.add (init, []) queue;
+        let witnesses = ref [] in
+        let found = Hashtbl.create 8 in
+        let remaining_targets = ref (List.length targets) in
+        (try
+           while not (Queue.is_empty queue) do
+             let state, rev_trace = Queue.pop queue in
+             let cycle = List.length rev_trace in
+             if cycle < depth then
+               Array.iter
+                 (fun pokes ->
+                   match concrete_cycle ctx state pokes with
+                   | None -> raise Exit (* unstable: give up entirely *)
+                   | Some (_, conflicts, next) ->
+                       let rev_trace' = pokes :: rev_trace in
+                       List.iter
+                         (fun c ->
+                           if
+                             List.mem c targets
+                             && not (Hashtbl.mem found c)
+                             && List.length !witnesses < max_witnesses
+                           then begin
+                             Hashtbl.replace found c ();
+                             decr remaining_targets;
+                             let trace =
+                               Array.of_list
+                                 (List.rev_map
+                                    (List.map (fun (c, v) -> (c, name_of c, v)))
+                                    rev_trace')
+                             in
+                             witnesses :=
+                               {
+                                 w_class = c;
+                                 w_name = name_of c;
+                                 w_cycle = cycle;
+                                 w_trace = trace;
+                               }
+                               :: !witnesses
+                           end)
+                         conflicts;
+                       if
+                         !remaining_targets > 0
+                         && List.length !witnesses < max_witnesses
+                       then begin
+                         let key = state_key next in
+                         if
+                           (not (Hashtbl.mem visited key))
+                           && Hashtbl.length visited < max_search_states
+                         then begin
+                           Hashtbl.replace visited key ();
+                           Queue.add (next, rev_trace') queue
+                         end
+                       end
+                       else raise Exit)
+                 combos
+           done
+         with Exit -> ());
+        List.rev !witnesses
+      end
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(depth = default_depth) ?(budget = Lint.default_budget) ?lint
+    (design : Elaborate.design) =
+  let lintrep =
+    match lint with Some r -> r | None -> Lint.run ~budget design
+  in
+  let ctx = make_ctx design lintrep in
+  let splits = ref 0 in
+  let bag = Diag.Bag.create () in
+  (* 1. reachability fixpoint from power-up *)
+  let fix = powerup_fixpoint ctx ~budget ~splits in
+  (* 2. upgrades: needs-runtime-check classes exclusive in every
+     reachable state *)
+  let exclusive_fix = compute_exclusive ctx ~budget ~splits ~reg_masks:fix in
+  let upgraded =
+    List.filter_map
+      (fun (v : Lint.net_verdict) ->
+        if v.Lint.v_class = Lint.Needs_runtime_check && exclusive_fix v.Lint.v_net
+        then Some (v.Lint.v_net, v.Lint.v_name)
+        else None)
+      lintrep.Lint.verdicts
+  in
+  let upgraded_set = Hashtbl.create 16 in
+  List.iter (fun (c, _) -> Hashtbl.replace upgraded_set c ()) upgraded;
+  let verdicts =
+    List.map
+      (fun (v : Lint.net_verdict) ->
+        if Hashtbl.mem upgraded_set v.Lint.v_net then
+          {
+            v with
+            Lint.v_class = Lint.Safe_sequential;
+            Lint.v_detail =
+              Printf.sprintf
+                "exclusive in every register state reachable from power-up \
+                 (was: %s)"
+                v.Lint.v_detail;
+          }
+        else v)
+      lintrep.Lint.verdicts
+  in
+  (* record the refreshed verdicts so reset-coverage and the concrete
+     search see the upgrades *)
+  List.iter
+    (fun (c, _) -> Hashtbl.replace ctx.verdict_of c Lint.Safe_sequential)
+    upgraded;
+  (* 3. reset trajectory: Z601 / Z602 *)
+  let traj = reset_trajectory ctx ~budget ~splits ~depth fix in
+  reset_coverage ctx bag ~budget ~splits ~depth traj;
+  (* 4. concrete witness search: Z603 (over the still-unproven nets) *)
+  let witnesses = concrete_search ctx ~depth in
+  List.iter
+    (fun w ->
+      let loc =
+        match class_rep ctx w.w_class with
+        | Some net -> net.Netlist.loc
+        | None -> (Netlist.net ctx.nl w.w_class).Netlist.loc
+      in
+      let stim =
+        String.concat "; "
+          (List.mapi
+             (fun i pokes ->
+               Printf.sprintf "cycle %d: %s" i
+                 (String.concat ", "
+                    (List.map
+                       (fun (_, name, v) ->
+                         Printf.sprintf "%s=%s" name (Logic.to_string v))
+                       pokes)))
+             (Array.to_list w.w_trace))
+      in
+      Diag.Bag.warning bag ~code:Diag.Code.seq_conflict_reachable
+        Diag.Lint_error loc
+        "'%s': a runtime drive conflict is reachable at cycle %d from \
+         power-up — concrete witness: %s"
+        w.w_name w.w_cycle stim)
+    witnesses;
+  let regs =
+    Array.to_list
+      (Array.mapi
+         (fun i (r : Netlist.reg) ->
+           {
+             rt_name = r.Netlist.rpath;
+             rt_out = ctx.rout_cls.(i);
+             rt_init = Lint.mask_of r.Netlist.rinit;
+             rt_fix = fix.(i);
+             rt_reset = Array.map (fun masks -> masks.(i)) traj;
+           })
+         ctx.regs)
+  in
+  {
+    sp_depth = depth;
+    sp_regs = regs;
+    sp_upgraded = upgraded;
+    sp_findings = Diag.Bag.all bag;
+    sp_witnesses = witnesses;
+    sp_splits = !splits;
+    sp_lint =
+      {
+        lintrep with
+        Lint.verdicts;
+        (* the Z102 "needs runtime check" warnings of upgraded nets are
+           stale — the runtime check was just proved redundant *)
+        findings =
+          List.filter
+            (fun (d : Diag.t) ->
+              d.Diag.code <> Some Diag.Code.drive_unproven
+              || not
+                   (List.exists
+                      (fun (_, name) ->
+                        let q = "'" ^ name ^ "'" in
+                        let ql = String.length q in
+                        String.length d.Diag.message >= ql
+                        && String.sub d.Diag.message 0 ql = q)
+                      upgraded))
+            lintrep.Lint.findings;
+      };
+  }
+
+let discharged (design : Elaborate.design) report =
+  let nl = design.Elaborate.netlist in
+  let arr = Array.make (Netlist.net_count nl) false in
+  List.iter
+    (fun (v : Lint.net_verdict) ->
+      if v.Lint.v_class = Lint.Safe || v.Lint.v_class = Lint.Safe_sequential
+      then arr.(v.Lint.v_net) <- true)
+    report.sp_lint.Lint.verdicts;
+  arr
+
+(* ------------------------------------------------------------------ *)
+(* Summary and JSON                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let summary report =
+  let nrc_before =
+    List.length report.sp_upgraded
+    + Lint.count Lint.Needs_runtime_check report.sp_lint
+  in
+  Printf.sprintf
+    "depth %d: %d register%s; %d/%d needs-runtime-check upgraded to \
+     safe-sequential; %d finding%s, %d witness%s (%d case splits)"
+    report.sp_depth
+    (List.length report.sp_regs)
+    (if List.length report.sp_regs = 1 then "" else "s")
+    (List.length report.sp_upgraded)
+    nrc_before
+    (List.length report.sp_findings)
+    (if List.length report.sp_findings = 1 then "" else "s")
+    (List.length report.sp_witnesses)
+    (if List.length report.sp_witnesses = 1 then "" else "es")
+    report.sp_splits
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_schema_version = 1
+
+let json_of_report report =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b
+    (Printf.sprintf "{\n  \"version\": %d,\n  \"depth\": %d,\n  \"registers\": ["
+       json_schema_version report.sp_depth);
+  List.iteri
+    (fun i rt ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    {\"name\":\"%s\",\"init\":\"%s\",\"reachable\":\"%s\",\"reset\":[%s]}"
+           (json_escape rt.rt_name)
+           (mask_to_string rt.rt_init)
+           (mask_to_string rt.rt_fix)
+           (String.concat ","
+              (List.map
+                 (fun m -> Printf.sprintf "\"%s\"" (mask_to_string m))
+                 (Array.to_list rt.rt_reset)))))
+    report.sp_regs;
+  Buffer.add_string b "\n  ],\n  \"upgraded\": [";
+  List.iteri
+    (fun i (_, name) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\n    \"%s\"" (json_escape name)))
+    report.sp_upgraded;
+  Buffer.add_string b "\n  ],\n  \"findings\": [";
+  List.iteri
+    (fun i (d : Diag.t) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\n    {\"code\":%s,\"severity\":\"%s\",\"message\":\"%s\"}"
+           (match d.Diag.code with
+           | Some c -> Printf.sprintf "\"%s\"" (json_escape c)
+           | None -> "null")
+           (Diag.severity_to_string d.Diag.severity)
+           (json_escape d.Diag.message)))
+    report.sp_findings;
+  Buffer.add_string b "\n  ],\n  \"witnesses\": [";
+  List.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\n    {\"net\":\"%s\",\"cycle\":%d,\"trace\":[%s]}"
+           (json_escape w.w_name) w.w_cycle
+           (String.concat ","
+              (List.map
+                 (fun pokes ->
+                   Printf.sprintf "[%s]"
+                     (String.concat ","
+                        (List.map
+                           (fun (_, name, v) ->
+                             Printf.sprintf "{\"net\":\"%s\",\"value\":\"%s\"}"
+                               (json_escape name) (Logic.to_string v))
+                           pokes)))
+                 (Array.to_list w.w_trace)))))
+    report.sp_witnesses;
+  Buffer.add_string b
+    (Printf.sprintf
+       "\n  ],\n  \"summary\": \
+        {\"registers\":%d,\"upgraded\":%d,\"needs_runtime_check\":%d,\"findings\":%d,\"witnesses\":%d,\"splits\":%d}\n\
+        }"
+       (List.length report.sp_regs)
+       (List.length report.sp_upgraded)
+       (Lint.count Lint.Needs_runtime_check report.sp_lint)
+       (List.length report.sp_findings)
+       (List.length report.sp_witnesses)
+       report.sp_splits);
+  Buffer.contents b

@@ -88,7 +88,7 @@ type op =
   | Ogate of { gate : int; args : int array; out : int; prod : int; kbool : bool }
   | Orandom of { out : int; prod : int }
   | Odriver of { guard : int; src : int; out : int; prod : int; kbool : bool }
-  | Oresolve of { out : int; prods : int array; kbool : bool }
+  | Oresolve of { out : int; prods : int array; kbool : bool; chk : bool }
   | Olatch of { reg : int; cls : int; seeded : bool }
   (* vector: classes [dst, dst+len) (or registers [reg, reg+len));
      [dr] is false when no lane feeds a register, so the driven-plane
@@ -114,6 +114,7 @@ type op =
       len : int;
       kbool : bool;
       dr : bool;
+      chk : bool;
     }
   | Ovlatch of { reg : int; cls : int; len : int; seeded : bool }
 
@@ -126,6 +127,8 @@ type prog = {
   scalar_ops : int;
   vector_ops : int;
   vector_lanes : int; (* classes covered by vector ops *)
+  check_ops : int; (* conflict-check sites kept (classes) *)
+  discharged_ops : int; (* conflict-check sites statically discharged *)
   compile_secs : float;
 }
 
@@ -390,7 +393,7 @@ let run_lanes (prog : prog) (sts : state array)
             set_bit st.driven out (if v = code_z then 0 else 1)
           end
         done
-    | Oresolve { out; prods; kbool } ->
+    | Oresolve { out; prods; kbool; chk } ->
         for li = 0 to nl - 1 do
           let st = Array.unsafe_get sts li in
           let drives = ref 0 and dval = ref code_z in
@@ -407,7 +410,7 @@ let run_lanes (prog : prog) (sts : state array)
           in
           set_code st out v;
           set_bit st.driven out (if !drives > 0 then 1 else 0);
-          if !drives >= 2 then confs.(li) <- out :: confs.(li)
+          if chk && !drives >= 2 then confs.(li) <- out :: confs.(li)
         done
     | Olatch { reg; cls; seeded } ->
         for li = 0 to nl - 1 do
@@ -514,7 +517,7 @@ let run_lanes (prog : prog) (sts : state array)
             p := !p + k
           done
         done
-    | Ovmux2 { g1; s1; g2; s2; dst; len; kbool; dr } ->
+    | Ovmux2 { g1; s1; g2; s2; dst; len; kbool; dr; chk } ->
         for li = 0 to nl - 1 do
           let st = Array.unsafe_get sts li in
           (* per-driver mode is loop-invariant: 0 = guard 0 (NOINFL),
@@ -578,7 +581,9 @@ let run_lanes (prog : prog) (sts : state array)
             write32 st.b pos k vb;
             if dr then write32 st.driven pos k (m1 lor m2);
             (* window values: lane j of this chunk is bit j *)
-            let conf = both land (mask32 lsr (bits - k)) in
+            let conf =
+              if chk then both land (mask32 lsr (bits - k)) else 0
+            in
             if conf <> 0 then
               for j = 0 to k - 1 do
                 if (conf lsr j) land 1 = 1 then

@@ -68,9 +68,12 @@ type op =
   | Orandom of { out : int; prod : int }
       (** a draw of {!Prand.bool} keyed by the output class *)
   | Odriver of { guard : int; src : int; out : int; prod : int; kbool : bool }
-  | Oresolve of { out : int; prods : int array; kbool : bool }
+  | Oresolve of { out : int; prods : int array; kbool : bool; chk : bool }
       (** multi-producer resolution over scratch slots; two or more
-          driving values force UNDEF and report a conflict *)
+          driving values force UNDEF and — when [chk] — report a
+          conflict ([chk] is false for classes whose conflict check the
+          sequential prover discharged; the resolved value is
+          unchanged) *)
   | Olatch of { reg : int; cls : int; seeded : bool }
       (** end-of-cycle register latch; [seeded] registers read a
           producer-less input (latch on any non-NOINFL value), others
@@ -103,11 +106,13 @@ type op =
       len : int;
       kbool : bool;
       dr : bool;
+      chk : bool;
     }
       (** wide two-driver guarded multiplex resolution: lanes
           [dst..dst+len) each driven by [IF g1 -> s1+lane] and
           [IF g2 -> s2+lane]; per-lane drive counting, conflict
-          detection and NOINFL/UNDEF filling happen wordwise *)
+          detection (skipped when [chk] is false) and NOINFL/UNDEF
+          filling happen wordwise *)
   | Ovlatch of { reg : int; cls : int; len : int; seeded : bool }
 
 type prog = {
@@ -120,6 +125,10 @@ type prog = {
   scalar_ops : int;
   vector_ops : int;
   vector_lanes : int;  (** classes covered by vector ops *)
+  check_ops : int;
+      (** per-cycle conflict-check sites kept, counted in classes *)
+  discharged_ops : int;
+      (** conflict-check sites the sequential prover discharged *)
   compile_secs : float;
 }
 

@@ -44,7 +44,14 @@ let gate_kind = function
    must repeat, classes must be consecutive *)
 let src_follows a b = if a < 0 then b = a else b = a + 1
 
-let build (g : Graph.t) (sched : Sched.t) : Bytecode.prog option =
+(* [discharged c]: the static provers (combinational lint or the
+   bounded sequential prover) showed class [c] can never double-drive
+   under the defined-inputs environment assumption — its conflict-check
+   op is compiled with [chk = false].  Values are unaffected: a
+   discharged resolution still forces UNDEF if the proof assumption is
+   violated, only the runtime report is elided. *)
+let build ?(discharged = fun _ -> false) (g : Graph.t) (sched : Sched.t) :
+    Bytecode.prog option =
   if not sched.Sched.acyclic then None
   else begin
     let t0 = Sys.time () in
@@ -92,12 +99,16 @@ let build (g : Graph.t) (sched : Sched.t) : Bytecode.prog option =
       let run_bs1 = ref 0 and run_bs2 = ref 0 in
       let run_s1 = ref 0 and run_s2 = ref 0 in
       let run_kbool = ref false in
+      let run_chk = ref true in
       let scalar_resolve c =
         let o = g.Graph.prod_off.(c) in
         let prods =
           Array.sub g.Graph.prod_nodes o g.Graph.producer_count.(c)
         in
-        out := Bytecode.Oresolve { out = c; prods; kbool = kbool c } :: !out
+        out :=
+          Bytecode.Oresolve
+            { out = c; prods; kbool = kbool c; chk = not (discharged c) }
+          :: !out
       in
       let flush () =
         let members = List.rev !run in
@@ -120,6 +131,7 @@ let build (g : Graph.t) (sched : Sched.t) : Bytecode.prog option =
                 len;
                 kbool = !run_kbool;
                 dr = range_feeds_reg !run_base len;
+                chk = !run_chk;
               }
             :: !out
         end
@@ -136,6 +148,7 @@ let build (g : Graph.t) (sched : Sched.t) : Bytecode.prog option =
                   && src_follows !run_s1 s1
                   && src_follows !run_s2 s2
                   && kbool c = !run_kbool
+                  && not (discharged c) = !run_chk
                 then begin
                   run := (c, p0, p1) :: !run;
                   run_prev := c;
@@ -153,7 +166,8 @@ let build (g : Graph.t) (sched : Sched.t) : Bytecode.prog option =
                   run_bs2 := s2;
                   run_s1 := s1;
                   run_s2 := s2;
-                  run_kbool := kbool c
+                  run_kbool := kbool c;
+                  run_chk := not (discharged c)
                 end
             | None ->
                 flush ();
@@ -373,6 +387,7 @@ let build (g : Graph.t) (sched : Sched.t) : Bytecode.prog option =
     done;
     let ops = Array.of_list (List.rev !ops) in
     let scalar = ref 0 and vector = ref 0 and lanes = ref 0 in
+    let checks = ref 0 and disch = ref 0 in
     Array.iter
       (function
         | Bytecode.Ovseed { len; _ }
@@ -385,6 +400,16 @@ let build (g : Graph.t) (sched : Sched.t) : Bytecode.prog option =
             incr vector;
             lanes := !lanes + len
         | _ -> incr scalar)
+      ops;
+    (* conflict-check sites, counted in classes (an Ovmux2 checks one
+       class per lane) *)
+    Array.iter
+      (function
+        | Bytecode.Oresolve { chk; _ } ->
+            if chk then incr checks else incr disch
+        | Bytecode.Ovmux2 { len; chk; _ } ->
+            if chk then checks := !checks + len else disch := !disch + len
+        | _ -> ())
       ops;
     Some
       {
@@ -399,6 +424,8 @@ let build (g : Graph.t) (sched : Sched.t) : Bytecode.prog option =
         scalar_ops = !scalar;
         vector_ops = !vector;
         vector_lanes = !lanes;
+        check_ops = !checks;
+        discharged_ops = !disch;
         compile_secs = Sys.time () -. t0;
       }
   end

@@ -116,6 +116,8 @@ type compiled_stats = {
   c_vector_ops : int; (* wide 32-lane word ops *)
   c_vector_lanes : int; (* classes covered by vector ops *)
   c_visits_per_cycle : int; (* node evaluations the program encodes *)
+  c_check_ops : int; (* conflict-check sites kept (classes) *)
+  c_discharged_ops : int; (* conflict-check sites statically discharged *)
   c_compile_secs : float;
 }
 
@@ -183,7 +185,7 @@ type t = {
 }
 
 let create ?(engine = Firing) ?(seed = 0x5eed) ?jobs ?(grain = 64)
-    ?(optimize = false) (design : Elaborate.design) =
+    ?(optimize = false) ?discharged (design : Elaborate.design) =
   (* the proof-carrying reduction shares nets with the original, so
      poke/peek paths are unchanged; merged copy classes share one
      union-find root, and eliminated logic may read UNDEF/None *)
@@ -214,8 +216,19 @@ let create ?(engine = Firing) ?(seed = 0x5eed) ?jobs ?(grain = 64)
     | _ -> ()
   done;
   (* compile once; [None] on combinational cycles (fall back to the
-     full re-evaluating step) *)
-  let cprog = if engine = Compiled then Compile.build g sched else None in
+     full re-evaluating step).  [discharged] speaks original canonical
+     net ids (what {!Zeus_sem.Seqprove.discharged} indexes); the class
+     graph's union-find root recovers that id per class *)
+  let cprog =
+    if engine = Compiled then
+      let discharged =
+        Option.map
+          (fun pred cls -> pred g.Graph.rep.(cls))
+          discharged
+      in
+      Compile.build ?discharged g sched
+    else None
+  in
   let cstate = Option.map Bytecode.create_state cprog in
   {
     g;
@@ -1144,6 +1157,8 @@ let compiled_stats t =
           c_vector_ops = p.Bytecode.vector_ops;
           c_vector_lanes = p.Bytecode.vector_lanes;
           c_visits_per_cycle = p.Bytecode.visits_per_cycle;
+          c_check_ops = p.Bytecode.check_ops;
+          c_discharged_ops = p.Bytecode.discharged_ops;
           c_compile_secs = p.Bytecode.compile_secs;
         }
   | None -> None

@@ -96,6 +96,10 @@ type compiled_stats = {
   c_vector_ops : int;  (** wide 32-lane word ops *)
   c_vector_lanes : int;  (** classes covered by vector ops *)
   c_visits_per_cycle : int;  (** node evaluations the program encodes *)
+  c_check_ops : int;
+      (** per-cycle runtime conflict-check sites kept, in classes *)
+  c_discharged_ops : int;
+      (** conflict-check sites elided by a static discharge proof *)
   c_compile_secs : float;  (** one-time lowering cost *)
 }
 
@@ -121,10 +125,18 @@ type t
     reduction ({!Zeus_sem.Reduce}) before building the graph: constant
     and unobservable logic is dropped, while snapshots stay indexed by
     the same classes (unobservable classes may then read [None]); every
-    engine accepts the reduced graph. *)
+    engine accepts the reduced graph.
+
+    [discharged] (compiled engine only) is a predicate over {e
+    original canonical net ids} — the indexing of
+    {!Zeus_sem.Seqprove.discharged} — marking nets whose runtime drive
+    conflict check was statically proved redundant: their check ops
+    compile away ([c_discharged_ops] counts them).  Values never
+    change, only Z101 reporting; the proofs assume defined inputs, so
+    the discharge is opt-in ([zeusc sim --discharge]). *)
 val create :
   ?engine:engine -> ?seed:int -> ?jobs:int -> ?grain:int ->
-  ?optimize:bool -> Elaborate.design -> t
+  ?optimize:bool -> ?discharged:(int -> bool) -> Elaborate.design -> t
 
 val design : t -> Elaborate.design
 

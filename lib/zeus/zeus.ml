@@ -29,6 +29,7 @@ module Optimize = Zeus_sem.Optimize
 module Absint = Zeus_sem.Absint
 module Reduce = Zeus_sem.Reduce
 module Lint = Zeus_sem.Lint
+module Seqprove = Zeus_sem.Seqprove
 module Contract = Zeus_sem.Contract
 module Summary = Zeus_sem.Summary
 module Layout_ir = Zeus_sem.Layout_ir

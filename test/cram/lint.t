@@ -24,14 +24,14 @@ The same report as JSON, carrying the stable codes:
 
   $ zeusc lint section8.zeus --format json
   {
-    "version": 1,
+    "version": 2,
     "nets": [
       {"net":"top.out","kind":"multiplex","producers":2,"class":"conflict","detail":"witness: top.x=1, top.y=1"}
     ],
     "findings": [
       {"code":"Z101","severity":"error","kind":"lint","loc":{"line":7,"col":13,"end_line":7,"end_col":22},"message":"'top.out' can receive two driving values in one cycle (drivers at 6:13-28 and 7:13-22; witness: top.x=1, top.y=1) — this would burn transistors"}
     ],
-    "summary": {"nets":1,"safe":0,"conflict":1,"needs_runtime_check":0,"findings":1,"splits":2}
+    "summary": {"nets":1,"safe":0,"safe_sequential":0,"conflict":1,"needs_runtime_check":0,"findings":1,"splits":2}
   }
   [1]
 
@@ -40,7 +40,7 @@ test is a reviewable event.
 
   $ zeusc lint section8.zeus --format json | head -2
   {
-    "version": 1,
+    "version": 2,
 
 Per-code suppression drops the finding (and with it the failing exit):
 
@@ -52,7 +52,7 @@ An unknown code is rejected with the list of valid codes, instead of
 being silently accepted (a typo would un-suppress nothing):
 
   $ zeusc lint section8.zeus --suppress Z101 --suppress Z999
-  lint: unknown diagnostic code Z999 for --suppress; valid codes: Z101, Z102, Z201, Z202, Z301, Z302, Z401, Z402, Z403, Z404, Z405, Z406, Z501, Z502, Z503
+  lint: unknown diagnostic code Z999 for --suppress; valid codes: Z101, Z102, Z201, Z202, Z301, Z302, Z401, Z402, Z403, Z404, Z405, Z406, Z501, Z502, Z503, Z601, Z602, Z603
   [2]
 
 A strangled solver budget degrades soundly: the net is handed to the

@@ -60,7 +60,7 @@ The same findings as JSON, carrying the stable codes:
 
   $ zeusc lint diag.zeus --format json
   {
-    "version": 1,
+    "version": 2,
     "nets": [
       {"net":"s.m","kind":"multiplex","producers":2,"class":"conflict","detail":"witness: any input"}
     ],
@@ -71,7 +71,7 @@ The same findings as JSON, carrying the stable codes:
       {"code":"Z503","severity":"warning","kind":"lint","loc":{"line":2,"col":16,"end_line":2,"end_col":17},"message":"'s.w' is driven but reaches no register or output port — the logic feeding it is dead (zeusc opt removes it)"},
       {"code":"Z502","severity":"warning","kind":"lint","loc":{"line":2,"col":28,"end_line":2,"end_col":29},"message":"'s.m' is stuck at UNDEF: its drivers provably conflict (or yield UNDEF) every cycle under all inputs"}
     ],
-    "summary": {"nets":1,"safe":0,"conflict":1,"needs_runtime_check":0,"findings":5,"splits":0}
+    "summary": {"nets":1,"safe":0,"safe_sequential":0,"conflict":1,"needs_runtime_check":0,"findings":5,"splits":0}
   }
   [1]
 
@@ -84,7 +84,7 @@ against the full registry:
   1 multi-driven net: 0 safe, 1 conflict, 0 needs-runtime-check; 1 finding (0 case splits)
   [1]
   $ zeusc lint diag.zeus --suppress Z599
-  lint: unknown diagnostic code Z599 for --suppress; valid codes: Z101, Z102, Z201, Z202, Z301, Z302, Z401, Z402, Z403, Z404, Z405, Z406, Z501, Z502, Z503
+  lint: unknown diagnostic code Z599 for --suppress; valid codes: Z101, Z102, Z201, Z202, Z301, Z302, Z401, Z402, Z403, Z404, Z405, Z406, Z501, Z502, Z503, Z601, Z602, Z603
   [2]
 
 The reduction is visible end to end: the optimized simulation of the

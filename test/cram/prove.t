@@ -1,0 +1,150 @@
+The bounded sequential prover: k-cycle symbolic reachability over the
+four-valued abstract domain, reset-coverage lints (Z601/Z602/Z603),
+and static discharge of runtime conflict checks.
+
+A toggle register whose input is multi-driven under 'r.out' and
+'NOT r.out'.  The combinational lint cannot prove the guards exclusive
+(an UNDEF register state would fire both), so it demotes the net to
+needs-runtime-check under Z102:
+
+  $ cat > toggle.zeus <<'EOF'
+  > TYPE t = COMPONENT (IN a,b: boolean; OUT z: boolean) IS
+  > SIGNAL r: REG(0);
+  > BEGIN
+  >   IF r.out THEN r.in := a END;
+  >   IF NOT r.out THEN r.in := b END;
+  >   z := r.out;
+  > END;
+  > 
+  > SIGNAL s: t;
+  > EOF
+  $ zeusc lint toggle.zeus
+  net 's.r.in' (boolean, 2 producers): needs-runtime-check — a guard depends on sequential state that can read UNDEF (an undefined guard drives)
+  5:21-30: warning(lint)[Z102]: 's.r.in': driver exclusivity not proved (a guard depends on sequential state that can read UNDEF (an undefined guard drives)) — the runtime multiple-drive check [Z101] guards this net
+  1 multi-driven net: 0 safe, 0 conflict, 1 needs-runtime-check; 1 finding (1 case splits)
+
+The sequential prover knows REG(0) powers up at 0, so 'r.out' is
+{0,1} in every reachable state and the guards really are exclusive —
+the net is upgraded to safe-sequential:
+
+  $ zeusc prove toggle.zeus
+  upgraded 's.r.in': safe-sequential
+  depth 8: 1 register; 1/1 needs-runtime-check upgraded to safe-sequential; 0 findings, 0 witnesses (12 case splits)
+
+'--regs' prints the per-register value-set trajectory (power-up
+fixpoint and the post-RSET sequence):
+
+  $ zeusc prove --regs toggle.zeus
+  register s.r                          init={0} reachable={0,1} reset: {0,1} -> {0,1} -> {0,1} -> {0,1} -> {0,1} -> {0,1} -> {0,1} -> {0,1} -> {0,1}
+  upgraded 's.r.in': safe-sequential
+  depth 8: 1 register; 1/1 needs-runtime-check upgraded to safe-sequential; 0 findings, 0 witnesses (12 case splits)
+
+A sticky register that is never reset: Z601 flags the uncovered
+register, Z602 flags power-up UNDEF escaping into the observable
+output 'y', and Z603 proves the mux conflict genuinely reachable with
+a concrete cycle-by-cycle witness trace:
+
+  $ cat > sticky.zeus <<'EOF'
+  > TYPE t = COMPONENT (IN a,b: boolean; OUT z,y: boolean) IS
+  > SIGNAL r: REG;
+  >     m: multiplex;
+  > BEGIN
+  >   IF a THEN r.in := b END;
+  >   IF r.out THEN m := a END;
+  >   IF NOT r.out THEN m := b END;
+  >   z := m;
+  >   y := r.out;
+  > END;
+  > 
+  > SIGNAL s: t;
+  > EOF
+  $ zeusc prove sticky.zeus
+  2:8-9: warning(lint)[Z601]: register 's.r' can still hold UNDEF 8 cycles after a RSET pulse — no reset path initializes it (reachable: {0,1,U})
+  1:44-45: warning(lint)[Z602]: 's.y' can still read UNDEF after reset settles, and the UNDEF originates in uninitialized register state — power-up UNDEF escapes the reset cone into an observable net
+  3:5-6: warning(lint)[Z603]: 's.m': a runtime drive conflict is reachable at cycle 0 from power-up — concrete witness: cycle 0: RSET=0, s.a=0, s.b=0
+  witness 's.m' conflicts at cycle 0:
+    cycle 0: RSET=0 s.a=0 s.b=0
+  depth 8: 1 register; 0/1 needs-runtime-check upgraded to safe-sequential; 3 findings, 1 witness (25 case splits)
+
+The witness replays on the simulator: poking the trace values produces
+the predicted runtime conflict at the predicted cycle.
+
+  $ zeusc sim sticky.zeus -n 1 -p s.a=0 -p s.b=0
+  runtime error (cycle 0) [Z101] s.m: more than one driving assignment in cycle 0 — burning transistors (value forced to UNDEF)
+
+A RSET-covered chain: the pulse clears r1, the chain fills one stage
+per cycle, and the reset trajectory narrows from {0,1,U} to defined
+values — no Z6xx findings:
+
+  $ cat > rchain.zeus <<'EOF'
+  > TYPE t = COMPONENT (IN a: boolean; OUT z: boolean) IS
+  > SIGNAL r1,r2: REG;
+  > BEGIN
+  >   IF RSET THEN r1.in := 0 END;
+  >   IF NOT RSET THEN r1.in := a END;
+  >   r2.in := r1.out;
+  >   z := r2.out;
+  > END;
+  > 
+  > SIGNAL s: t;
+  > EOF
+  $ zeusc prove --regs rchain.zeus
+  register s.r1                         init={U} reachable={0,1,U} reset: {0,1,U} -> {0} -> {0,1} -> {0,1} -> {0,1} -> {0,1} -> {0,1} -> {0,1} -> {0,1}
+  register s.r2                         init={U} reachable={0,1,U} reset: {0,1,U} -> {0,1,U} -> {0} -> {0,1} -> {0,1} -> {0,1} -> {0,1} -> {0,1} -> {0,1}
+  depth 8: 2 registers; 0/0 needs-runtime-check upgraded to safe-sequential; 0 findings, 0 witnesses (0 case splits)
+
+The JSON report carries the same registers, upgrades, findings and
+witness traces; the schema version is locked by this golden:
+
+  $ zeusc prove sticky.zeus --format json | head -3
+  {
+    "version": 1,
+    "depth": 8,
+  $ zeusc prove sticky.zeus --format json | grep -c '"code":"Z60'
+  3
+
+Suppression uses the same unified Z-code registry as lint and opt —
+known codes drop findings, unknown codes are a usage error:
+
+  $ zeusc prove sticky.zeus --suppress Z601 --suppress Z602
+  3:5-6: warning(lint)[Z603]: 's.m': a runtime drive conflict is reachable at cycle 0 from power-up — concrete witness: cycle 0: RSET=0, s.a=0, s.b=0
+  witness 's.m' conflicts at cycle 0:
+    cycle 0: RSET=0 s.a=0 s.b=0
+  depth 8: 1 register; 0/1 needs-runtime-check upgraded to safe-sequential; 1 finding, 1 witness (25 case splits)
+  $ zeusc prove sticky.zeus --suppress Z999
+  prove: unknown diagnostic code Z999 for --suppress; valid codes: Z101, Z102, Z201, Z202, Z301, Z302, Z401, Z402, Z403, Z404, Z405, Z406, Z501, Z502, Z503, Z601, Z602, Z603
+  [2]
+
+'zeusc lint --sequential' runs the prover as a pre-pass: the verdict
+table shows the upgrade with the original demotion reason, and the
+sequential summary line is printed before the lint summary:
+
+  $ zeusc lint --sequential toggle.zeus
+  net 's.r.in' (boolean, 2 producers): safe-sequential — exclusive in every register state reachable from power-up (was: a guard depends on sequential state that can read UNDEF (an undefined guard drives))
+  sequential: depth 8: 1 register; 1/1 needs-runtime-check upgraded to safe-sequential; 0 findings, 0 witnesses (12 case splits)
+  1 multi-driven net: 0 safe, 1 safe-sequential, 0 conflict, 0 needs-runtime-check; 0 findings (1 case splits)
+
+The payoff: '--discharge' lets the compiled engine omit the runtime
+multiple-drive check on statically proved nets.  The stats line shows
+the check op moving from check-ops to discharged-ops:
+
+  $ zeusc sim toggle.zeus --engine compiled --stats -n 2 -p s.a=1 -p s.b=0 | grep compiled:
+  compiled: ops=13 scalar=13 vector=0 vector-lanes=0 visits-per-cycle=6 check-ops=1 discharged-ops=0
+  $ zeusc sim toggle.zeus --engine compiled --discharge --stats -n 2 -p s.a=1 -p s.b=0 | grep compiled:
+  compiled: ops=13 scalar=13 vector=0 vector-lanes=0 visits-per-cycle=6 check-ops=0 discharged-ops=1
+
+The modular pre-pass findings (Z4xx) surface through 'zeusc lint
+--modular' under the same suppression registry as every other code:
+
+  $ zeusc corpus section8 > section8.zeus
+  $ zeusc lint --modular section8.zeus 2>&1 | grep -c Z401
+  1
+  $ zeusc lint --modular --suppress Z401 section8.zeus 2>&1 | grep -c Z401
+  0
+  [1]
+  $ zeusc lint --modular --suppress Z401 section8.zeus
+  modular pre-pass: 1 component type(s), 1 summary computed (0 cached); conflict-safe: none; cycle-free: c
+  net 'top.out' (multiplex, 2 producers): conflict — witness: top.x=1, top.y=1
+  7:13-22: error(lint)[Z101]: 'top.out' can receive two driving values in one cycle (drivers at 6:13-28 and 7:13-22; witness: top.x=1, top.y=1) — this would burn transistors
+  1 multi-driven net: 0 safe, 1 conflict, 0 needs-runtime-check; 1 finding (2 case splits)
+  [1]

@@ -18,7 +18,7 @@ the values match the incremental default exactly:
   cycle 3: top.out=1 top.rout=U
   cycle 4: top.out=1 top.rout=U
   node visits: 28
-  compiled: ops=13 scalar=12 vector=1 vector-lanes=6 visits-per-cycle=7
+  compiled: ops=13 scalar=12 vector=1 vector-lanes=6 visits-per-cycle=7 check-ops=1 discharged-ops=0
 
   $ zeusc sim section8.zeus -n 4 -p top.a=1 -p top.b=1 -p top.x=1 -p top.y=0 -w top.out -w top.rout
   cycle 1: top.out=1 top.rout=U
