@@ -64,8 +64,16 @@ type entry = {
 
 (* scan "key": value pairs; strings update the context label, numbers
    become entries, booleans are returned separately *)
+(* a missing or unreadable file (e.g. a baseline that was never
+   committed, or a bench step that silently produced nothing) is a
+   named failure, not an uncaught Sys_error traceback *)
 let parse_file file =
-  let ic = open_in file in
+  let ic =
+    try open_in file
+    with Sys_error msg ->
+      Printf.eprintf "REGRESSION %s: cannot read file (%s)\n" file msg;
+      exit 1
+  in
   let len = in_channel_length ic in
   let s = really_input_string ic len in
   close_in ic;
@@ -138,7 +146,12 @@ let parse_file file =
    ignored by the comparison anyway and keep the file honest about the
    machine it came from) *)
 let copy_file src dst =
-  let ic = open_in_bin src in
+  let ic =
+    try open_in_bin src
+    with Sys_error msg ->
+      Printf.eprintf "REGRESSION %s: cannot read file (%s)\n" src msg;
+      exit 1
+  in
   let len = in_channel_length ic in
   let s = really_input_string ic len in
   close_in ic;

@@ -1037,6 +1037,101 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Semantics graph in Graphviz format.")
     Term.(const run $ file_arg)
 
+let export_cmd =
+  let verilog =
+    Arg.(
+      value & flag
+      & info [ "verilog" ]
+          ~doc:"Emit structural Verilog (the only format, so far).")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write to $(docv) instead of stdout.")
+  in
+  let testbench =
+    Arg.(
+      value & flag
+      & info [ "testbench" ]
+          ~doc:
+            "Also emit a self-checking testbench that replays a random \
+             Zeus stimulus deck and \\$fatals on any snapshot mismatch.")
+  in
+  let cycles =
+    Arg.(
+      value
+      & opt int 20
+      & info [ "n"; "cycles" ] ~docv:"N"
+          ~doc:"Cycles of the $(b,--testbench) stimulus deck.")
+  in
+  let seed =
+    Arg.(
+      value
+      & opt int 0x5eed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed of the $(b,--testbench) deck and of the RANDOM streams \
+             (default: the simulator's default).")
+  in
+  let module_name =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "module-name" ] ~docv:"NAME"
+          ~doc:"Verilog module name (default: the first top-level signal).")
+  in
+  let run file verilog output testbench cycles seed module_name =
+    if not verilog then begin
+      Fmt.epr "export: no format selected; pass --verilog@.";
+      2
+    end
+    else
+      match Zeus.compile (load file) with
+      | Error diags ->
+          report_diags diags;
+          1
+      | Ok design -> (
+          match Zeus.Verilog.export ?module_name design with
+          | Error e ->
+              Fmt.epr "export: %s@." (Zeus.Verilog.error_to_string e);
+              1
+          | Ok v -> (
+              let tb =
+                if not testbench then Ok ""
+                else
+                  let deck = Zeus.Verilog.random_deck ~seed ~cycles v in
+                  Zeus.Verilog.testbench ~seed v deck
+              in
+              match tb with
+              | Error msg ->
+                  Fmt.epr "export: testbench: %s@." msg;
+                  1
+              | Ok tb ->
+                  let text =
+                    if testbench then v.Zeus.Verilog.text ^ "\n" ^ tb
+                    else v.Zeus.Verilog.text
+                  in
+                  (match output with
+                  | None -> print_string text
+                  | Some path ->
+                      Out_channel.with_open_bin path (fun oc ->
+                          Out_channel.output_string oc text));
+                  0))
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Lower a design to synthesizable structural Verilog: four-valued \
+          nets as 0/1/x/z, guarded drivers as conditional continuous \
+          assigns with explicit 1'bz release, registers as clocked \
+          always-blocks.  Designs with combinational cycles cannot be \
+          exported.")
+    Term.(
+      const run $ file_arg $ verilog $ output $ testbench $ cycles $ seed
+      $ module_name)
+
 let fuzz_cmd =
   let count =
     Arg.(
@@ -1100,6 +1195,10 @@ let fuzz_cmd =
   let run count seed corpus_dir shrink_budget comb_only quiet batch jobs =
     let profile = if comb_only then Zeus.Gen.comb else Zeus.Gen.full in
     let log = if quiet then ignore else fun s -> Fmt.epr "%s@." s in
+    if (not quiet) && not (Zeus.Oracle.iverilog_available ()) then
+      Fmt.epr
+        "note: iverilog not found — oracle O9 (verilog) runs structural \
+         checks only@.";
     let summary =
       Zeus.Fuzz.run ~profile ~shrink_budget ~log ~batch ~jobs ~count ~seed
         ~corpus_dir ()
@@ -1172,5 +1271,5 @@ let () =
           [
             check_cmd; pp_cmd; stats_cmd; tree_cmd; lint_cmd; prove_cmd;
             sim_cmd; layout_cmd; place_cmd; optimize_cmd; opt_cmd; dot_cmd;
-            fuzz_cmd; corpus_cmd;
+            export_cmd; fuzz_cmd; corpus_cmd;
           ]))

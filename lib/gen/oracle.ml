@@ -64,6 +64,21 @@
                        the compiled engine with the proved checks
                        discharged changes no value — only Z101 reports
                        on statically-proved nets may disappear;
+   O9 "verilog"        the structural Verilog export is faithful: every
+                       compiled program exports (cyclic designs cannot
+                       compile, so [Cyclic]/[Unsupported] here is a
+                       finding), the emitted module parses back through
+                       the minimal structural reader with the same
+                       module name, port list and net count, and the
+                       self-checking testbench generates for the same
+                       stimulus.  When iverilog is installed (nightly
+                       CI), the module + bench are additionally
+                       compiled and run: the bench replays the stimulus
+                       against the incremental engine's snapshots and
+                       must print ZEUS_TB_OK — a MISMATCH line is an
+                       externally-confirmed semantics divergence.
+                       Without iverilog the external leg is skipped
+                       (structural checks still run);
    O5 "modular-vs-elaborated" the modular summary analysis never
                        contradicts the elaborated pipeline in its sound
                        direction: a net the elaborated lint proved in
@@ -108,6 +123,68 @@ let compile src =
 
 let diags_to_string diags =
   String.concat "; " (List.map Diag.to_string diags)
+
+(* O9's external leg needs Icarus Verilog; probe for it once.  Without
+   it the oracle still runs the structural self-checks. *)
+let iverilog_available =
+  let probe =
+    lazy (Sys.command "command -v iverilog >/dev/null 2>&1" = 0)
+  in
+  fun () -> Lazy.force probe
+
+let read_whole_file path =
+  try
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with Sys_error _ -> ""
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+(* Compile module+bench with iverilog, run it under vvp, and judge by
+   the bench's own markers (robust to vvp's exit-code conventions):
+   ZEUS_TB_OK is agreement, anything else is a divergence whose detail
+   carries the MISMATCH lines. *)
+let run_external_verilog text =
+  let src_f = Filename.temp_file "zeus_o9" ".v" in
+  let out_f = Filename.temp_file "zeus_o9" ".vvp" in
+  let log_f = Filename.temp_file "zeus_o9" ".log" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun f -> try Sys.remove f with Sys_error _ -> ())
+        [ src_f; out_f; log_f ])
+    (fun () ->
+      let oc = open_out_bin src_f in
+      output_string oc text;
+      close_out oc;
+      let q = Filename.quote in
+      let rc =
+        Sys.command
+          (Printf.sprintf "iverilog -g2012 -o %s %s >%s 2>&1 && vvp %s >>%s 2>&1"
+             (q out_f) (q src_f) (q log_f) (q out_f) (q log_f))
+      in
+      let log = read_whole_file log_f in
+      if contains_substring log "ZEUS_TB_OK" then Ok ()
+      else
+        let lines = String.split_on_char '\n' log in
+        let interesting =
+          List.filter
+            (fun l ->
+              contains_substring l "MISMATCH" || contains_substring l "error")
+            lines
+        in
+        let shown = match interesting with [] -> lines | l -> l in
+        let shown =
+          List.filteri (fun i _ -> i < 5) (List.filter (( <> ) "") shown)
+        in
+        Error
+          (Printf.sprintf "iverilog/vvp rc=%d: %s" rc
+             (String.concat " | " shown)))
 
 (* One engine's observable behaviour: the snapshot after every cycle,
    and the full runtime-error set as comparable triples. *)
@@ -630,4 +707,49 @@ let check ?(jobs = 4) ~src (stim : Gen_prog.stimulus) : divergence list =
                   conflicts
               end
           | _ -> ());
+          (* O9: the structural Verilog export.  A compiled program has
+             an acyclic class schedule (Check rejects combinational
+             cycles), so any export error is a finding.  The emitted
+             module must parse back with the same structure, the bench
+             must generate for this stimulus, and — when iverilog is
+             installed — the external simulator must replay the whole
+             deck to ZEUS_TB_OK. *)
+          (match Zeus_export.Verilog.export design with
+          | Error e ->
+              add "verilog"
+                ("export failed on a compiled program: "
+                ^ Zeus_export.Verilog.error_to_string e)
+          | Ok v -> (
+              (match Zeus_export.Verilog.parse_module v.Zeus_export.Verilog.text with
+              | Error msg ->
+                  add "verilog"
+                    ("emitted module does not parse back: " ^ msg)
+              | Ok vm ->
+                  let open Zeus_export.Verilog in
+                  if vm.vm_name <> v.module_name then
+                    add "verilog"
+                      (Printf.sprintf
+                         "module name did not round-trip: %S vs %S"
+                         vm.vm_name v.module_name);
+                  let want =
+                    List.map (fun p -> (p.pdir, p.pname)) v.ports
+                  in
+                  if vm.vm_ports <> want then
+                    add "verilog" "port list did not round-trip";
+                  if vm.vm_nets <> v.net_count then
+                    add "verilog"
+                      (Printf.sprintf
+                         "declared net count %d, reader found %d"
+                         v.net_count vm.vm_nets));
+              match Zeus_export.Verilog.testbench v stim with
+              | Error msg ->
+                  add "verilog" ("testbench generation failed: " ^ msg)
+              | Ok tb ->
+                  if iverilog_available () then (
+                    match
+                      run_external_verilog
+                        (v.Zeus_export.Verilog.text ^ "\n" ^ tb)
+                    with
+                    | Ok () -> ()
+                    | Error detail -> add "verilog" detail)));
           List.rev !divs)

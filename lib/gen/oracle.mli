@@ -32,6 +32,15 @@
                      proved const-0/const-1 (with at least one
                      producer) reads exactly that constant on every
                      cycle of the unoptimized reference run
+    verilog          the structural Verilog export is faithful: every
+                     compiled program exports, parses back through
+                     {!Zeus_export.Verilog.parse_module} with the same
+                     module name / port list / net count, and its
+                     self-checking testbench generates; with iverilog
+                     installed (nightly CI) the module + bench are also
+                     compiled and run externally and must reach
+                     ZEUS_TB_OK (skipped, structural checks only, when
+                     iverilog is absent — see {!iverilog_available})
     modular-vs-elaborated
                      the modular summary analysis ({!Zeus_sem.Summary})
                      never contradicts the elaborated pipeline in its
@@ -52,6 +61,10 @@ type divergence = {
 }
 
 val pp_divergence : divergence Fmt.t
+
+val iverilog_available : unit -> bool
+(** Whether Icarus Verilog is on PATH (probed once per process).  When
+    [false], the [verilog] row runs its structural self-checks only. *)
 
 val compile : string -> (Zeus_sem.Elaborate.design, Diag.t list) result
 

@@ -50,6 +50,7 @@ module Geom = Zeus_layout.Geom
 module Floorplan = Zeus_layout.Floorplan
 module Render = Zeus_layout.Render
 module Autoplace = Zeus_layout.Autoplace
+module Verilog = Zeus_export.Verilog
 module Gen = Zeus_gen.Gen_prog
 module Oracle = Zeus_gen.Oracle
 module Fuzz = Zeus_gen.Fuzz

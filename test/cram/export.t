@@ -1,0 +1,94 @@
+Golden outputs for `zeusc export --verilog`: the section 8 example in
+full (one of everything: inputs, outputs, a guarded multiplex pair
+with its explicit first-non-z resolver, a register with the
+raw-value latch rule), a larger design checked by shape, the
+self-checking testbench, and the error paths.
+
+  $ zeusc corpus section8 > section8.zeus
+  $ zeusc corpus pqueue8x4 > pqueue8x4.zeus
+
+  $ zeusc export --verilog section8.zeus
+  // top: structural Verilog export of a Zeus design (zeusc export --verilog)
+  // Four-valued nets: Zeus UNDEF is x, NOINFL is z.  Drive RSET low, toggle clk;
+  // registers latch on posedge and power up at x unless REG(c) gave a value.
+  module top (clk, RSET, top$da, top$db, top$dcc, top$dx, top$dy, top$drin, top$drout, top$dout);
+    input clk; // latch edge only: the Zeus CLK value is the constant-1 wire
+    input RSET;
+    input top$da;
+    input top$db;
+    input top$dcc;
+    input top$dx;
+    input top$dy;
+    input top$drin;
+    output top$drout;
+    output top$dout;
+    wire CLK;
+    wire top$dand$h1$b0$e;
+    wire top$dnguard;
+    wire top$dnguard$0;
+    wire top$dr$din;
+    wire top$dr$dout;
+    wire top$dr$din$raw;
+    wire top$dout$p0;
+    wire top$dout$p1;
+    assign CLK = 1'b1;
+    assign top$dr$dout = top$dr;
+    assign top$drout = top$dr$dout;
+    assign top$dand$h1$b0$e = (top$da & top$db);
+    assign top$dnguard = (~top$dx);
+    assign top$dnguard$0 = (~top$dy);
+    assign top$dr$din$raw = top$drin;
+    assign top$dr$din = ((top$dr$din$raw === 1'bz) ? 1'bx : top$dr$din$raw);
+    assign top$dout$p0 = ((top$dx === 1'b1) ? top$dand$h1$b0$e : (top$dx === 1'b0) ? 1'bz : 1'bx);
+    assign top$dout$p1 = ((top$dy === 1'b1) ? top$dcc : (top$dy === 1'b0) ? 1'bz : 1'bx);
+    assign top$dout = ((top$dout$p0 === 1'bz) ? top$dout$p1 : ((top$dout$p1 === 1'bz) ? top$dout$p0 : 1'bx));
+    reg top$dr;
+    always @(posedge clk)
+      if (top$dr$din$raw !== 1'bz) top$dr <= top$dr$din$raw;
+  endmodule
+
+The priority queue exports a register per bit of the four 8-deep
+slots; the module header and the always-block count are stable:
+
+  $ zeusc export --verilog pqueue8x4.zeus -o pq.v
+  $ head -4 pq.v
+  // pq: structural Verilog export of a Zeus design (zeusc export --verilog)
+  // Four-valued nets: Zeus UNDEF is x, NOINFL is z.  Drive RSET low, toggle clk;
+  // registers latch on posedge and power up at x unless REG(c) gave a value.
+  module pq (clk, RSET, pq$dins, pq$dext, pq$ddin$b1$e, pq$ddin$b2$e, pq$ddin$b3$e, pq$ddin$b4$e, pq$dminout$b1$e, pq$dminout$b2$e, pq$dminout$b3$e, pq$dminout$b4$e);
+  $ grep -c "always @(posedge clk)" pq.v
+  32
+
+The self-checking testbench replays a deterministic random deck: it
+drives every input port, compares every class wire against the
+incremental engine's snapshot before each latch edge, and $fatals on
+the first mismatch:
+
+  $ zeusc export --verilog --testbench -n 3 section8.zeus -o tb.v
+  $ grep -c "^module" tb.v
+  2
+  $ grep "ZEUS_TB_OK\|zeus.check(3)\|fatal" tb.v
+          $fatal(2, "zeus/verilog divergence at cycle %0d", cycle);
+      zeus$check(3);
+      $display("ZEUS_TB_OK");
+
+A combinational cycle has no static schedule, so it cannot be lowered
+to continuous assignments — the checks reject it before export:
+
+  $ cat > cyclic.zeus <<'EOF'
+  > TYPE t = COMPONENT (IN a: boolean; OUT y: boolean) IS
+  > SIGNAL u, v: boolean;
+  > BEGIN
+  >   u := AND(a, v);
+  >   v := NOT u;
+  >   y := v
+  > END;
+  > SIGNAL s: t;
+  > EOF
+  $ zeusc export --verilog cyclic.zeus
+  4:8-17: error(cycle): combinational feedback loop (no REG on the path): s.and#1[0] -> s.u -> s.not#2[0] -> s.v -> s.and#1[0]
+  [1]
+
+  $ zeusc export section8.zeus
+  export: no format selected; pass --verilog
+  [2]

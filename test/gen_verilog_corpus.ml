@@ -1,0 +1,37 @@
+(* Generator behind test/golden/verilog_corpus.txt: locks the Verilog
+   emission for every corpus design.  The full text would be ~870KB
+   across the corpus, so each design is locked by its structure (module
+   header, port list with Zeus paths, net/reg counts) plus an MD5 of
+   the complete emitted text — any byte of drift shows up — and two
+   small designs (mux4, section8) are locked verbatim so review diffs
+   stay readable.  Refresh with `dune promote` after an intentional
+   emitter change. *)
+
+let () =
+  List.iter
+    (fun (name, src) ->
+      Printf.printf "== %s ==\n" name;
+      let design = Zeus.compile_exn src in
+      match Zeus.Verilog.export design with
+      | Error e ->
+          Printf.printf "ERROR %s\n\n" (Zeus.Verilog.error_to_string e)
+      | Ok v ->
+          Printf.printf "module %s ports=%d nets=%d regs=%d md5=%s\n"
+            v.Zeus.Verilog.module_name
+            (List.length v.Zeus.Verilog.ports)
+            v.Zeus.Verilog.net_count v.Zeus.Verilog.reg_count
+            (Digest.to_hex (Digest.string v.Zeus.Verilog.text));
+          List.iter
+            (fun (p : Zeus.Verilog.port) ->
+              Printf.printf "  %s %s (%s)\n"
+                (match p.Zeus.Verilog.pdir with
+                | Zeus.Verilog.Input -> "input "
+                | Zeus.Verilog.Output -> "output")
+                p.Zeus.Verilog.pname p.Zeus.Verilog.ppath)
+            v.Zeus.Verilog.ports;
+          if name = "mux4" || name = "section8" then begin
+            print_string "--\n";
+            print_string v.Zeus.Verilog.text
+          end;
+          print_newline ())
+    (Zeus.Corpus.all_named @ Zeus.Corpus_fsm.all_named)
